@@ -1,0 +1,254 @@
+// Package repro's root benchmark suite regenerates every table and figure
+// of the paper at benchmark scale — one benchmark per experiment ID of
+// DESIGN.md §3. Custom metrics (space ratios, break points, error levels)
+// are attached via b.ReportMetric; run with
+//
+//	go test -bench=. -benchmem
+//
+// and see cmd/experiments for the full-size text tables.
+package repro
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/entropy"
+	"repro/internal/f0"
+	"repro/internal/fp"
+	"repro/internal/game"
+	"repro/internal/heavyhitters"
+	"repro/internal/prf"
+	"repro/internal/robust"
+	"repro/internal/sketch"
+	"repro/internal/stream"
+)
+
+func feed(b *testing.B, est sketch.Estimator, g stream.Generator) {
+	b.Helper()
+	for {
+		u, ok := g.Next()
+		if !ok {
+			return
+		}
+		est.Update(u.Item, u.Delta)
+	}
+}
+
+// BenchmarkTable1DistinctElements — Table 1, F0 row: robust-vs-static
+// space ratio plus robust update throughput.
+func BenchmarkTable1DistinctElements(b *testing.B) {
+	static := f0.NewTracking(0.3, 0.05, 1<<20, 1)
+	rob := robust.NewF0(0.3, 0.05, 1<<20, 1)
+	feed(b, static, stream.NewUniform(1<<14, 20000, 3))
+	feed(b, rob, stream.NewUniform(1<<14, 20000, 3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rob.Update(uint64(i), 1)
+	}
+	b.ReportMetric(float64(rob.SpaceBytes())/float64(static.SpaceBytes()), "space-ratio")
+}
+
+// BenchmarkTable1Fp — Table 1, Fp (p ∈ (0,2]) row at p = 1.
+func BenchmarkTable1Fp(b *testing.B) {
+	static := fp.NewIndyk(1, fp.SizeIndyk(0.5, 0.05), rand.New(rand.NewSource(1)))
+	rob := robust.NewFp(1, 0.5, 0.05, 1<<16, 1)
+	feed(b, static, stream.NewUniform(1<<10, 2000, 3))
+	feed(b, rob, stream.NewUniform(1<<10, 2000, 3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rob.Update(uint64(i%1024), 1)
+	}
+	b.ReportMetric(float64(rob.SpaceBytes())/float64(static.SpaceBytes()), "space-ratio")
+}
+
+// BenchmarkTable1FpSmallDelta — Theorem 1.5: computation-paths Fp update
+// cost at the tiny-δ sizing (capped; see EXPERIMENTS.md).
+func BenchmarkTable1FpSmallDelta(b *testing.B) {
+	rob := robust.NewFpPaths(2, 0.5, 1<<10, 1<<12, 1024, 2048, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rob.Update(uint64(i%1024), 1)
+	}
+	b.ReportMetric(float64(rob.SpaceBytes()), "bytes")
+}
+
+// BenchmarkTable1FpBig — Table 1, Fp (p > 2) row: the n^{1−2/p} width
+// scaling surfaced as a metric, plus robust update throughput at p = 3.
+func BenchmarkTable1FpBig(b *testing.B) {
+	rob := robust.NewFpBig(3, 0.4, 4096, 10000, 60, 2, 13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rob.Update(uint64(i%4096), 1)
+	}
+	// n grows 1024x → width grows ≈ 1024^{1/3} ≈ 10.1x.
+	w10 := fp.SizeMaxStableWidth(3, 1<<10)
+	w20 := fp.SizeMaxStableWidth(3, 1<<20)
+	b.ReportMetric(float64(w20)/float64(w10), "width-growth-1024x-n")
+}
+
+// BenchmarkTable1HeavyHitters — Table 1, L2 heavy hitters row.
+func BenchmarkTable1HeavyHitters(b *testing.B) {
+	static := heavyhitters.NewCountSketch(heavyhitters.SizeForPointQuery(0.3, 0.05), rand.New(rand.NewSource(1)))
+	rob := robust.NewHeavyHitters(0.3, 0.05, 1<<20, 1)
+	feed(b, static, stream.NewHeavy(1<<18, 10000, 4, 0.4, 3))
+	feed(b, rob, stream.NewHeavy(1<<18, 10000, 4, 0.4, 3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rob.Update(uint64(i), 1)
+	}
+	b.ReportMetric(float64(rob.SpaceBytes())/float64(static.SpaceBytes()), "space-ratio")
+}
+
+// BenchmarkTable1Entropy — Table 1, entropy row.
+func BenchmarkTable1Entropy(b *testing.B) {
+	static := entropy.NewCC(entropy.SizeCC(1.0, 0.05), rand.New(rand.NewSource(1)))
+	rob := robust.NewEntropy(1.0, 0.05, 30, 1)
+	feed(b, static, stream.NewZipf(1<<10, 1000, 1.3, 3))
+	feed(b, rob, stream.NewZipf(1<<10, 1000, 1.3, 3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rob.Update(uint64(i%1024), 1)
+	}
+	b.ReportMetric(float64(rob.SpaceBytes())/float64(static.SpaceBytes()), "space-ratio")
+}
+
+// BenchmarkTable1Turnstile — Theorem 1.6 row: robust Fp on the λ-bounded
+// insert-then-delete class.
+func BenchmarkTable1Turnstile(b *testing.B) {
+	rob := robust.NewTurnstileFp(2, 0.5, 200, 4096, 2048, 2048, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		delta := int64(1)
+		if i%2 == 1 {
+			delta = -1
+		}
+		rob.Update(uint64(i%2048), delta)
+	}
+	b.ReportMetric(float64(rob.SpaceBytes()), "bytes")
+}
+
+// BenchmarkTable1BoundedDeletion — Theorem 1.11 row: the α-linear flip
+// budget surfaced as a metric plus robust update throughput.
+func BenchmarkTable1BoundedDeletion(b *testing.B) {
+	rob := robust.NewBoundedDeletionFp(1, 4, 0.5, 256, 4000, 4000, 1500, 17)
+	g := stream.NewBoundedDeletion(256, 1<<30, 1, 4, 0.4, 19)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u, _ := g.Next()
+		rob.Update(u.Item, u.Delta)
+	}
+	l2 := robust.BoundedDeletionLambda(1, 2, 0.5, 1<<12, 4096)
+	l8 := robust.BoundedDeletionLambda(1, 8, 0.5, 1<<12, 4096)
+	b.ReportMetric(float64(l8)/float64(l2), "flip-growth-4x-alpha")
+}
+
+// BenchmarkAttackAMS — Theorem 9.1 figure: updates needed to collapse the
+// dense AMS estimate below half the truth (normalized by rows t).
+func BenchmarkAttackAMS(b *testing.B) {
+	const rows = 64
+	var totalSteps, wins int
+	for i := 0; i < b.N; i++ {
+		sk := fp.NewDenseAMS(rows, 1<<14, rand.New(rand.NewSource(int64(i))))
+		res := game.Run(sk, adversary.NewAMSAttack(rows, 4, int64(i)+77),
+			func(f *stream.Freq) float64 { return f.Fp(2) },
+			func(est, truth float64) bool { return est >= truth/2 },
+			game.Config{MaxSteps: 400 * rows, StopOnBreak: true})
+		if res.Broken {
+			wins++
+			totalSteps += res.BrokenAt
+		}
+	}
+	if wins > 0 {
+		b.ReportMetric(float64(totalSteps)/float64(wins)/rows, "updates-to-break/t")
+		b.ReportMetric(float64(wins)/float64(b.N), "success-rate")
+	}
+}
+
+// BenchmarkAttackKMV — Section 10 figure: overestimate factor (log10) the
+// seed-leakage adversary extracts from a static KMV.
+func BenchmarkAttackKMV(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		sk := f0.NewKMV(128, rand.New(rand.NewSource(int64(i))))
+		res := game.Run(sk, adversary.NewSeedLeak(sk.Hash(), 1000, 200),
+			(*stream.Freq).F0, game.RelCheck(1.0), game.Config{Record: true})
+		last := len(res.Estimates) - 1
+		if r := res.Estimates[last] / res.Truths[last]; r > worst {
+			worst = r
+		}
+	}
+	b.ReportMetric(math.Log10(worst), "log10-overestimate")
+}
+
+// BenchmarkCryptoF0 — Theorem 10.1: per-update cost of the PRF wrapper and
+// its constant-byte space overhead.
+func BenchmarkCryptoF0(b *testing.B) {
+	inner := f0.NewKMV(256, rand.New(rand.NewSource(1)))
+	alg, err := robust.NewCryptoF0(prf.NewFromSeed(1), inner)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alg.Update(uint64(i), 1)
+	}
+	b.ReportMetric(float64(prf.NewFromSeed(0).SpaceBytes()), "overhead-bytes")
+}
+
+// BenchmarkFlipNumber — Definition 3.2 machinery: cost of the empirical
+// flip-number measurement plus the tightness ratio bound/empirical on the
+// steepest F0 stream.
+func BenchmarkFlipNumber(b *testing.B) {
+	seq := stream.Trajectory(stream.Collect(stream.NewDistinct(20000), 0), (*stream.Freq).F0)
+	emp := core.FlipNumber(seq, 0.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.FlipNumber(seq, 0.2)
+	}
+	b.ReportMetric(float64(core.FlipBoundFp(0, 0.2, 20000, 1))/float64(emp), "bound/empirical")
+}
+
+// BenchmarkFastF0Update — Theorem 1.2 figure: per-update cost of
+// Algorithm 2 vs the median-of-KMV baseline at tiny δ.
+func BenchmarkFastF0UpdateAlg2(b *testing.B) {
+	a := f0.NewAlg2(f0.Alg2Sizing(0.2, 160, 1<<20), false, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Update(uint64(i)*2654435761, 1)
+	}
+}
+
+func BenchmarkFastF0UpdateAlg2Batched(b *testing.B) {
+	a := f0.NewAlg2(f0.Alg2Sizing(0.2, 160, 1<<20), true, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Update(uint64(i)*2654435761, 1)
+	}
+}
+
+func BenchmarkFastF0UpdateMedianKMV(b *testing.B) {
+	med := f0.NewMedian(core.MedianRepsForLn(160), 1, func(seed int64) sketch.Estimator {
+		return f0.NewKMV(256, rand.New(rand.NewSource(seed)))
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		med.Update(uint64(i)*2654435761, 1)
+	}
+}
+
+// BenchmarkRobustF0Game — end-to-end adversarial game throughput: the
+// robust F0 estimator playing against the adaptive Chaser.
+func BenchmarkRobustF0Game(b *testing.B) {
+	alg := robust.NewF0(0.4, 0.05, 1<<20, 5)
+	adv := adversary.NewChaser(1<<62, 11)
+	last := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u, _ := adv.Next(last, i)
+		alg.Update(u.Item, u.Delta)
+		last = alg.Estimate()
+	}
+}

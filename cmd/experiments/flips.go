@@ -1,0 +1,93 @@
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+)
+
+// runFlip measures empirical flip numbers (Definition 3.2) on concrete
+// streams and compares them against the theoretical bounds the paper's
+// sizing rests on (Corollary 3.5, Proposition 7.2, Lemma 8.2). The
+// empirical value must never exceed the bound; the all-distinct stream
+// should come close to it.
+func runFlip() {
+	const eps = 0.2
+	fmt.Printf("ε = %.2f; empirical flip number vs theoretical bound\n\n", eps)
+	fmt.Printf("  %-34s %-24s %10s %10s\n", "statistic", "stream", "empirical", "bound")
+
+	type entry struct {
+		name, workload string
+		seq            []float64
+		bound          int
+	}
+	var entries []entry
+
+	distinct := stream.Collect(stream.NewDistinct(20000), 0)
+	entries = append(entries, entry{
+		"F0", "all-distinct (steepest)",
+		stream.Trajectory(distinct, (*stream.Freq).F0),
+		core.FlipBoundFp(0, eps, 20000, 1),
+	})
+
+	uni := stream.Collect(stream.NewUniform(1<<12, 20000, 3), 0)
+	fUni := stream.NewFreq()
+	fUni.ApplyAll(uni)
+	entries = append(entries, entry{
+		"F0", "uniform",
+		stream.Trajectory(uni, (*stream.Freq).F0),
+		core.FlipBoundFp(0, eps, 1<<12, 1),
+	})
+	entries = append(entries, entry{
+		"F1", "uniform",
+		stream.Trajectory(uni, (*stream.Freq).F1),
+		core.FlipBoundFp(1, eps, 1<<12, float64(fUni.MaxAbs())),
+	})
+	entries = append(entries, entry{
+		"F2", "uniform",
+		stream.Trajectory(uni, func(f *stream.Freq) float64 { return f.Fp(2) }),
+		core.FlipBoundFp(2, eps, 1<<12, float64(fUni.MaxAbs())),
+	})
+
+	zipf := stream.Collect(stream.NewZipf(1<<10, 10000, 1.3, 7), 0)
+	fZ := stream.NewFreq()
+	fZ.ApplyAll(zipf)
+	entries = append(entries, entry{
+		"2^H (entropy, Prop 7.2)", "zipf(1.3)",
+		stream.Trajectory(zipf, func(f *stream.Freq) float64 { return math.Pow(2, f.Entropy()) }),
+		core.FlipBoundEntropyExp(eps, 1<<10, float64(fZ.MaxAbs())),
+	})
+
+	bd := stream.Collect(stream.NewBoundedDeletion(256, 8000, 1, 4, 0.4, 11), 0)
+	fB := stream.NewFreq()
+	fB.ApplyAll(bd)
+	entries = append(entries, entry{
+		"L1 (bounded del., Lemma 8.2)", "α=4 random",
+		stream.Trajectory(bd, (*stream.Freq).F1),
+		core.FlipBoundBoundedDeletion(1, 4, eps, 256+8000, float64(fB.MaxAbs())),
+	})
+
+	turn := stream.Collect(stream.NewInsertDelete(4096), 0)
+	entries = append(entries, entry{
+		"F0 (turnstile)", "insert-then-delete",
+		stream.Trajectory(turn, (*stream.Freq).F0),
+		2*core.FlipBoundFp(0, eps, 4096, 1) + 2,
+	})
+
+	for _, e := range entries {
+		emp := core.FlipNumber(e.seq, eps)
+		verdict := "✓"
+		if emp > e.bound {
+			verdict = "VIOLATION"
+		}
+		fmt.Printf("  %-34s %-24s %10d %10d %s\n", e.name, e.workload, emp, e.bound, verdict)
+	}
+	fmt.Println("\nflip number vs ε (F0, all-distinct stream of 20000):")
+	seq := stream.Trajectory(distinct, (*stream.Freq).F0)
+	fmt.Printf("  %8s %10s %10s\n", "ε", "empirical", "bound")
+	for _, e := range []float64{0.05, 0.1, 0.2, 0.4, 0.8} {
+		fmt.Printf("  %8.2f %10d %10d\n", e, core.FlipNumber(seq, e), core.FlipBoundFp(0, e, 20000, 1))
+	}
+}

@@ -1,0 +1,87 @@
+// Command robuststream runs an adversarially robust estimator over a
+// stream read from stdin, one update per line: "<item> [delta]" (delta
+// defaults to 1). It prints the tracked estimate every -every updates and
+// a summary at EOF.
+//
+// Examples:
+//
+//	awk 'BEGIN{for(i=0;i<100000;i++) print int(rand()*4096)}' | go run ./cmd/robuststream -stat f0 -eps 0.2
+//	cat trace.txt | go run ./cmd/robuststream -stat l2 -eps 0.3 -every 10000
+//
+// Supported -stat values: f0, f1, l1, l2, fp (with -p), entropy.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/robust"
+	"repro/internal/sketch"
+)
+
+func main() {
+	stat := flag.String("stat", "f0", "statistic: f0 | f1 | l1 | l2 | fp | entropy")
+	eps := flag.Float64("eps", 0.2, "accuracy parameter")
+	delta := flag.Float64("delta", 0.01, "failure probability")
+	p := flag.Float64("p", 1.5, "moment order for -stat fp (0 < p <= 2)")
+	n := flag.Uint64("n", 1<<20, "universe size bound")
+	every := flag.Int("every", 5000, "print the estimate every k updates")
+	seed := flag.Int64("seed", 1, "sketch randomness seed")
+	flag.Parse()
+
+	var est sketch.Estimator
+	label := *stat
+	switch *stat {
+	case "f0":
+		est = robust.NewF0(*eps, *delta, *n, *seed)
+	case "f1", "l1":
+		est = robust.NewFp(1, *eps, *delta, *n, *seed)
+	case "l2":
+		est = robust.NewFp(2, *eps, *delta, *n, *seed)
+	case "fp":
+		est = robust.NewFp(*p, *eps, *delta, *n, *seed)
+		label = fmt.Sprintf("L%.2f", *p)
+	case "entropy":
+		est = robust.NewEntropy(*eps, *delta, 64, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -stat %q\n", *stat)
+		os.Exit(2)
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var m int64
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		item, err := strconv.ParseUint(fields[0], 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skipping line %d: %v\n", m+1, err)
+			continue
+		}
+		delta := int64(1)
+		if len(fields) > 1 {
+			if delta, err = strconv.ParseInt(fields[1], 10, 64); err != nil {
+				fmt.Fprintf(os.Stderr, "skipping line %d: %v\n", m+1, err)
+				continue
+			}
+		}
+		est.Update(item, delta)
+		m++
+		if *every > 0 && m%int64(*every) == 0 {
+			fmt.Printf("m=%-10d %s ≈ %.4g\n", m, label, est.Estimate())
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "read error: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("final: m=%d  %s ≈ %.6g  (ε=%.2g, δ=%.2g, space %d KiB)\n",
+		m, label, est.Estimate(), *eps, *delta, est.SpaceBytes()/1024)
+}

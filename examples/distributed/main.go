@@ -1,0 +1,118 @@
+// distributed demonstrates the sharding workflow a database or telemetry
+// pipeline uses with this library: several workers sketch disjoint shards
+// of a stream with Fresh() copies of one origin sketch, serialize their
+// state (MarshalBinary), ship it to a coordinator, and the coordinator
+// merges the shards into the sketch of the whole stream — losslessly for
+// the duplicate-insensitive F0 sketches and exactly (by linearity) for the
+// moment sketches.
+//
+// Run with: go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/f0"
+	"repro/internal/fp"
+	"repro/internal/stream"
+)
+
+const shards = 4
+
+func main() {
+	fmt.Printf("=== distributed sketching across %d shards ===\n\n", shards)
+
+	// Origins fix the randomness every shard must share.
+	kmvOrigin := f0.NewKMV(256, rand.New(rand.NewSource(1)))
+	hllOrigin := f0.NewHLL(12, rand.New(rand.NewSource(2)))
+	f2Origin := fp.NewF2(fp.SizeF2(0.1, 0.01), rand.New(rand.NewSource(3)))
+
+	kmvShards := make([]*f0.KMV, shards)
+	hllShards := make([]*f0.HLL, shards)
+	f2Shards := make([]*fp.F2Sketch, shards)
+	for i := range kmvShards {
+		kmvShards[i] = kmvOrigin.Fresh()
+		hllShards[i] = hllOrigin.Fresh()
+		f2Shards[i] = f2Origin.Fresh()
+	}
+
+	// Route one Zipf stream across the shards (by item, as a hash
+	// partitioner would); keep exact truth for comparison.
+	truth := stream.NewFreq()
+	g := stream.NewZipf(1<<18, 200000, 1.2, 42)
+	for {
+		u, ok := g.Next()
+		if !ok {
+			break
+		}
+		shard := int(u.Item % shards)
+		kmvShards[shard].Update(u.Item, u.Delta)
+		hllShards[shard].Update(u.Item, u.Delta)
+		f2Shards[shard].Update(u.Item, u.Delta)
+		truth.Apply(u)
+	}
+
+	// Ship every shard through its wire format, then merge at the
+	// coordinator.
+	var wire int
+	kmvAll := kmvOrigin.Fresh()
+	hllAll := hllOrigin.Fresh()
+	f2All := f2Origin.Fresh()
+	for i := 0; i < shards; i++ {
+		kb, err := kmvShards[i].MarshalBinary()
+		must(err)
+		hb, err := hllShards[i].MarshalBinary()
+		must(err)
+		fb, err := f2Shards[i].MarshalBinary()
+		must(err)
+		wire += len(kb) + len(hb) + len(fb)
+
+		var kmv f0.KMV
+		must(kmv.UnmarshalBinary(kb))
+		var hll f0.HLL
+		must(hll.UnmarshalBinary(hb))
+		var f2 fp.F2Sketch
+		must(f2.UnmarshalBinary(fb))
+
+		must(kmvAll.Merge(&kmv))
+		must(hllAll.Merge(&hll))
+		must(f2All.Merge(&f2))
+	}
+
+	fmt.Printf("stream: 200000 updates over %d shards; %d wire bytes total\n\n", shards, wire)
+	fmt.Printf("  %-22s %12s %12s %9s\n", "sketch", "merged est.", "exact", "rel.err")
+	report := func(name string, est, exact float64) {
+		fmt.Printf("  %-22s %12.0f %12.0f %8.2f%%\n", name, est, exact, 100*abs(est-exact)/exact)
+	}
+	report("KMV distinct (F0)", kmvAll.Estimate(), truth.F0())
+	report("HyperLogLog (F0)", hllAll.Estimate(), truth.F0())
+	report("bucketed AMS (F2)", f2All.Estimate(), truth.Fp(2))
+
+	// The lossless-merge property: the merged KMV is byte-identical in
+	// behavior to a single sketch that saw the whole stream.
+	whole := kmvOrigin.Fresh()
+	g2 := stream.NewZipf(1<<18, 200000, 1.2, 42)
+	for {
+		u, ok := g2.Next()
+		if !ok {
+			break
+		}
+		whole.Update(u.Item, u.Delta)
+	}
+	fmt.Printf("\nlossless check: merged KMV estimate == whole-stream estimate: %v\n",
+		kmvAll.Estimate() == whole.Estimate())
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

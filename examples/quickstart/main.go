@@ -1,0 +1,57 @@
+// Quickstart: build an adversarially robust F2 (second frequency moment)
+// estimator, stream data through it, and compare against exact ground
+// truth at every step — the tracking guarantee of the paper.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/robust"
+	"repro/internal/stream"
+)
+
+func main() {
+	const (
+		eps   = 0.3     // multiplicative accuracy target
+		delta = 0.01    // failure probability
+		n     = 1 << 20 // universe size
+	)
+
+	// One call builds the Theorem 1.4 estimator: ring sketch switching
+	// over strong-tracking AMS sketches, publishing ε/2-rounded L2 norms.
+	est := robust.NewFp(2, eps, delta, n, 1)
+
+	// Stream 50k Zipf-distributed updates; track exact truth alongside.
+	truth := stream.NewFreq()
+	gen := stream.NewZipf(n, 50000, 1.2, 42)
+	worst := 0.0
+	for {
+		u, ok := gen.Next()
+		if !ok {
+			break
+		}
+		est.Update(u.Item, u.Delta)
+		truth.Apply(u)
+
+		if truth.Updates()%10000 == 0 {
+			got, want := est.Estimate(), truth.L2()
+			rel := (got - want) / want
+			if rel < 0 {
+				rel = -rel
+			}
+			if rel > worst {
+				worst = rel
+			}
+			fmt.Printf("m=%6d  ‖f‖₂ exact=%10.1f  robust=%10.1f  rel.err=%5.2f%%\n",
+				truth.Updates(), want, got, 100*rel)
+		}
+	}
+	fmt.Printf("\nworst sampled relative error: %.2f%% (target ε = %.0f%%)\n", 100*worst, 100*eps)
+	fmt.Printf("sketch space: %d KiB across %d switching copies "+
+		"(robustness costs a poly(1/ε) factor over a static sketch,\n"+
+		" but stays sublinear: exact counting of this stream would grow without bound)\n",
+		est.SpaceBytes()/1024, est.Copies())
+	fmt.Printf("output changed %d times (flip-number budget in action)\n", est.Switches())
+}

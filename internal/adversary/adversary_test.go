@@ -1,0 +1,174 @@
+package adversary
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/f0"
+	"repro/internal/fp"
+	"repro/internal/game"
+	"repro/internal/prf"
+	"repro/internal/robust"
+	"repro/internal/stream"
+)
+
+// TestAMSAttackBreaksDenseAMS reproduces Theorem 9.1: the adaptive
+// adversary forces the dense AMS estimate below half the true F2 within
+// O(t) updates, with high probability over trials.
+func TestAMSAttackBreaksDenseAMS(t *testing.T) {
+	const rows = 64
+	const trials = 10
+	wins := 0
+	var totalSteps int
+	for trial := 0; trial < trials; trial++ {
+		sk := fp.NewDenseAMS(rows, 1<<16, rand.New(rand.NewSource(int64(trial))))
+		adv := NewAMSAttack(rows, 4, int64(trial)+100)
+		res := game.Run(sk, adv,
+			func(f *stream.Freq) float64 { return f.Fp(2) },
+			func(est, truth float64) bool { return est >= truth/2 },
+			game.Config{MaxSteps: 400 * rows, StopOnBreak: true})
+		if res.Broken {
+			wins++
+			totalSteps += res.BrokenAt
+		}
+	}
+	if wins < trials*8/10 {
+		t.Fatalf("attack succeeded in only %d/%d trials; Theorem 9.1 promises ≥ 9/10", wins, trials)
+	}
+	// O(t) updates: generously, within 200·t.
+	if avg := totalSteps / wins; avg > 200*rows {
+		t.Errorf("average steps to break = %d, want O(t) = O(%d)", avg, rows)
+	}
+}
+
+// TestAMSAttackAlsoBreaksBucketedAMS: an empirical extension beyond the
+// theorem — Algorithm 3 was proven against the fully independent dense
+// sketch (footnote 10 of the paper), but its greedy bias also collapses
+// the practical 4-wise bucketed variant. The break time scales with the
+// total counter count rather than the row count.
+func TestAMSAttackAlsoBreaksBucketedAMS(t *testing.T) {
+	const trials = 6
+	wins := 0
+	for trial := 0; trial < trials; trial++ {
+		sk := fp.NewF2(fp.F2Sizing{Rows: 1, Width: 64}, rand.New(rand.NewSource(int64(trial))))
+		adv := NewAMSAttack(64, 4, int64(trial)+9)
+		res := game.Run(sk, adv,
+			func(f *stream.Freq) float64 { return f.Fp(2) },
+			func(est, truth float64) bool { return est >= truth/2 },
+			game.Config{MaxSteps: 30000, StopOnBreak: true})
+		if res.Broken {
+			wins++
+		}
+	}
+	if wins < trials-1 {
+		t.Errorf("attack broke the bucketed AMS in only %d/%d trials; expected near-certain success", wins, trials)
+	}
+}
+
+// TestAMSAttackImpotentAgainstRobustF2: the same adversary run against the
+// sketch-switching robust F2 estimator cannot push it out of its (1±2ε)
+// envelope — the rounding starves the attack of its per-update feedback
+// signal.
+func TestAMSAttackImpotentAgainstRobustF2(t *testing.T) {
+	const eps = 0.3
+	alg := robust.NewFp(2, eps, 0.05, 1<<16, 42)
+	adv := NewAMSAttack(64, 4, 7)
+	// The robust estimator tracks the norm ‖f‖₂; the attack's success
+	// notion is about F2 = norm², so check the norm with RelCheck.
+	res := game.Run(alg, adv, (*stream.Freq).L2,
+		game.RelCheck(2*eps), game.Config{MaxSteps: 6000, Warmup: 10})
+	if res.Broken {
+		t.Fatalf("AMS attack broke the robust F2 estimator at step %d: est %v vs truth %v",
+			res.BrokenAt, res.BrokenEst, res.BrokenTru)
+	}
+}
+
+// TestSeedLeakBreaksPlainKMV: with the hash function leaked, the adversary
+// inflates a static KMV's estimate by orders of magnitude.
+func TestSeedLeakBreaksPlainKMV(t *testing.T) {
+	sk := f0.NewKMV(128, rand.New(rand.NewSource(1)))
+	adv := NewSeedLeak(sk.Hash(), 1000, 256)
+	res := game.Run(sk, adv, (*stream.Freq).F0,
+		game.RelCheck(1.0), // accept anything within a factor 2 — still breaks
+		game.Config{Record: true})
+	if !res.Broken {
+		t.Fatal("seed-leakage attack failed to break plain KMV")
+	}
+	// After all poison preimages have landed, the k-th minimum is ≈ k/2^61
+	// and the estimate has exploded by many orders of magnitude.
+	finalEst := res.Estimates[len(res.Estimates)-1]
+	finalTru := res.Truths[len(res.Truths)-1]
+	if finalEst < 1000*finalTru {
+		t.Errorf("final est %v vs truth %v; expected an explosion", finalEst, finalTru)
+	}
+}
+
+// TestSeedLeakImpotentAgainstCryptoF0: the identical adversary (still
+// holding the inner sketch's hash function!) cannot move the PRF-wrapped
+// estimator outside its envelope, because poisoning now requires AES
+// preimages.
+func TestSeedLeakImpotentAgainstCryptoF0(t *testing.T) {
+	inner := f0.NewKMV(128, rand.New(rand.NewSource(1)))
+	alg, err := robust.NewCryptoF0(prf.NewFromSeed(99), inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := NewSeedLeak(inner.Hash(), 1000, 256)
+	res := game.Run(alg, adv, (*stream.Freq).F0,
+		game.RelCheck(0.5), game.Config{Warmup: 20})
+	if res.Broken {
+		t.Fatalf("seed-leakage attack broke crypto F0 at step %d: est %v vs truth %v",
+			res.BrokenAt, res.BrokenEst, res.BrokenTru)
+	}
+}
+
+func TestChaserCannotBreakRobustF0(t *testing.T) {
+	const eps = 0.3
+	alg := robust.NewF0(eps, 0.05, 1<<20, 5)
+	adv := NewChaser(6000, 11)
+	res := game.Run(alg, adv, (*stream.Freq).F0,
+		game.RelCheck(2*eps), game.Config{Warmup: 100})
+	if res.Broken {
+		t.Fatalf("chaser broke robust F0 at step %d: est %v vs truth %v",
+			res.BrokenAt, res.BrokenEst, res.BrokenTru)
+	}
+}
+
+func TestRampExhaustsUndersizedSwitcherOnly(t *testing.T) {
+	// The ramp must not exhaust a properly sized robust F0...
+	alg := robust.NewF0(0.4, 0.05, 1<<20, 7)
+	res := game.Run(alg, NewRamp(30000), (*stream.Freq).F0,
+		game.RelCheck(0.8), game.Config{Warmup: 100})
+	if res.Broken {
+		t.Fatalf("ramp broke robust F0: est %v vs truth %v at %d",
+			res.BrokenEst, res.BrokenTru, res.BrokenAt)
+	}
+}
+
+func TestAMSAttackStreamIsInsertionOnly(t *testing.T) {
+	adv := NewAMSAttack(16, 4, 3)
+	last := 0.0
+	for i := 0; i < 200; i++ {
+		u, ok := adv.Next(last, i)
+		if !ok {
+			t.Fatal("attack ended prematurely")
+		}
+		if u.Delta <= 0 {
+			t.Fatalf("update %d has non-positive delta %d; Algorithm 3 is insertion-only", i, u.Delta)
+		}
+		last += float64(u.Delta) // fake response; structure check only
+	}
+}
+
+func TestSeedLeakRequiresPairwise(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SeedLeak must reject non-pairwise hash functions")
+		}
+	}()
+	sk := f0.NewKMV(16, rand.New(rand.NewSource(2)))
+	_ = sk
+	// Build a degree-3 poly via a 4-wise KMV stand-in: construct directly.
+	h := hashPoly4()
+	NewSeedLeak(h, 10, 10)
+}

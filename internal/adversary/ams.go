@@ -1,0 +1,70 @@
+// Package adversary implements concrete adaptive adversaries for the
+// two-player game of internal/game: the paper's attack on the AMS sketch
+// (Algorithm 3 / Theorem 9.1), a seed-leakage attack on KMV-style distinct
+// elements sketches (the threat Section 10's PRF construction neutralizes),
+// and generic stress adversaries used to exercise the robust wrappers.
+package adversary
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/stream"
+)
+
+// AMSAttack is Algorithm 3 of the paper: an adaptive insertion-only
+// adversary that drives the AMS estimate ‖Sf‖₂² below ‖f‖₂²/2 within O(t)
+// updates, where t is the number of sketch rows, observing nothing but the
+// published estimates.
+//
+// Round structure: it first inserts (1, C·√t). Then for each fresh item
+// i = 2, 3, …: insert i once, observe the estimate change Δ = new − old;
+// if Δ < 1 (the sketch column of i anti-correlates with the current sketch
+// state) insert i a second time, doubling down on the negative direction;
+// if Δ = 1, flip a fair coin; if Δ > 1, move on. In expectation each round
+// decreases the estimate by Ω(√(s/t)) while the true norm only grows,
+// collapsing the ratio (Theorem 9.1).
+type AMSAttack struct {
+	c       float64 // the constant C of Algorithm 3 (C > 200 in the proof)
+	t       int     // sketch rows
+	rng     *rand.Rand
+	started bool
+	nextID  uint64
+	pending bool    // a second insertion of curID is owed
+	curID   uint64  // item inserted in the previous round
+	prevEst float64 // estimate before the first insertion of curID
+}
+
+// NewAMSAttack returns the Algorithm 3 adversary against a t-row AMS
+// sketch. c is the constant C (the proof uses C > 200; smaller values
+// break the sketch even faster in practice at the cost of a less clean
+// analysis).
+func NewAMSAttack(t int, c float64, seed int64) *AMSAttack {
+	if t < 1 {
+		panic("adversary: AMS attack needs t >= 1")
+	}
+	return &AMSAttack{c: c, t: t, rng: rand.New(rand.NewSource(seed)), nextID: 2}
+}
+
+// Next implements game.Adversary.
+func (a *AMSAttack) Next(last float64, step int) (stream.Update, bool) {
+	if !a.started {
+		a.started = true
+		return stream.Update{Item: 1, Delta: int64(math.Ceil(a.c * math.Sqrt(float64(a.t))))}, true
+	}
+	if a.pending {
+		// last is the estimate after the first insertion of curID.
+		a.pending = false
+		delta := last - a.prevEst
+		const tol = 1e-9
+		again := delta < 1-tol || (math.Abs(delta-1) <= tol && a.rng.Intn(2) == 0)
+		if again {
+			return stream.Update{Item: a.curID, Delta: 1}, true
+		}
+	}
+	a.prevEst = last
+	a.curID = a.nextID
+	a.nextID++
+	a.pending = true
+	return stream.Update{Item: a.curID, Delta: 1}, true
+}

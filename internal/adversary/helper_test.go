@@ -1,0 +1,12 @@
+package adversary
+
+import (
+	"math/rand"
+
+	"repro/internal/hash"
+)
+
+// hashPoly4 returns a 4-wise polynomial for the rejection test.
+func hashPoly4() hash.Poly {
+	return hash.NewPoly(4, rand.New(rand.NewSource(1)))
+}

@@ -1,0 +1,65 @@
+package adversary
+
+import (
+	"repro/internal/hash"
+	"repro/internal/stream"
+)
+
+// SeedLeak is an adversary against KMV-style minimum-value distinct
+// elements sketches whose hash function has leaked (or, equivalently, was
+// chosen from a small published seed that a computationally unbounded
+// adversary can reconstruct from the sketch's behavior). It runs a warmup
+// of honest distinct insertions, then inserts items whose hash values it
+// computed to be the globally smallest: the sketch's k-th minimum
+// collapses toward 0 and the estimate (k−1)/u_(k) explodes, while the true
+// distinct count barely moves.
+//
+// Against the Section 10 construction (items routed through a secret-key
+// PRF before hashing) the same adversary is powerless: to place a small
+// value into the sketch it would need a PRF preimage of a low-hash
+// identity, which a polynomial-time adversary cannot find. The experiments
+// run this adversary against both to demonstrate exactly that gap.
+type SeedLeak struct {
+	warmup  int
+	poison  int
+	targets []uint64
+	step    int
+}
+
+// NewSeedLeak builds the adversary. h is the leaked hash function (degree
+// 1, i.e. the pairwise family h(x) = c₀ + c₁·x, is required — higher
+// degrees need root finding); warmup honest insertions precede poison
+// preimage insertions of the smallest hash values.
+func NewSeedLeak(h hash.Poly, warmup, poison int) *SeedLeak {
+	coeffs := h.Coeffs()
+	if len(coeffs) != 2 {
+		panic("adversary: SeedLeak inverts only degree-1 (pairwise) hash functions")
+	}
+	c0, c1 := coeffs[0], coeffs[1]
+	if c1 == 0 {
+		panic("adversary: degenerate hash (c1 = 0)")
+	}
+	inv := hash.Inv(c1)
+	s := &SeedLeak{warmup: warmup, poison: poison}
+	// Preimages of the hash values 1, 2, …, poison — the smallest
+	// possible, guaranteeing entry into any k-minimum sketch.
+	for y := uint64(1); y <= uint64(poison); y++ {
+		x := hash.Mul(hash.Sub(y, c0), inv)
+		s.targets = append(s.targets, x)
+	}
+	return s
+}
+
+// Next implements game.Adversary. Warmup items are drawn from a disjoint
+// id range (top bit set) so they never collide with preimage targets.
+func (s *SeedLeak) Next(_ float64, _ int) (stream.Update, bool) {
+	defer func() { s.step++ }()
+	if s.step < s.warmup {
+		return stream.Update{Item: 1<<63 | uint64(s.step), Delta: 1}, true
+	}
+	i := s.step - s.warmup
+	if i >= len(s.targets) {
+		return stream.Update{}, false
+	}
+	return stream.Update{Item: s.targets[i], Delta: 1}, true
+}

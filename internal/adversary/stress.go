@@ -1,0 +1,86 @@
+package adversary
+
+import (
+	"math/rand"
+
+	"repro/internal/stream"
+)
+
+// Chaser is a generic black-box adaptive stress adversary for monotone
+// statistics: it tracks the exact truth of the statistic it attacks and,
+// at every round, plays whichever of its two moves (fresh item vs.
+// duplicate of an old item) historically widened the gap between the
+// published estimate and the truth. Robust wrappers must hold against it;
+// it is also a useful regression net for the rounding logic, because it
+// hammers exactly the boundary where outputs flip.
+type Chaser struct {
+	m       int
+	step    int
+	truthF0 int
+	rng     *rand.Rand
+	// score of the two moves; positive favors fresh insertions.
+	freshScore float64
+	lastEst    float64
+	lastFresh  bool
+}
+
+// NewChaser returns a Chaser that plays m rounds.
+func NewChaser(m int, seed int64) *Chaser {
+	return &Chaser{m: m, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next implements game.Adversary.
+func (c *Chaser) Next(last float64, step int) (stream.Update, bool) {
+	if c.step >= c.m {
+		return stream.Update{}, false
+	}
+	c.step++
+	// Reward the previous move by how much it moved the estimate away
+	// from the truth (for a monotone F0-style statistic the truth is
+	// c.truthF0).
+	gap := last - float64(c.truthF0)
+	if c.lastFresh {
+		c.freshScore = 0.9*c.freshScore + gap
+	} else {
+		c.freshScore = 0.9*c.freshScore - gap
+	}
+	c.lastEst = last
+
+	fresh := c.freshScore >= 0
+	if c.rng.Intn(10) == 0 { // ε-greedy exploration
+		fresh = !fresh
+	}
+	if c.truthF0 == 0 {
+		fresh = true // no old item to duplicate yet
+	}
+	c.lastFresh = fresh
+	if fresh {
+		c.truthF0++
+		return stream.Update{Item: uint64(c.truthF0 - 1), Delta: 1}, true
+	}
+	return stream.Update{Item: uint64(c.rng.Intn(c.truthF0)), Delta: 1}, true
+}
+
+// Ramp is a flip-number-maximizing oblivious adversary: it doubles the
+// stream's F1 mass in every phase by inserting geometrically growing
+// batches of fresh items, forcing a monotone statistic through every
+// (1+ε) milestone as fast as possible. It exists to verify that switchers
+// sized by the flip bound survive the worst monotone trajectory.
+type Ramp struct {
+	m    int
+	step int
+	next uint64
+}
+
+// NewRamp returns a Ramp of m updates.
+func NewRamp(m int) *Ramp { return &Ramp{m: m} }
+
+// Next implements game.Adversary.
+func (r *Ramp) Next(_ float64, _ int) (stream.Update, bool) {
+	if r.step >= r.m {
+		return stream.Update{}, false
+	}
+	r.step++
+	r.next++
+	return stream.Update{Item: r.next, Delta: 1}, true
+}

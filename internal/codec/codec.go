@@ -1,0 +1,182 @@
+// Package codec provides the little-endian binary encoding primitives
+// used by the sketches' MarshalBinary/UnmarshalBinary implementations
+// (shipping sketch state between shards is the natural companion of the
+// Merge support). Both Writer and Reader are sticky-error: after the first
+// failure every operation is a no-op and Err reports the cause.
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Writer accumulates an encoded buffer.
+type Writer struct {
+	buf bytes.Buffer
+}
+
+// U8 appends a byte.
+func (w *Writer) U8(v uint8) { w.buf.WriteByte(v) }
+
+// U64 appends a fixed 64-bit word.
+func (w *Writer) U64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.buf.Write(b[:])
+}
+
+// I64 appends a signed 64-bit word.
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// F64 appends a float64 bit pattern.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// U64s appends a length-prefixed slice.
+func (w *Writer) U64s(vs []uint64) {
+	w.U64(uint64(len(vs)))
+	for _, v := range vs {
+		w.U64(v)
+	}
+}
+
+// I64s appends a length-prefixed slice.
+func (w *Writer) I64s(vs []int64) {
+	w.U64(uint64(len(vs)))
+	for _, v := range vs {
+		w.I64(v)
+	}
+}
+
+// F64s appends a length-prefixed slice.
+func (w *Writer) F64s(vs []float64) {
+	w.U64(uint64(len(vs)))
+	for _, v := range vs {
+		w.F64(v)
+	}
+}
+
+// U8s appends a length-prefixed byte slice.
+func (w *Writer) U8s(vs []uint8) {
+	w.U64(uint64(len(vs)))
+	w.buf.Write(vs)
+}
+
+// Bytes returns the encoded buffer.
+func (w *Writer) Bytes() []byte { return w.buf.Bytes() }
+
+// Reader decodes a buffer produced by Writer.
+type Reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewReader wraps an encoded buffer.
+func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+// Err returns the first decoding error, if any.
+func (r *Reader) Err() error { return r.err }
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.b) {
+		r.err = fmt.Errorf("codec: truncated input at offset %d (need %d of %d bytes)", r.off, n, len(r.b))
+		return nil
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+// U8 reads a byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U64 reads a 64-bit word.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 reads a signed 64-bit word.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// F64 reads a float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// sliceLen validates a length prefix against the remaining input, which
+// must hold at least elemSize bytes per element.
+func (r *Reader) sliceLen(elemSize int) int {
+	n := r.U64()
+	if r.err != nil {
+		return 0
+	}
+	if elemSize > 0 && n > uint64(len(r.b)-r.off)/uint64(elemSize) {
+		r.err = fmt.Errorf("codec: declared length %d exceeds remaining input", n)
+		return 0
+	}
+	return int(n)
+}
+
+// U64s reads a length-prefixed slice.
+func (r *Reader) U64s() []uint64 {
+	n := r.sliceLen(8)
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = r.U64()
+	}
+	return out
+}
+
+// I64s reads a length-prefixed slice.
+func (r *Reader) I64s() []int64 {
+	n := r.sliceLen(8)
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = r.I64()
+	}
+	return out
+}
+
+// F64s reads a length-prefixed slice.
+func (r *Reader) F64s() []float64 {
+	n := r.sliceLen(8)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.F64()
+	}
+	return out
+}
+
+// U8s reads a length-prefixed byte slice.
+func (r *Reader) U8s() []uint8 {
+	n := r.sliceLen(1)
+	b := r.take(n)
+	if b == nil {
+		return nil
+	}
+	return append([]uint8(nil), b...)
+}
+
+// Done reports an error if unread bytes remain.
+func (r *Reader) Done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("codec: %d trailing bytes", len(r.b)-r.off)
+	}
+	return nil
+}

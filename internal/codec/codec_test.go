@@ -1,0 +1,111 @@
+package codec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripScalars(t *testing.T) {
+	var w Writer
+	w.U8(7)
+	w.U64(1 << 60)
+	w.I64(-42)
+	w.F64(3.25)
+	r := NewReader(w.Bytes())
+	if got := r.U8(); got != 7 {
+		t.Errorf("U8 = %d", got)
+	}
+	if got := r.U64(); got != 1<<60 {
+		t.Errorf("U64 = %d", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := r.F64(); got != 3.25 {
+		t.Errorf("F64 = %v", got)
+	}
+	if err := r.Done(); err != nil {
+		t.Errorf("Done: %v", err)
+	}
+}
+
+func TestRoundTripSlicesProperty(t *testing.T) {
+	prop := func(us []uint64, is []int64, fs []float64, bs []uint8) bool {
+		var w Writer
+		w.U64s(us)
+		w.I64s(is)
+		w.F64s(fs)
+		w.U8s(bs)
+		r := NewReader(w.Bytes())
+		gu, gi, gf, gb := r.U64s(), r.I64s(), r.F64s(), r.U8s()
+		if r.Done() != nil {
+			return false
+		}
+		if len(gu) != len(us) || len(gi) != len(is) || len(gf) != len(fs) || len(gb) != len(bs) {
+			return false
+		}
+		for i := range us {
+			if gu[i] != us[i] {
+				return false
+			}
+		}
+		for i := range is {
+			if gi[i] != is[i] {
+				return false
+			}
+		}
+		for i := range fs {
+			if gf[i] != fs[i] && !(fs[i] != fs[i] && gf[i] != gf[i]) { // NaN-safe
+				return false
+			}
+		}
+		for i := range bs {
+			if gb[i] != bs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	var w Writer
+	w.U64s([]uint64{1, 2, 3})
+	full := w.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(full[:cut])
+		r.U64s()
+		if r.Err() == nil && cut < len(full) {
+			t.Fatalf("truncation at %d bytes not detected", cut)
+		}
+	}
+}
+
+func TestHostileLengthPrefixRejected(t *testing.T) {
+	// A declared length far beyond the buffer must not cause a huge
+	// allocation; the reader validates against remaining input.
+	var w Writer
+	w.U64(1 << 62) // absurd length prefix
+	r := NewReader(w.Bytes())
+	out := r.U64s()
+	if r.Err() == nil {
+		t.Error("absurd length prefix accepted")
+	}
+	if len(out) != 0 {
+		t.Errorf("allocated %d elements from hostile input", len(out))
+	}
+}
+
+func TestTrailingBytesDetected(t *testing.T) {
+	var w Writer
+	w.U8(1)
+	w.U8(2)
+	r := NewReader(w.Bytes())
+	r.U8()
+	if err := r.Done(); err == nil {
+		t.Error("trailing byte not detected")
+	}
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func TestFlipNumberBasics(t *testing.T) {
+	if got := FlipNumber(nil, 0.1); got != 0 {
+		t.Errorf("empty sequence flip number = %d, want 0", got)
+	}
+	if got := FlipNumber([]float64{5, 5, 5, 5}, 0.1); got != 1 {
+		t.Errorf("constant sequence flip number = %d, want 1", got)
+	}
+	// Doubling with ε = 0.4: each step leaves [(1−ε)y, (1+ε)y], so every
+	// element extends the chain.
+	seq := []float64{1, 2, 4, 8, 16}
+	if got := FlipNumber(seq, 0.4); got != 5 {
+		t.Errorf("doubling sequence flip number at ε=0.4 = %d, want 5", got)
+	}
+	// At ε = 0.5 the interval [(1−ε)y, (1+ε)y] = [y/2, 3y/2] just catches
+	// the previous element of a doubling chain, halving the count.
+	if got := FlipNumber(seq, 0.5); got != 3 {
+		t.Errorf("doubling sequence flip number at ε=0.5 = %d, want 3", got)
+	}
+	// Small wiggles within (1±ε) never flip.
+	if got := FlipNumber([]float64{100, 104, 97, 101}, 0.1); got != 1 {
+		t.Errorf("wiggle sequence flip number = %d, want 1", got)
+	}
+}
+
+func TestFlipNumberMonotoneInEps(t *testing.T) {
+	seq := stream.Trajectory(stream.Collect(stream.NewUniform(512, 5000, 3), 0), (*stream.Freq).F0)
+	prev := math.MaxInt32
+	for _, eps := range []float64{0.05, 0.1, 0.2, 0.4, 0.8} {
+		k := FlipNumber(seq, eps)
+		if k > prev {
+			t.Errorf("flip number increased with eps: %d > %d at ε=%v", k, prev, eps)
+		}
+		prev = k
+	}
+}
+
+func TestEmpiricalF0FlipWithinBound(t *testing.T) {
+	// The steepest F0 trajectory (all-distinct stream) must respect
+	// Corollary 3.5's bound.
+	const m = 20000
+	seq := stream.Trajectory(stream.Collect(stream.NewDistinct(m), 0), (*stream.Freq).F0)
+	for _, eps := range []float64{0.1, 0.3} {
+		emp := FlipNumber(seq, eps)
+		bound := FlipBoundFp(0, eps, m, 1)
+		if emp > bound {
+			t.Errorf("ε=%v: empirical F0 flip number %d exceeds bound %d", eps, emp, bound)
+		}
+		// The all-distinct stream should come close to the bound (same
+		// order): the bound must not be vacuously loose by 10x.
+		if bound > 10*emp {
+			t.Errorf("ε=%v: bound %d is more than 10x empirical %d", eps, bound, emp)
+		}
+	}
+}
+
+func TestEmpiricalF2FlipWithinBound(t *testing.T) {
+	s := stream.Collect(stream.NewZipf(1<<12, 20000, 1.2, 5), 0)
+	seq := stream.Trajectory(s, func(f *stream.Freq) float64 { return f.Fp(2) })
+	eps := 0.25
+	emp := FlipNumber(seq, eps)
+	f := stream.NewFreq()
+	f.ApplyAll(s)
+	bound := FlipBoundFp(2, eps, 1<<12, float64(f.MaxAbs()))
+	if emp > bound {
+		t.Errorf("empirical F2 flip number %d exceeds bound %d", emp, bound)
+	}
+}
+
+func TestEmpiricalEntropyExpFlipWithinBound(t *testing.T) {
+	s := stream.Collect(stream.NewZipf(1<<10, 10000, 1.3, 7), 0)
+	seq := stream.Trajectory(s, func(f *stream.Freq) float64 {
+		return math.Pow(2, f.Entropy())
+	})
+	eps := 0.3
+	emp := FlipNumber(seq, eps)
+	f := stream.NewFreq()
+	f.ApplyAll(s)
+	bound := FlipBoundEntropyExp(eps, 1<<10, float64(f.MaxAbs()))
+	if emp > bound {
+		t.Errorf("empirical 2^H flip number %d exceeds bound %d", emp, bound)
+	}
+}
+
+func TestEmpiricalBoundedDeletionFlipWithinBound(t *testing.T) {
+	const p, alpha = 1.0, 4.0
+	g := stream.NewBoundedDeletion(256, 8000, p, alpha, 0.4, 11)
+	s := stream.Collect(g, 0)
+	seq := stream.Trajectory(s, func(f *stream.Freq) float64 { return f.Lp(p) })
+	eps := 0.3
+	emp := FlipNumber(seq, eps)
+	f := stream.NewFreq()
+	f.ApplyAll(s)
+	bound := FlipBoundBoundedDeletion(p, alpha, eps, 256+8000, float64(f.MaxAbs()))
+	if emp > bound {
+		t.Errorf("empirical bounded-deletion flip number %d exceeds bound %d", emp, bound)
+	}
+}
+
+func TestTurnstileFlipExceedsInsertionOnlyBound(t *testing.T) {
+	// The insert-then-delete turnstile stream has flip number ≈ 2× the
+	// insertion-only bound — the reason the paper's insertion-only bounds
+	// do not transfer to general turnstile streams.
+	const n = 4096
+	s := stream.Collect(stream.NewInsertDelete(n), 0)
+	seq := stream.Trajectory(s, (*stream.Freq).F0)
+	eps := 0.2
+	emp := FlipNumber(seq, eps)
+	insOnly := FlipBoundFp(0, eps, n, 1)
+	if emp <= insOnly {
+		t.Skipf("turnstile flips %d did not exceed insertion bound %d on this instance", emp, insOnly)
+	}
+	if emp > 2*insOnly+4 {
+		t.Errorf("turnstile flip number %d exceeds twice the insertion-only bound %d", emp, insOnly)
+	}
+}
+
+func TestFlipBoundMonotoneFormula(t *testing.T) {
+	// With T = (1+ε)^k exactly, the bound must be ≥ k (upward powers).
+	eps := 0.5
+	k := 20
+	bound := FlipBoundMonotone(eps, math.Pow(1+eps, float64(k)))
+	if bound < k {
+		t.Errorf("bound %d below the %d powers it must cover", bound, k)
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import "math"
+
+// RoundEps returns [x]_ε, the signed power of (1+ε) multiplicatively
+// closest to x (Definition 3.1's rounding primitive): for x > 0 it is the
+// value (1+ε)^ℓ, ℓ ∈ Z, minimizing max{y/x, x/y}; [0]_ε = 0 and
+// [−x]_ε = −[x]_ε. The result is always a (1 + ε/2)-approximation of x.
+func RoundEps(x, eps float64) float64 {
+	if eps <= 0 {
+		panic("core: RoundEps needs eps > 0")
+	}
+	switch {
+	case x == 0:
+		return 0
+	case x < 0:
+		return -RoundEps(-x, eps)
+	}
+	l := math.Log(x) / math.Log1p(eps)
+	lo := math.Pow(1+eps, math.Floor(l))
+	hi := math.Pow(1+eps, math.Ceil(l))
+	// Pick the neighbor with the smaller multiplicative distance.
+	if x*x <= lo*hi {
+		return lo
+	}
+	return hi
+}
+
+// NumRoundedValues counts the possible values of [x]_ε for
+// x ∈ [−T, −1/T] ∪ {0} ∪ [1/T, T]: the count that enters the
+// computation-paths union bound (Lemma 3.8). It is O(ε⁻¹·log T).
+func NumRoundedValues(eps, t float64) int {
+	if t <= 1 {
+		return 3
+	}
+	perSign := int(2*math.Log(t)/math.Log1p(eps)) + 2
+	return 2*perSign + 1
+}
+
+// Rounder produces the ε-rounding of a sequence (Definition 3.1): the
+// first value is rounded outright; afterwards the held output is kept as
+// long as it remains a (1±ε) approximation of the incoming value, and
+// re-rounded otherwise. Lemma 3.3 guarantees that if the incoming values
+// (ε/10)-track a function g, the output changes at most λ_{ε/10,m}(g)
+// times. The zero value is not usable; construct with NewRounder.
+type Rounder struct {
+	eps     float64
+	cur     float64
+	started bool
+	changes int
+}
+
+// NewRounder returns a Rounder with granularity eps.
+func NewRounder(eps float64) *Rounder {
+	if eps <= 0 {
+		panic("core: NewRounder needs eps > 0")
+	}
+	return &Rounder{eps: eps}
+}
+
+// Next feeds the next raw value and returns the held rounded output.
+func (r *Rounder) Next(y float64) float64 {
+	if !r.started {
+		r.started = true
+		r.cur = RoundEps(y, r.eps)
+		r.changes++
+		return r.cur
+	}
+	if withinRel(r.cur, y, r.eps) {
+		return r.cur
+	}
+	r.cur = RoundEps(y, r.eps)
+	r.changes++
+	return r.cur
+}
+
+// Current returns the held output without feeding a value.
+func (r *Rounder) Current() float64 { return r.cur }
+
+// Changes returns how many times the output has changed (including the
+// initial rounding).
+func (r *Rounder) Changes() int { return r.changes }
+
+// withinRel reports whether out lies in the interval [(1−eps)·y, (1+eps)·y]
+// (the interval orientation flips for negative y; for y == 0 only out == 0
+// qualifies).
+func withinRel(out, y, eps float64) bool {
+	lo, hi := (1-eps)*y, (1+eps)*y
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return lo <= out && out <= hi
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/sketch"
+)
+
+// Switcher implements sketch switching (Algorithm 1 of the paper): it
+// maintains several independent instances of a static strong-tracking
+// estimator, publishes an ε/2-rounded output, and — whenever the held
+// output stops being a (1 ± ε/2) approximation of the active instance's
+// estimate — re-rounds and deactivates the instance. Because each
+// instance's randomness influences at most one published value change, the
+// adversary's adaptivity collapses to a fixed stream per instance
+// (Lemma 3.6), making the wrapper adversarially robust.
+//
+// Two modes:
+//
+//   - dense (ring = false): copies must be ≥ the flip number
+//     λ_{Θ(ε),m}(g); instance ρ is abandoned after its value is used.
+//     This is Algorithm 1 verbatim.
+//   - ring (ring = true): copies = Θ(ε⁻¹·log ε⁻¹) instances recycled
+//     modularly, each restarted on the stream suffix after use. By the
+//     Theorem 4.1 argument the discarded prefix holds ≤ an ε/100 fraction
+//     of a monotone statistic's mass by the time the instance is reused,
+//     so the suffix estimate still (1±ε)-tracks. Use only for monotone
+//     statistics (all Fp on insertion-only streams, 2^H, …).
+type Switcher struct {
+	eps       float64
+	factory   sketch.Factory
+	instances []sketch.Estimator
+	active    int
+	out       float64
+	ring      bool
+	switches  int
+	exhausted bool
+	nextSeed  int64
+}
+
+// RingCopies returns the instance count Θ(ε⁻¹·log ε⁻¹) sufficient for ring
+// mode: an instance is reused only after the output has climbed through
+// all copies' rounded values, i.e. the statistic has grown by
+// (1+ε/2)^copies ≥ 100/ε, so the prefix it missed is ≤ ε/100 of the mass.
+func RingCopies(eps float64) int {
+	if eps <= 0 || eps >= 1 {
+		panic("core: RingCopies needs 0 < eps < 1")
+	}
+	return int(math.Ceil(math.Log(100/eps)/math.Log1p(eps/2))) + 1
+}
+
+// NewSwitcher returns a sketch-switching wrapper publishing (1±ε)-accurate
+// estimates. copies is the number of instances (the flip number in dense
+// mode, RingCopies(eps) in ring mode); factory must build independent
+// (Θ(ε), δ/copies)-strong-tracking instances.
+func NewSwitcher(eps float64, copies int, ring bool, seed int64, factory sketch.Factory) *Switcher {
+	if copies < 1 {
+		panic("core: NewSwitcher needs copies >= 1")
+	}
+	s := &Switcher{eps: eps, factory: factory, ring: ring, nextSeed: seed}
+	for i := 0; i < copies; i++ {
+		s.instances = append(s.instances, factory(s.nextSeed))
+		s.nextSeed += 7919
+	}
+	return s
+}
+
+// Update implements sketch.Estimator: every instance ingests the update
+// (instances restarted in ring mode have only seen their suffix), then the
+// published output is refreshed from the active instance if it drifted.
+func (s *Switcher) Update(item uint64, delta int64) {
+	for _, inst := range s.instances {
+		inst.Update(item, delta)
+	}
+	y := s.instances[s.active].Estimate()
+	if withinRel(s.out, y, s.eps/2) {
+		return
+	}
+	s.out = RoundEps(y, s.eps/2)
+	s.switches++
+	s.advance()
+}
+
+func (s *Switcher) advance() {
+	if s.ring {
+		// Restart the just-used instance with fresh randomness; it will
+		// track the suffix of the stream until its turn comes again.
+		s.instances[s.active] = s.factory(s.nextSeed)
+		s.nextSeed += 7919
+		s.active = (s.active + 1) % len(s.instances)
+		return
+	}
+	if s.active+1 < len(s.instances) {
+		s.active++
+		return
+	}
+	// Flip budget exceeded: the λ sizing was too small for this stream.
+	// Keep answering from the last instance (correctness is no longer
+	// guaranteed) and surface the condition via Exhausted.
+	s.exhausted = true
+}
+
+// Estimate returns the current published (rounded) output.
+func (s *Switcher) Estimate() float64 { return s.out }
+
+// Switches returns how many times the published output changed.
+func (s *Switcher) Switches() int { return s.switches }
+
+// Exhausted reports whether a dense-mode Switcher ran out of instances
+// (never true in ring mode).
+func (s *Switcher) Exhausted() bool { return s.exhausted }
+
+// Copies returns the number of maintained instances.
+func (s *Switcher) Copies() int { return len(s.instances) }
+
+// SpaceBytes sums the instances' space.
+func (s *Switcher) SpaceBytes() int {
+	total := 16 // published output + bookkeeping
+	for _, inst := range s.instances {
+		total += inst.SpaceBytes()
+	}
+	return total
+}

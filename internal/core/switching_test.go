@@ -1,0 +1,153 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/f0"
+	"repro/internal/sketch"
+	"repro/internal/stream"
+)
+
+// exactF0Factory builds deterministic exact-F0 instances; with an exact
+// inner algorithm the switching wrapper's own logic can be tested without
+// statistical noise.
+func exactF0Factory(seed int64) sketch.Estimator { return f0.NewExact() }
+
+func TestSwitcherTracksWithExactInner(t *testing.T) {
+	const eps = 0.3
+	const m = 5000
+	sw := NewSwitcher(eps, FlipBoundFp(0, eps/20, m, 1), false, 1, exactF0Factory)
+	f := stream.NewFreq()
+	g := stream.NewUniform(2048, m, 5)
+	for {
+		u, ok := g.Next()
+		if !ok {
+			break
+		}
+		sw.Update(u.Item, u.Delta)
+		f.Apply(u)
+		truth := f.F0()
+		if est := sw.Estimate(); math.Abs(est-truth) > eps*truth {
+			t.Fatalf("switcher output %v not within (1±%v) of %v at m=%d", est, eps, truth, f.Updates())
+		}
+	}
+	if sw.Exhausted() {
+		t.Error("switcher exhausted its instances despite flip-bound sizing")
+	}
+}
+
+func TestSwitcherSwitchCountWithinFlipBudget(t *testing.T) {
+	const eps = 0.4
+	const m = 10000
+	lambda := FlipBoundFp(0, eps/20, m, 1)
+	sw := NewSwitcher(eps, lambda, false, 1, exactF0Factory)
+	g := stream.NewDistinct(m) // steepest possible F0 growth
+	for {
+		u, ok := g.Next()
+		if !ok {
+			break
+		}
+		sw.Update(u.Item, u.Delta)
+	}
+	if sw.Switches() > lambda {
+		t.Errorf("switches %d exceeded flip budget %d", sw.Switches(), lambda)
+	}
+	if sw.Exhausted() {
+		t.Error("exhausted on a stream the budget must cover")
+	}
+}
+
+func TestSwitcherExhaustionSurfaced(t *testing.T) {
+	sw := NewSwitcher(0.1, 2, false, 1, exactF0Factory)
+	g := stream.NewDistinct(1000)
+	for {
+		u, ok := g.Next()
+		if !ok {
+			break
+		}
+		sw.Update(u.Item, u.Delta)
+	}
+	if !sw.Exhausted() {
+		t.Error("2-copy switcher should exhaust on 1000 distinct items")
+	}
+}
+
+func TestSwitcherRingNeverExhausts(t *testing.T) {
+	const eps = 0.3
+	sw := NewSwitcher(eps, RingCopies(eps), true, 1, exactF0Factory)
+	f := stream.NewFreq()
+	g := stream.NewDistinct(30000)
+	for {
+		u, ok := g.Next()
+		if !ok {
+			break
+		}
+		sw.Update(u.Item, u.Delta)
+		f.Apply(u)
+	}
+	if sw.Exhausted() {
+		t.Error("ring switcher reported exhaustion")
+	}
+	// On the all-distinct stream the suffix F0 equals the full-stream F0
+	// between restarts only approximately; final output must still track.
+	truth := f.F0()
+	if est := sw.Estimate(); math.Abs(est-truth) > 2*eps*truth {
+		t.Errorf("ring switcher output %v vs truth %v", est, truth)
+	}
+}
+
+func TestSwitcherRingWithKMVTracksLongStream(t *testing.T) {
+	// End-to-end: randomized strong-tracking inner sketches, ring
+	// recycling, duplicates in the stream (so suffixes genuinely differ
+	// from the full stream), and a (2ε) tracking check.
+	// Inner accuracy ε/8 (the paper's proof uses ε/20; any ε₀ ≤ ε/10-ish
+	// satisfies Lemma 3.3 up to constants, and the coarser setting keeps
+	// the test's memory footprint sane).
+	const eps = 0.35
+	copies := RingCopies(eps)
+	factory := func(seed int64) sketch.Estimator {
+		return f0.NewTracking(eps/8, 0.01/float64(copies), 1<<20, seed)
+	}
+	sw := NewSwitcher(eps, copies, true, 99, factory)
+	f := stream.NewFreq()
+	g := stream.NewUniform(1<<14, 15000, 17)
+	for {
+		u, ok := g.Next()
+		if !ok {
+			break
+		}
+		sw.Update(u.Item, u.Delta)
+		f.Apply(u)
+		truth := f.F0()
+		if truth < 50 {
+			continue // rounding granularity dominates tiny counts
+		}
+		if est := sw.Estimate(); math.Abs(est-truth) > 2*eps*truth {
+			t.Fatalf("ring+KMV output %v not within 2ε of %v at m=%d", est, truth, f.Updates())
+		}
+	}
+}
+
+func TestRingCopiesScaling(t *testing.T) {
+	if RingCopies(0.1) <= RingCopies(0.5) {
+		t.Error("smaller eps must need more ring copies")
+	}
+}
+
+func TestSwitcherSpaceScalesWithCopies(t *testing.T) {
+	small := NewSwitcher(0.3, 2, false, 1, func(seed int64) sketch.Estimator {
+		return f0.NewKMV(16, rand.New(rand.NewSource(seed)))
+	})
+	big := NewSwitcher(0.3, 8, false, 1, func(seed int64) sketch.Estimator {
+		return f0.NewKMV(16, rand.New(rand.NewSource(seed)))
+	})
+	for i := uint64(0); i < 100; i++ {
+		small.Update(i, 1)
+		big.Update(i, 1)
+	}
+	if big.SpaceBytes() < 3*small.SpaceBytes() {
+		t.Errorf("8-copy space %d not ≈ 4x the 2-copy space %d", big.SpaceBytes(), small.SpaceBytes())
+	}
+}

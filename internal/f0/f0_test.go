@@ -1,0 +1,284 @@
+package f0
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sketch"
+	"repro/internal/stream"
+)
+
+func relErr(est, truth float64) float64 {
+	if truth == 0 {
+		return math.Abs(est)
+	}
+	return math.Abs(est-truth) / truth
+}
+
+func TestExactCountsDistinct(t *testing.T) {
+	e := NewExact()
+	for _, it := range []uint64{1, 2, 1, 3, 2, 1} {
+		e.Update(it, 1)
+	}
+	if e.Estimate() != 3 {
+		t.Errorf("Estimate = %v, want 3", e.Estimate())
+	}
+	if !e.DuplicateInsensitive() {
+		t.Error("Exact must be duplicate-insensitive")
+	}
+}
+
+func TestKMVExactBelowK(t *testing.T) {
+	s := NewKMV(64, rand.New(rand.NewSource(1)))
+	for i := uint64(0); i < 50; i++ {
+		s.Update(i, 1)
+		s.Update(i, 1) // duplicates must not count
+	}
+	if got := s.Estimate(); got != 50 {
+		t.Errorf("Estimate = %v, want exactly 50 (below k)", got)
+	}
+}
+
+func TestKMVAccuracy(t *testing.T) {
+	const truth = 20000
+	var failures int
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		s := NewKMV(400, rand.New(rand.NewSource(int64(trial))))
+		for i := uint64(0); i < truth; i++ {
+			s.Update(i*2654435761+7, 1)
+		}
+		if relErr(s.Estimate(), truth) > 0.2 {
+			failures++
+		}
+	}
+	if failures > trials/4 {
+		t.Errorf("%d/%d trials exceeded 20%% error with k=400", failures, trials)
+	}
+}
+
+func TestKMVDuplicateInsensitiveProperty(t *testing.T) {
+	// Feeding a stream and feeding its deduplicated version must produce
+	// identical estimates, for any multiplicity pattern.
+	prop := func(items []uint8, repeats []uint8) bool {
+		a := NewKMV(16, rand.New(rand.NewSource(5)))
+		b := NewKMV(16, rand.New(rand.NewSource(5)))
+		seen := map[uint64]bool{}
+		n := len(items)
+		for i := 0; i < n; i++ {
+			it := uint64(items[i])
+			r := 1
+			if i < len(repeats) {
+				r += int(repeats[i]) % 4
+			}
+			for j := 0; j < r; j++ {
+				a.Update(it, 1)
+			}
+			if !seen[it] {
+				seen[it] = true
+				b.Update(it, 1)
+			}
+		}
+		return a.Estimate() == b.Estimate()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMedianReducesVariance(t *testing.T) {
+	const truth = 10000
+	med := NewMedian(9, 42, func(seed int64) sketch.Estimator {
+		return NewKMV(200, rand.New(rand.NewSource(seed)))
+	})
+	for i := uint64(0); i < truth; i++ {
+		med.Update(i*11400714819323198485+3, 1)
+	}
+	if e := relErr(med.Estimate(), truth); e > 0.15 {
+		t.Errorf("median-of-9 relative error = %v, want ≤ 0.15", e)
+	}
+	if !med.DuplicateInsensitive() {
+		t.Error("Median of KMVs must be duplicate-insensitive")
+	}
+}
+
+func TestMedianOfHelper(t *testing.T) {
+	if got := medianOf([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("medianOf odd = %v, want 2", got)
+	}
+	if got := medianOf([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Errorf("medianOf even = %v, want 2.5", got)
+	}
+	if got := medianOf([]float64{7}); got != 7 {
+		t.Errorf("medianOf single = %v, want 7", got)
+	}
+}
+
+func TestTrackingStrongGuarantee(t *testing.T) {
+	// (ε, δ)-strong tracking: the estimate stays within (1±ε) of the true
+	// F0 at *every* step of the stream.
+	const eps = 0.25
+	tr := NewTracking(eps, 0.05, 1<<20, 7)
+	f := stream.NewFreq()
+	g := stream.NewUniform(1<<18, 30000, 3)
+	for {
+		u, ok := g.Next()
+		if !ok {
+			break
+		}
+		tr.Update(u.Item, u.Delta)
+		f.Apply(u)
+		if e := relErr(tr.Estimate(), f.F0()); e > eps {
+			t.Fatalf("tracking violated at m=%d: est=%v true=%v err=%v",
+				f.Updates(), tr.Estimate(), f.F0(), e)
+		}
+	}
+}
+
+func TestTrackingSizingMonotone(t *testing.T) {
+	loose := TrackingSizing(0.5, 0.1, 1<<20)
+	tight := TrackingSizing(0.1, 0.01, 1<<20)
+	if tight.K <= loose.K {
+		t.Errorf("K should grow as ε shrinks: %d vs %d", tight.K, loose.K)
+	}
+	if tight.Reps < loose.Reps {
+		t.Errorf("Reps should not shrink as δ shrinks: %d vs %d", tight.Reps, loose.Reps)
+	}
+}
+
+func TestAlg2ExactMode(t *testing.T) {
+	a := NewAlg2(Alg2Params{B: 100, D: 8}, false, 1)
+	for i := uint64(0); i < 300; i++ { // below exactCap = 500
+		a.Update(i, 1)
+		a.Update(i, 1)
+	}
+	if got := a.Estimate(); got != 300 {
+		t.Errorf("exact-mode estimate = %v, want 300", got)
+	}
+}
+
+func TestAlg2Accuracy(t *testing.T) {
+	const truth = 200000
+	failures := 0
+	const trials = 10
+	for trial := 0; trial < trials; trial++ {
+		a := NewAlg2(Alg2Sizing(0.25, 3, 1<<20), false, int64(trial)+100)
+		for i := uint64(0); i < truth; i++ {
+			a.Update(i*2654435761+uint64(trial), 1)
+		}
+		if relErr(a.Estimate(), truth) > 0.3 {
+			failures++
+		}
+	}
+	if failures > 2 {
+		t.Errorf("%d/%d Alg2 trials exceeded 30%% error", failures, trials)
+	}
+}
+
+func TestAlg2TrackingAcrossScales(t *testing.T) {
+	// The estimate must stay reasonable as F0 sweeps from the exact regime
+	// through several level hand-offs.
+	a := NewAlg2(Alg2Sizing(0.25, 4, 1<<20), false, 9)
+	f := stream.NewFreq()
+	for i := uint64(0); i < 500000; i++ {
+		item := i * 11400714819323198485
+		a.Update(item, 1)
+		f.Apply(stream.Update{Item: item, Delta: 1})
+		if i%50000 == 49999 {
+			if e := relErr(a.Estimate(), f.F0()); e > 0.35 {
+				t.Fatalf("at F0=%v: est=%v err=%v", f.F0(), a.Estimate(), e)
+			}
+		}
+	}
+}
+
+func TestAlg2BatchedMatchesUnbatchedAtFlushBoundaries(t *testing.T) {
+	p := Alg2Params{B: 50, D: 16}
+	ab := NewAlg2(p, true, 3)
+	au := NewAlg2(p, false, 3)
+	for i := uint64(0); i < 10000; i++ {
+		item := i * 6364136223846793005
+		ab.Update(item, 1)
+		au.Update(item, 1)
+		if (i+1)%uint64(p.D) == 0 {
+			if got, want := ab.Estimate(), au.Estimate(); got != want {
+				t.Fatalf("at %d: batched=%v unbatched=%v", i+1, got, want)
+			}
+		}
+	}
+}
+
+func TestAlg2DuplicateInsensitiveDeclaration(t *testing.T) {
+	if NewAlg2(Alg2Params{B: 10, D: 8}, true, 1).DuplicateInsensitive() {
+		t.Error("batched Alg2 must not declare duplicate-insensitivity")
+	}
+	if !NewAlg2(Alg2Params{B: 10, D: 8}, false, 1).DuplicateInsensitive() {
+		t.Error("unbatched Alg2 should declare duplicate-insensitivity")
+	}
+}
+
+func TestAlg2SizingGrowsWithDelta(t *testing.T) {
+	small := Alg2Sizing(0.2, 2, 1<<20)
+	big := Alg2Sizing(0.2, 200, 1<<20)
+	if big.B <= small.B || big.D <= small.D {
+		t.Errorf("sizing must grow with log(1/δ): %+v vs %+v", small, big)
+	}
+}
+
+func TestLevelDistribution(t *testing.T) {
+	// level(h) should be j with probability ≈ 2^{-(j+1)} for uniform h.
+	rng := rand.New(rand.NewSource(17))
+	counts := make([]int, alg2Levels)
+	const n = 1 << 20
+	for i := 0; i < n; i++ {
+		h := rng.Uint64() % (1 << 61)
+		counts[level(h)]++
+	}
+	for j := 0; j < 8; j++ {
+		want := float64(n) * math.Pow(2, -float64(j+1))
+		if math.Abs(float64(counts[j])-want) > 0.05*want+50 {
+			t.Errorf("level %d count %d, want ≈ %v", j, counts[j], want)
+		}
+	}
+}
+
+func TestSpaceBytesPositive(t *testing.T) {
+	ests := []sketch.Estimator{
+		NewExact(),
+		NewKMV(16, rand.New(rand.NewSource(1))),
+		NewAlg2(Alg2Params{B: 20, D: 8}, false, 1),
+		NewTracking(0.3, 0.1, 1024, 1),
+	}
+	for _, e := range ests {
+		e.Update(42, 1)
+		if e.SpaceBytes() <= 0 {
+			t.Errorf("%T: SpaceBytes = %d, want > 0", e, e.SpaceBytes())
+		}
+	}
+}
+
+func BenchmarkKMVUpdate(b *testing.B) {
+	s := NewKMV(1024, rand.New(rand.NewSource(1)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Update(uint64(i), 1)
+	}
+}
+
+func BenchmarkAlg2UpdateUnbatched(b *testing.B) {
+	a := NewAlg2(Alg2Params{B: 1000, D: 64}, false, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Update(uint64(i), 1)
+	}
+}
+
+func BenchmarkAlg2UpdateBatched(b *testing.B) {
+	a := NewAlg2(Alg2Params{B: 1000, D: 64}, true, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Update(uint64(i), 1)
+	}
+}

@@ -1,0 +1,48 @@
+package f0
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzKMVUnmarshal: arbitrary bytes must never panic or produce a sketch
+// that panics on use; valid encodings must round-trip.
+func FuzzKMVUnmarshal(f *testing.F) {
+	seed := NewKMV(16, rand.New(rand.NewSource(1)))
+	for i := uint64(0); i < 100; i++ {
+		seed.Update(i, 1)
+	}
+	data, _ := seed.MarshalBinary()
+	f.Add(data)
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		var s KMV
+		if err := s.UnmarshalBinary(b); err != nil {
+			return
+		}
+		// A successfully decoded sketch must be usable.
+		s.Update(42, 1)
+		_ = s.Estimate()
+		_ = s.SpaceBytes()
+	})
+}
+
+// FuzzHLLUnmarshal: same contract for the HLL wire format.
+func FuzzHLLUnmarshal(f *testing.F) {
+	seed := NewHLL(6, rand.New(rand.NewSource(1)))
+	for i := uint64(0); i < 100; i++ {
+		seed.Update(i, 1)
+	}
+	data, _ := seed.MarshalBinary()
+	f.Add(data)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		var s HLL
+		if err := s.UnmarshalBinary(b); err != nil {
+			return
+		}
+		s.Update(42, 1)
+		_ = s.Estimate()
+	})
+}

@@ -1,0 +1,209 @@
+package f0
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+
+	"repro/internal/hash"
+	"repro/internal/sketch"
+)
+
+// KMV is the k-minimum-values distinct elements sketch (Bar-Yossef et al.):
+// it keeps the k smallest hash values seen and estimates
+// F0 ≈ (k−1)/u_(k), where u_(k) is the k-th smallest hash normalized to
+// (0, 1). A single instance gives relative error O(1/√k) with constant
+// probability; Median combines instances for (ε, δ) guarantees.
+//
+// KMV is duplicate-insensitive with probability 1: a repeated item hashes
+// to the same value, which is either already stored or no smaller than the
+// current k-th minimum, so the state never changes. This is the property
+// Section 10 of the paper requires of the inner sketch of its
+// cryptographically robust F0 algorithm.
+type KMV struct {
+	k    int
+	h    hash.Poly
+	vals maxHeap
+	in   map[uint64]struct{}
+}
+
+// maxHeap is a max-heap over hash values, so the largest of the k retained
+// minima is at the root and can be evicted in O(log k).
+type maxHeap []uint64
+
+func (h maxHeap) Len() int            { return len(h) }
+func (h maxHeap) Less(i, j int) bool  { return h[i] > h[j] }
+func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(uint64)) }
+func (h *maxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// NewKMV returns a KMV sketch retaining the k smallest hash values, with a
+// pairwise-independent hash drawn from rng.
+func NewKMV(k int, rng *rand.Rand) *KMV {
+	if k < 2 {
+		panic("f0: KMV needs k >= 2")
+	}
+	return &KMV{
+		k:  k,
+		h:  hash.NewPoly(2, rng),
+		in: make(map[uint64]struct{}, k),
+	}
+}
+
+// Update implements sketch.Estimator (deltas ignored; F0 counts presence).
+func (s *KMV) Update(item uint64, delta int64) {
+	v := s.h.Eval(item)
+	if _, ok := s.in[v]; ok {
+		return
+	}
+	if len(s.vals) < s.k {
+		heap.Push(&s.vals, v)
+		s.in[v] = struct{}{}
+		return
+	}
+	if v >= s.vals[0] {
+		return
+	}
+	delete(s.in, s.vals[0])
+	s.vals[0] = v
+	heap.Fix(&s.vals, 0)
+	s.in[v] = struct{}{}
+}
+
+// Estimate returns the current distinct-count estimate.
+func (s *KMV) Estimate() float64 {
+	if len(s.vals) < s.k {
+		// Fewer than k distinct hashes seen: the sketch is exact.
+		return float64(len(s.vals))
+	}
+	uk := float64(s.vals[0]) / float64(hash.Prime)
+	if uk == 0 {
+		return float64(s.k)
+	}
+	return float64(s.k-1) / uk
+}
+
+// SpaceBytes charges 8 bytes per retained hash value, 8 per set entry, and
+// the hash seed.
+func (s *KMV) SpaceBytes() int {
+	return 16*len(s.vals) + s.h.SpaceBytes()
+}
+
+// DuplicateInsensitive implements sketch.DuplicateInsensitive.
+func (s *KMV) DuplicateInsensitive() bool { return true }
+
+// Hash exposes the sketch's hash function. The seed-leakage experiments
+// hand it to the adversary to demonstrate that plain KMV breaks when its
+// (small) seed is known, while the PRF-wrapped variant of Section 10 does
+// not.
+func (s *KMV) Hash() hash.Poly { return s.h }
+
+// Median aggregates independent estimators by the median of their
+// estimates, boosting a constant-probability guarantee to 1−δ with
+// O(log 1/δ) repetitions. It preserves duplicate-insensitivity when every
+// member has it.
+type Median struct {
+	reps []sketch.Estimator
+}
+
+// NewMedian builds r instances from factory (seeded 0..r−1 offsets of seed).
+func NewMedian(r int, seed int64, factory func(seed int64) sketch.Estimator) *Median {
+	if r < 1 {
+		panic("f0: Median needs r >= 1")
+	}
+	m := &Median{}
+	for i := 0; i < r; i++ {
+		m.reps = append(m.reps, factory(seed+int64(i)*1000003))
+	}
+	return m
+}
+
+// Update feeds every repetition.
+func (m *Median) Update(item uint64, delta int64) {
+	for _, r := range m.reps {
+		r.Update(item, delta)
+	}
+}
+
+// Estimate returns the median of the repetitions' estimates.
+func (m *Median) Estimate() float64 {
+	ests := make([]float64, len(m.reps))
+	for i, r := range m.reps {
+		ests[i] = r.Estimate()
+	}
+	return medianOf(ests)
+}
+
+// SpaceBytes sums the repetitions.
+func (m *Median) SpaceBytes() int {
+	total := 0
+	for _, r := range m.reps {
+		total += r.SpaceBytes()
+	}
+	return total
+}
+
+// DuplicateInsensitive holds iff every member is duplicate-insensitive.
+func (m *Median) DuplicateInsensitive() bool {
+	for _, r := range m.reps {
+		d, ok := r.(sketch.DuplicateInsensitive)
+		if !ok || !d.DuplicateInsensitive() {
+			return false
+		}
+	}
+	return true
+}
+
+func medianOf(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	for i := 1; i < len(s); i++ { // insertion sort; len is O(log 1/δ)
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// TrackingParams holds the sizing of a strong-tracking KMV estimator.
+type TrackingParams struct {
+	K    int // minima per instance: Θ(1/ε²)
+	Reps int // median repetitions: Θ(log(milestones/δ))
+}
+
+// TrackingSizing returns parameters for (ε, δ)-strong F0 tracking over a
+// universe of size n. Correctness at the O(ε⁻¹ log n) milestones where F0
+// grows by (1+ε/3) extends to all steps by monotonicity, so the median
+// repetition count union-bounds over milestones rather than over all m
+// steps. This replaces the optimal tracking algorithm of [6] as documented
+// in DESIGN.md (substitution 1).
+func TrackingSizing(eps, delta float64, n uint64) TrackingParams {
+	if eps <= 0 || eps >= 1 {
+		panic("f0: need 0 < eps < 1")
+	}
+	k := int(math.Ceil(4/(eps*eps))) + 1
+	milestones := math.Log(float64(n)+2)/math.Log1p(eps/3) + 1
+	reps := 2*int(math.Ceil(0.35*math.Log2(milestones/delta))) + 1
+	if reps < 3 {
+		reps = 3
+	}
+	return TrackingParams{K: k, Reps: reps}
+}
+
+// NewTracking returns an (ε, δ)-strong-tracking F0 estimator (a Median of
+// KMV instances sized by TrackingSizing).
+func NewTracking(eps, delta float64, n uint64, seed int64) *Median {
+	p := TrackingSizing(eps, delta, n)
+	return NewMedian(p.Reps, seed, func(s int64) sketch.Estimator {
+		return NewKMV(p.K, rand.New(rand.NewSource(s)))
+	})
+}

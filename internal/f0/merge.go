@@ -1,0 +1,73 @@
+package f0
+
+import (
+	"container/heap"
+	"errors"
+)
+
+// Merge errors shared by the distributed-sketching support.
+var (
+	errPrecisionMismatch = errors.New("f0: HLL precision mismatch")
+	// ErrIncompatible is returned when two sketches do not share the
+	// randomness (hash functions / seeds) that mergeability requires.
+	ErrIncompatible = errors.New("f0: sketches do not share randomness; use Fresh() copies of one origin")
+)
+
+// Fresh returns an empty HLL sharing s's hash function, for use as a
+// shard sketch that can later be merged back into (a copy of) s.
+func (s *HLL) Fresh() *HLL {
+	return &HLL{precision: s.precision, regs: make([]uint8, len(s.regs)), h: s.h}
+}
+
+// Fresh returns an empty KMV sharing s's hash function.
+func (s *KMV) Fresh() *KMV {
+	return &KMV{k: s.k, h: s.h, in: make(map[uint64]struct{}, s.k)}
+}
+
+// Merge folds other into s: the union of retained minima, re-trimmed to
+// the k smallest. Both sketches must share the hash function (be Fresh
+// copies of one origin); k may differ, the receiver's k wins. The merged
+// sketch is exactly the sketch of the concatenated streams, so shards of
+// a distributed stream can be combined losslessly.
+func (s *KMV) Merge(other *KMV) error {
+	if !samePoly(s.h, other.h) {
+		return ErrIncompatible
+	}
+	for _, v := range other.vals {
+		s.insertValue(v)
+	}
+	return nil
+}
+
+// insertValue inserts an already-hashed value, preserving the k-minima
+// invariant.
+func (s *KMV) insertValue(v uint64) {
+	if _, ok := s.in[v]; ok {
+		return
+	}
+	if len(s.vals) < s.k {
+		heap.Push(&s.vals, v)
+		s.in[v] = struct{}{}
+		return
+	}
+	if v >= s.vals[0] {
+		return
+	}
+	delete(s.in, s.vals[0])
+	s.vals[0] = v
+	heap.Fix(&s.vals, 0)
+	s.in[v] = struct{}{}
+}
+
+func samePoly(a, b interface{ Coeffs() []uint64 }) bool {
+	ca, cb := a.Coeffs(), b.Coeffs()
+	if len(ca) != len(cb) {
+		return false
+	}
+	for i := range ca {
+		if ca[i] != cb[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,28 @@
+// Package fp implements frequency-moment (Fp) estimators: the trivial F1
+// counter, the AMS F2 sketch in both its dense form (the attack target of
+// Section 9 of the paper) and its fast bucketed form, Indyk's p-stable
+// sketch for p ∈ (0, 2], and a max-stability estimator for p > 2. These are
+// the static algorithms wrapped by the robustification framework
+// (Theorems 1.4–1.7).
+package fp
+
+// F1 is the trivial O(log n)-bit F1 estimator for non-negative streams: a
+// counter of Σ_t Δ_t, which equals ‖f‖₁ whenever the frequency vector
+// stays entrywise non-negative (in particular on insertion-only and
+// α-bounded-deletion unit streams). The paper notes this algorithm in
+// footnote 3; it is deterministic and therefore adversarially robust as-is.
+type F1 struct {
+	sum int64
+}
+
+// NewF1 returns a zeroed F1 counter.
+func NewF1() *F1 { return &F1{} }
+
+// Update implements sketch.Estimator.
+func (c *F1) Update(item uint64, delta int64) { c.sum += delta }
+
+// Estimate returns Σ_t Δ_t.
+func (c *F1) Estimate() float64 { return float64(c.sum) }
+
+// SpaceBytes is a single counter.
+func (c *F1) SpaceBytes() int { return 8 }

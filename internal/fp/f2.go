@@ -1,0 +1,90 @@
+package fp
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/hash"
+)
+
+// F2Sketch is the bucketed ("fast") variant of the AMS F2 estimator: r
+// independent rows, each hashing items into w buckets with a 4-wise sign;
+// each row's squared norm Σ_b C_b² is an unbiased estimate of F2 = ‖f‖₂²
+// with relative standard deviation O(1/√w), and the median over rows
+// boosts the success probability to 1 − exp(−Ω(r)). It is a linear sketch,
+// handles turnstile updates, and is the static algorithm behind the robust
+// F2/L2 estimators (Theorems 1.4 and 6.5).
+type F2Sketch struct {
+	rows, w int
+	hs      []hash.Poly
+	c       [][]float64
+}
+
+// F2Sizing returns (rows, width) giving (ε, δ) relative error for F2.
+type F2Sizing struct {
+	Rows, Width int
+}
+
+// SizeF2 computes sketch dimensions for an (ε, δ) guarantee at a single
+// point in the stream; for (ε, δ)-strong tracking over m steps pass
+// δ/m (the union-bound reduction of the paper's footnote 1).
+func SizeF2(eps, delta float64) F2Sizing {
+	if eps <= 0 || eps >= 1 {
+		panic("fp: need 0 < eps < 1")
+	}
+	rows := int(math.Ceil(0.6 * math.Log2(1/delta)))
+	if rows < 3 {
+		rows = 3
+	}
+	if rows%2 == 0 {
+		rows++
+	}
+	w := int(math.Ceil(12 / (eps * eps)))
+	return F2Sizing{Rows: rows, Width: w}
+}
+
+// NewF2 returns an F2 sketch with the given dimensions.
+func NewF2(s F2Sizing, rng *rand.Rand) *F2Sketch {
+	f := &F2Sketch{rows: s.Rows, w: s.Width}
+	for r := 0; r < s.Rows; r++ {
+		f.hs = append(f.hs, hash.NewPoly(4, rng))
+		f.c = append(f.c, make([]float64, s.Width))
+	}
+	return f
+}
+
+// Update implements sketch.Estimator (turnstile deltas allowed).
+func (f *F2Sketch) Update(item uint64, delta int64) {
+	d := float64(delta)
+	for r := 0; r < f.rows; r++ {
+		sign, b := f.hs[r].SignBucket(item, f.w)
+		f.c[r][b] += float64(sign) * d
+	}
+}
+
+// Estimate returns the median-of-rows estimate of F2 = ‖f‖₂².
+func (f *F2Sketch) Estimate() float64 {
+	ests := make([]float64, f.rows)
+	for r := 0; r < f.rows; r++ {
+		var s float64
+		for _, v := range f.c[r] {
+			s += v * v
+		}
+		ests[r] = s
+	}
+	sort.Float64s(ests)
+	return ests[f.rows/2]
+}
+
+// EstimateL2 returns the median-of-rows estimate of ‖f‖₂.
+func (f *F2Sketch) EstimateL2() float64 { return math.Sqrt(f.Estimate()) }
+
+// SpaceBytes charges the counters and hash seeds.
+func (f *F2Sketch) SpaceBytes() int {
+	total := 0
+	for r := 0; r < f.rows; r++ {
+		total += 8*f.w + f.hs[r].SpaceBytes()
+	}
+	return total
+}

@@ -1,0 +1,71 @@
+package fp
+
+import "errors"
+
+// ErrIncompatible is returned when two sketches do not share the
+// randomness that linear-sketch merging requires.
+var ErrIncompatible = errors.New("fp: sketches do not share randomness; use Fresh() copies of one origin")
+
+// Fresh returns an empty F2Sketch sharing f's hash functions.
+func (f *F2Sketch) Fresh() *F2Sketch {
+	cp := &F2Sketch{rows: f.rows, w: f.w, hs: f.hs}
+	for r := 0; r < f.rows; r++ {
+		cp.c = append(cp.c, make([]float64, f.w))
+	}
+	return cp
+}
+
+// Merge adds other's counters into f. Because the sketch is linear, the
+// merged state equals the sketch of the concatenated streams. Both
+// sketches must share hash functions (be Fresh copies of one origin).
+func (f *F2Sketch) Merge(other *F2Sketch) error {
+	if f.rows != other.rows || f.w != other.w {
+		return ErrIncompatible
+	}
+	for r := range f.hs {
+		if !samePoly(f.hs[r], other.hs[r]) {
+			return ErrIncompatible
+		}
+	}
+	for r := 0; r < f.rows; r++ {
+		for b := 0; b < f.w; b++ {
+			f.c[r][b] += other.c[r][b]
+		}
+	}
+	return nil
+}
+
+// Fresh returns an empty Indyk sketch sharing s's variate salts.
+func (s *Indyk) Fresh() *Indyk {
+	return &Indyk{p: s.p, k: s.k, salts: s.salts, y: make([]float64, s.k), calib: s.calib}
+}
+
+// Merge adds other's counters into s (linear sketch; same requirements as
+// F2Sketch.Merge, with salts playing the role of the hash functions).
+func (s *Indyk) Merge(other *Indyk) error {
+	if s.p != other.p || s.k != other.k {
+		return ErrIncompatible
+	}
+	for i := range s.salts {
+		if s.salts[i] != other.salts[i] {
+			return ErrIncompatible
+		}
+	}
+	for i := range s.y {
+		s.y[i] += other.y[i]
+	}
+	return nil
+}
+
+func samePoly(a, b interface{ Coeffs() []uint64 }) bool {
+	ca, cb := a.Coeffs(), b.Coeffs()
+	if len(ca) != len(cb) {
+		return false
+	}
+	for i := range ca {
+		if ca[i] != cb[i] {
+			return false
+		}
+	}
+	return true
+}

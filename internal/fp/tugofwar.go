@@ -1,0 +1,91 @@
+package fp
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/hash"
+)
+
+// TugOfWar is the classic Alon–Matias–Szegedy F2 estimator exactly as in
+// [3]: groups × perGroup independent counters Z = ⟨s, f⟩ with s a 4-wise
+// independent ±1 vector; each group averages its counters' squares (an
+// unbiased F2 estimate with relative variance 2/perGroup) and the median
+// over groups boosts the success probability. It is the textbook
+// median-of-means form of the sketch the paper attacks in Section 9 —
+// DenseAMS is its fully-independent single-group special case, and
+// F2Sketch its bucketed (fast) descendant. Update cost is
+// Θ(groups·perGroup) hash evaluations, which is why F2Sketch exists.
+type TugOfWar struct {
+	groups, per int
+	hs          []hash.Poly
+	z           []float64
+}
+
+// SizeTugOfWar returns (groups, perGroup) for an (ε, δ) guarantee:
+// perGroup = Θ(1/ε²) for constant-probability accuracy per group, groups =
+// Θ(log 1/δ) for the median boost.
+func SizeTugOfWar(eps, delta float64) (groups, per int) {
+	if eps <= 0 || eps >= 1 {
+		panic("fp: need 0 < eps < 1")
+	}
+	groups = int(math.Ceil(0.7 * math.Log2(1/delta)))
+	if groups < 3 {
+		groups = 3
+	}
+	if groups%2 == 0 {
+		groups++
+	}
+	per = int(math.Ceil(9 / (eps * eps)))
+	return groups, per
+}
+
+// NewTugOfWar returns a classic AMS sketch with the given dimensions.
+func NewTugOfWar(groups, per int, rng *rand.Rand) *TugOfWar {
+	if groups < 1 || per < 1 {
+		panic("fp: TugOfWar needs groups, per >= 1")
+	}
+	t := &TugOfWar{groups: groups, per: per}
+	k := groups * per
+	t.hs = make([]hash.Poly, k)
+	t.z = make([]float64, k)
+	for i := range t.hs {
+		t.hs[i] = hash.NewPoly(4, rng)
+	}
+	return t
+}
+
+// Update implements sketch.Estimator (turnstile deltas allowed).
+func (t *TugOfWar) Update(item uint64, delta int64) {
+	d := float64(delta)
+	for i := range t.z {
+		t.z[i] += d * float64(t.hs[i].Sign(item))
+	}
+}
+
+// Estimate returns the median-of-means estimate of F2 = ‖f‖₂².
+func (t *TugOfWar) Estimate() float64 {
+	means := make([]float64, t.groups)
+	for g := 0; g < t.groups; g++ {
+		var sum float64
+		for i := g * t.per; i < (g+1)*t.per; i++ {
+			sum += t.z[i] * t.z[i]
+		}
+		means[g] = sum / float64(t.per)
+	}
+	sort.Float64s(means)
+	return means[t.groups/2]
+}
+
+// EstimateL2 returns the estimate of ‖f‖₂.
+func (t *TugOfWar) EstimateL2() float64 { return math.Sqrt(t.Estimate()) }
+
+// SpaceBytes charges counters and hash seeds.
+func (t *TugOfWar) SpaceBytes() int {
+	total := 8 * len(t.z)
+	for i := range t.hs {
+		total += t.hs[i].SpaceBytes()
+	}
+	return total
+}

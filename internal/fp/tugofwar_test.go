@@ -1,0 +1,109 @@
+package fp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func TestTugOfWarAccuracy(t *testing.T) {
+	groups, per := SizeTugOfWar(0.2, 0.05)
+	failures := 0
+	const trials = 6
+	for trial := 0; trial < trials; trial++ {
+		sk := NewTugOfWar(groups, per, rand.New(rand.NewSource(int64(trial))))
+		f := stream.NewFreq()
+		g := stream.NewZipf(1<<12, 5000, 1.3, int64(trial)+50)
+		for {
+			u, ok := g.Next()
+			if !ok {
+				break
+			}
+			sk.Update(u.Item, u.Delta)
+			f.Apply(u)
+		}
+		if relErr(sk.Estimate(), f.Fp(2)) > 0.2 {
+			failures++
+		}
+	}
+	if failures > 2 {
+		t.Errorf("%d/%d tug-of-war trials exceeded ε=0.2", failures, trials)
+	}
+}
+
+func TestTugOfWarUnbiasedSingleCounter(t *testing.T) {
+	// E[Z²] = F2 exactly for a single ±1 counter; check by averaging many
+	// independent single-counter sketches on a fixed tiny vector.
+	const n = 4000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sk := NewTugOfWar(1, 1, rand.New(rand.NewSource(int64(i))))
+		sk.Update(1, 3)
+		sk.Update(2, -4)
+		sk.Update(3, 1)
+		sum += sk.Estimate()
+	}
+	want := 9.0 + 16 + 1
+	if got := sum / n; math.Abs(got-want)/want > 0.1 {
+		t.Errorf("mean single-counter estimate %v, want ≈ %v", got, want)
+	}
+}
+
+func TestTugOfWarTurnstileCancellation(t *testing.T) {
+	sk := NewTugOfWar(3, 8, rand.New(rand.NewSource(1)))
+	for i := uint64(0); i < 50; i++ {
+		sk.Update(i, int64(i)+1)
+	}
+	for i := uint64(0); i < 50; i++ {
+		sk.Update(i, -int64(i)-1)
+	}
+	if got := sk.Estimate(); got != 0 {
+		t.Errorf("estimate after cancellation = %v, want 0", got)
+	}
+}
+
+func TestTugOfWarMatchesF2SketchAccuracyProfile(t *testing.T) {
+	// Both AMS variants target the same statistic; on the same stream
+	// with healthy sizings they must agree within their combined error.
+	rng := rand.New(rand.NewSource(5))
+	tow := NewTugOfWar(5, 400, rng)
+	f2 := NewF2(F2Sizing{Rows: 5, Width: 400}, rng)
+	f := stream.NewFreq()
+	g := stream.NewUniform(1<<10, 10000, 9)
+	for {
+		u, ok := g.Next()
+		if !ok {
+			break
+		}
+		tow.Update(u.Item, u.Delta)
+		f2.Update(u.Item, u.Delta)
+		f.Apply(u)
+	}
+	truth := f.Fp(2)
+	if e := relErr(tow.Estimate(), truth); e > 0.15 {
+		t.Errorf("tug-of-war error %v", e)
+	}
+	if e := relErr(f2.Estimate(), truth); e > 0.15 {
+		t.Errorf("bucketed error %v", e)
+	}
+}
+
+func TestSizeTugOfWarOddGroups(t *testing.T) {
+	for _, d := range []float64{0.5, 0.1, 0.001} {
+		g, _ := SizeTugOfWar(0.2, d)
+		if g%2 == 0 {
+			t.Errorf("groups must be odd, got %d at δ=%v", g, d)
+		}
+	}
+}
+
+func BenchmarkTugOfWarUpdate(b *testing.B) {
+	g, p := SizeTugOfWar(0.2, 0.05)
+	sk := NewTugOfWar(g, p, rand.New(rand.NewSource(1)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk.Update(uint64(i), 1)
+	}
+}

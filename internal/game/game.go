@@ -1,0 +1,130 @@
+// Package game implements the two-player adversarial game of the paper's
+// Section 1: at each round the Adversary emits a stream update (which may
+// depend on every previous published output), the StreamingAlgorithm
+// ingests it and publishes its response, and the Adversary observes the
+// response. The runner tracks exact ground truth alongside and reports
+// whether — and when — the algorithm was forced into an incorrect output.
+package game
+
+import (
+	"repro/internal/sketch"
+	"repro/internal/stream"
+)
+
+// Adversary chooses stream updates adaptively. Next receives the
+// algorithm's response to the previous update (0 before the first round)
+// and the 0-based round number; returning ok = false ends the stream.
+type Adversary interface {
+	Next(lastResponse float64, step int) (u stream.Update, ok bool)
+}
+
+// AdversaryFunc adapts a function to the Adversary interface.
+type AdversaryFunc func(lastResponse float64, step int) (stream.Update, bool)
+
+// Next implements Adversary.
+func (f AdversaryFunc) Next(lastResponse float64, step int) (stream.Update, bool) {
+	return f(lastResponse, step)
+}
+
+// FromGenerator adapts an oblivious (non-adaptive) stream generator into
+// an Adversary that ignores the responses — the static setting embedded in
+// the adversarial one.
+func FromGenerator(g stream.Generator) Adversary {
+	return AdversaryFunc(func(_ float64, _ int) (stream.Update, bool) {
+		return g.Next()
+	})
+}
+
+// Check decides whether a published estimate is acceptable against the
+// exact ground-truth value.
+type Check func(estimate, truth float64) bool
+
+// RelCheck returns a Check accepting (1±eps)-approximations, treating a
+// zero truth as requiring |estimate| ≤ eps.
+func RelCheck(eps float64) Check {
+	return func(est, truth float64) bool {
+		if truth == 0 {
+			return est >= -eps && est <= eps
+		}
+		lo, hi := (1-eps)*truth, (1+eps)*truth
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return lo <= est && est <= hi
+	}
+}
+
+// AdditiveCheck returns a Check accepting |estimate − truth| ≤ eps.
+func AdditiveCheck(eps float64) Check {
+	return func(est, truth float64) bool {
+		d := est - truth
+		return d >= -eps && d <= eps
+	}
+}
+
+// Result summarizes a completed game.
+type Result struct {
+	Steps     int     // rounds played
+	Broken    bool    // did the adversary force an unacceptable output?
+	BrokenAt  int     // first failing round (1-based; 0 if never)
+	BrokenEst float64 // the failing estimate
+	BrokenTru float64 // the truth at the failure
+	MaxRelErr float64 // max relative error observed (truth > 0 steps only)
+
+	// Series are filled only when Config.Record is set.
+	Estimates []float64
+	Truths    []float64
+}
+
+// Config controls a game run.
+type Config struct {
+	MaxSteps    int  // hard cap on rounds (0 means run until the adversary stops)
+	Record      bool // capture per-step estimate/truth series
+	StopOnBreak bool // end the game at the first unacceptable output
+	// Warmup suppresses the check for the first Warmup steps, where
+	// rounding granularity dominates tiny truths.
+	Warmup int
+}
+
+// Run plays alg against adv. truth extracts the tracked statistic from the
+// exact frequency vector; check decides acceptability per step.
+func Run(alg sketch.Estimator, adv Adversary, truth func(*stream.Freq) float64, check Check, cfg Config) Result {
+	var res Result
+	f := stream.NewFreq()
+	last := 0.0
+	for step := 0; cfg.MaxSteps <= 0 || step < cfg.MaxSteps; step++ {
+		u, ok := adv.Next(last, step)
+		if !ok {
+			break
+		}
+		alg.Update(u.Item, u.Delta)
+		f.Apply(u)
+		est := alg.Estimate()
+		tru := truth(f)
+		res.Steps++
+		if cfg.Record {
+			res.Estimates = append(res.Estimates, est)
+			res.Truths = append(res.Truths, tru)
+		}
+		if tru != 0 {
+			rel := (est - tru) / tru
+			if rel < 0 {
+				rel = -rel
+			}
+			if rel > res.MaxRelErr {
+				res.MaxRelErr = rel
+			}
+		}
+		if step >= cfg.Warmup && !res.Broken && !check(est, tru) {
+			res.Broken = true
+			res.BrokenAt = res.Steps
+			res.BrokenEst = est
+			res.BrokenTru = tru
+			if cfg.StopOnBreak {
+				break
+			}
+		}
+		last = est
+	}
+	return res
+}

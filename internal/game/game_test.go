@@ -1,0 +1,134 @@
+package game
+
+import (
+	"testing"
+
+	"repro/internal/f0"
+	"repro/internal/stream"
+)
+
+func TestRunObliviousExactNeverBreaks(t *testing.T) {
+	res := Run(
+		f0.NewExact(),
+		FromGenerator(stream.NewUniform(512, 3000, 1)),
+		(*stream.Freq).F0,
+		RelCheck(0.01),
+		Config{},
+	)
+	if res.Broken {
+		t.Fatalf("exact algorithm broke at step %d (est %v, truth %v)",
+			res.BrokenAt, res.BrokenEst, res.BrokenTru)
+	}
+	if res.Steps != 3000 {
+		t.Errorf("Steps = %d, want 3000", res.Steps)
+	}
+	if res.MaxRelErr != 0 {
+		t.Errorf("MaxRelErr = %v, want 0 for exact algorithm", res.MaxRelErr)
+	}
+}
+
+// brokenEstimator always answers 1.
+type brokenEstimator struct{}
+
+func (brokenEstimator) Update(uint64, int64) {}
+func (brokenEstimator) Estimate() float64    { return 1 }
+func (brokenEstimator) SpaceBytes() int      { return 0 }
+
+func TestRunDetectsBreakage(t *testing.T) {
+	res := Run(
+		brokenEstimator{},
+		FromGenerator(stream.NewDistinct(100)),
+		(*stream.Freq).F0,
+		RelCheck(0.5),
+		Config{StopOnBreak: true},
+	)
+	if !res.Broken {
+		t.Fatal("constant estimator should break on a distinct ramp")
+	}
+	// Truth 1 then 2: estimate 1 vs truth 2 is a factor 2 off, breaking at
+	// relative 0.5 on step 3 (truth 3).
+	if res.BrokenAt == 0 || res.BrokenAt > 4 {
+		t.Errorf("BrokenAt = %d, want small", res.BrokenAt)
+	}
+	if res.Steps != res.BrokenAt {
+		t.Errorf("StopOnBreak should end the game at the break: steps %d vs %d", res.Steps, res.BrokenAt)
+	}
+}
+
+func TestRunWarmupSuppressesEarlyChecks(t *testing.T) {
+	res := Run(
+		brokenEstimator{},
+		FromGenerator(stream.NewDistinct(10)),
+		(*stream.Freq).F0,
+		RelCheck(0.5),
+		Config{Warmup: 10},
+	)
+	if res.Broken {
+		t.Error("all steps were within warmup; no break should be recorded")
+	}
+}
+
+func TestRunRecordsSeries(t *testing.T) {
+	res := Run(
+		f0.NewExact(),
+		FromGenerator(stream.NewDistinct(50)),
+		(*stream.Freq).F0,
+		RelCheck(0.1),
+		Config{Record: true},
+	)
+	if len(res.Estimates) != 50 || len(res.Truths) != 50 {
+		t.Fatalf("series lengths %d/%d, want 50/50", len(res.Estimates), len(res.Truths))
+	}
+	if res.Truths[49] != 50 || res.Estimates[49] != 50 {
+		t.Errorf("final recorded values %v/%v, want 50/50", res.Estimates[49], res.Truths[49])
+	}
+}
+
+func TestRunMaxStepsCapsAdversary(t *testing.T) {
+	infinite := AdversaryFunc(func(_ float64, step int) (stream.Update, bool) {
+		return stream.Update{Item: uint64(step), Delta: 1}, true
+	})
+	res := Run(f0.NewExact(), infinite, (*stream.Freq).F0, RelCheck(0.1), Config{MaxSteps: 123})
+	if res.Steps != 123 {
+		t.Errorf("Steps = %d, want 123", res.Steps)
+	}
+}
+
+func TestAdversarySeesResponses(t *testing.T) {
+	// An adaptive adversary that echoes the last response into item ids;
+	// verifies the feedback loop is wired.
+	var seen []float64
+	adv := AdversaryFunc(func(last float64, step int) (stream.Update, bool) {
+		if step > 0 {
+			seen = append(seen, last)
+		}
+		if step >= 5 {
+			return stream.Update{}, false
+		}
+		return stream.Update{Item: uint64(step), Delta: 1}, true
+	})
+	Run(f0.NewExact(), adv, (*stream.Freq).F0, RelCheck(0.1), Config{})
+	want := []float64{1, 2, 3, 4, 5}
+	if len(seen) != len(want) {
+		t.Fatalf("adversary observed %d responses, want %d", len(seen), len(want))
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Errorf("response %d = %v, want %v", i, seen[i], want[i])
+		}
+	}
+}
+
+func TestChecks(t *testing.T) {
+	rc := RelCheck(0.1)
+	if !rc(110, 100) || rc(111, 100) || !rc(0, 0) || rc(1, 0) {
+		t.Error("RelCheck misbehaves")
+	}
+	if !rc(-110, -100) || rc(-115, -100) {
+		t.Error("RelCheck misbehaves on negative truths")
+	}
+	ac := AdditiveCheck(0.5)
+	if !ac(1.4, 1.0) || ac(1.6, 1.0) {
+		t.Error("AdditiveCheck misbehaves")
+	}
+}

@@ -1,0 +1,82 @@
+// Package hash implements the hashing substrate used by every sketch in
+// this repository: arithmetic over the Mersenne-prime field GF(2^61 − 1),
+// k-wise independent polynomial hash families, and the fast multipoint
+// polynomial evaluation (product-tree) algorithm the paper cites as
+// Proposition 5.3 to batch d-wise-independent hash evaluations.
+package hash
+
+import "math/bits"
+
+// Prime is the Mersenne prime 2^61 − 1 used as the field modulus. All
+// field elements are canonical representatives in [0, Prime).
+const Prime uint64 = 1<<61 - 1
+
+// Bits is the bit width of the hash output range [0, Prime).
+const Bits = 61
+
+// reduce maps any x < 2^64 into [0, Prime) using the Mersenne identity
+// 2^61 ≡ 1 (mod Prime).
+func reduce(x uint64) uint64 {
+	x = (x & Prime) + (x >> 61)
+	if x >= Prime {
+		x -= Prime
+	}
+	return x
+}
+
+// Add returns (a + b) mod Prime for canonical a, b.
+func Add(a, b uint64) uint64 {
+	s := a + b // < 2^62, no overflow
+	if s >= Prime {
+		s -= Prime
+	}
+	return s
+}
+
+// Sub returns (a − b) mod Prime for canonical a, b.
+func Sub(a, b uint64) uint64 {
+	if a >= b {
+		return a - b
+	}
+	return a + Prime - b
+}
+
+// Mul returns (a · b) mod Prime for canonical a, b, using a 128-bit product
+// and Mersenne reduction (2^64 ≡ 2^3 mod Prime).
+func Mul(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	// a·b = hi·2^64 + lo; since a, b < 2^61, hi < 2^58 and hi<<3 < 2^61.
+	r := (lo & Prime) + (lo >> 61) + hi<<3
+	return reduce(r)
+}
+
+// Neg returns (−a) mod Prime.
+func Neg(a uint64) uint64 {
+	if a == 0 {
+		return 0
+	}
+	return Prime - a
+}
+
+// Pow returns a^e mod Prime by square-and-multiply.
+func Pow(a, e uint64) uint64 {
+	r := uint64(1)
+	base := a % Prime
+	for e > 0 {
+		if e&1 == 1 {
+			r = Mul(r, base)
+		}
+		base = Mul(base, base)
+		e >>= 1
+	}
+	return r
+}
+
+// Inv returns the multiplicative inverse of a mod Prime (a must be
+// non-zero), via Fermat's little theorem.
+func Inv(a uint64) uint64 {
+	return Pow(a, Prime-2)
+}
+
+// Canon maps an arbitrary uint64 into the field.
+func Canon(x uint64) uint64 { return reduce(x) }

@@ -1,0 +1,104 @@
+package hash
+
+import "math/rand"
+
+// Poly is a k-wise independent hash family member: a uniformly random
+// polynomial of degree k−1 over GF(2^61 − 1), evaluated by Horner's rule.
+// For distinct inputs x_1, …, x_k the values h(x_1), …, h(x_k) are fully
+// independent and uniform over [0, Prime). Degree-1 polynomials give the
+// classic pairwise family, degree-3 the 4-wise family required by AMS, and
+// degree Θ(log log n + log 1/δ) the d-wise family of the paper's fast F0
+// algorithm (Lemma 5.2).
+type Poly struct {
+	coeffs []uint64 // coeffs[0] is the constant term
+}
+
+// NewPoly draws a uniformly random member of the k-wise independent
+// polynomial family using rng. k must be >= 1.
+func NewPoly(k int, rng *rand.Rand) Poly {
+	if k < 1 {
+		panic("hash: k-wise family needs k >= 1")
+	}
+	c := make([]uint64, k)
+	for i := range c {
+		c[i] = rng.Uint64() % Prime
+	}
+	// Force a non-zero leading coefficient so the polynomial has true
+	// degree k−1 (required for the multipoint division-based evaluation,
+	// and harmless for independence: the family conditioned on a non-zero
+	// leading coefficient is still k-wise independent on k distinct points
+	// up to an O(1/Prime) statistical distance).
+	if k > 1 && c[k-1] == 0 {
+		c[k-1] = 1 + rng.Uint64()%(Prime-1)
+	}
+	return Poly{coeffs: c}
+}
+
+// Degree returns the polynomial degree (independence k = Degree()+1).
+func (p Poly) Degree() int { return len(p.coeffs) - 1 }
+
+// Coeffs returns a copy of the coefficients (constant term first). It
+// exists so the seed-leakage adversary of the experiments can be handed
+// the hash function's full description — the "randomness reuse" threat
+// model that Section 10's PRF construction defends against.
+func (p Poly) Coeffs() []uint64 { return append([]uint64(nil), p.coeffs...) }
+
+// PolyFromCoeffs reconstructs a Poly from stored coefficients (constant
+// term first), the inverse of Coeffs; used by sketch deserialization.
+// Coefficients are canonicalized into the field.
+func PolyFromCoeffs(coeffs []uint64) Poly {
+	c := make([]uint64, len(coeffs))
+	for i, v := range coeffs {
+		c[i] = Canon(v)
+	}
+	if len(c) == 0 {
+		c = []uint64{0}
+	}
+	return Poly{coeffs: c}
+}
+
+// Eval returns h(x) ∈ [0, Prime) by Horner's rule in O(k) field operations.
+func (p Poly) Eval(x uint64) uint64 {
+	x = Canon(x)
+	var acc uint64
+	for i := len(p.coeffs) - 1; i >= 0; i-- {
+		acc = Add(Mul(acc, x), p.coeffs[i])
+	}
+	return acc
+}
+
+// Uniform01 maps h(x) to a float in [0, 1), preserving order. It is the
+// form consumed by KMV-style minimum-value sketches.
+func (p Poly) Uniform01(x uint64) float64 {
+	return float64(p.Eval(x)) / float64(Prime)
+}
+
+// Sign returns ±1 derived from the low bit of h(x); with a 4-wise family
+// this is the 4-wise independent Rademacher variable used by AMS and
+// CountSketch.
+func (p Poly) Sign(x uint64) int64 {
+	if p.Eval(x)&1 == 1 {
+		return 1
+	}
+	return -1
+}
+
+// Bucket returns h(x) mod w, an (almost) uniform bucket index in [0, w).
+// The bias from the non-divisibility of Prime by w is ≤ w/Prime.
+func (p Poly) Bucket(x uint64, w int) int {
+	return int(p.Eval(x) % uint64(w))
+}
+
+// SpaceBytes returns the seed storage of the hash function in bytes.
+func (p Poly) SpaceBytes() int { return 8 * len(p.coeffs) }
+
+// SignBucket returns both a sign and a bucket from a single evaluation,
+// using disjoint bits of the hash value. The bucket uses the high bits and
+// the sign the lowest bit, so with a (k+1)-wise family both are k-wise
+// independent and mutually independent up to the 1/Prime discretization.
+func (p Poly) SignBucket(x uint64, w int) (sign int64, bucket int) {
+	h := p.Eval(x)
+	sign = int64(h&1)*2 - 1
+	bucket = int((h >> 1) % uint64(w))
+	return sign, bucket
+}

@@ -1,0 +1,56 @@
+package hash
+
+import "math/rand"
+
+// Tabulation is a simple tabulation hash over 64-bit keys: the key is
+// split into 8 bytes, each indexes a table of random 64-bit words, and the
+// results are XORed. Simple tabulation is 3-independent, and — unlike
+// low-degree polynomials — behaves like a fully random function for many
+// algorithms beyond what its independence suggests (Pătraşcu–Thorup),
+// with no field arithmetic on the hot path. It trades seed space (16 KiB
+// of tables) for per-evaluation speed, the opposite corner of the design
+// space from Poly; the hash benchmarks quantify the gap.
+type Tabulation struct {
+	tables [8][256]uint64
+}
+
+// NewTabulation draws a random simple tabulation function.
+func NewTabulation(rng *rand.Rand) *Tabulation {
+	t := &Tabulation{}
+	for i := range t.tables {
+		for j := range t.tables[i] {
+			t.tables[i][j] = rng.Uint64()
+		}
+	}
+	return t
+}
+
+// Eval returns the 64-bit hash of x.
+func (t *Tabulation) Eval(x uint64) uint64 {
+	return t.tables[0][byte(x)] ^
+		t.tables[1][byte(x>>8)] ^
+		t.tables[2][byte(x>>16)] ^
+		t.tables[3][byte(x>>24)] ^
+		t.tables[4][byte(x>>32)] ^
+		t.tables[5][byte(x>>40)] ^
+		t.tables[6][byte(x>>48)] ^
+		t.tables[7][byte(x>>56)]
+}
+
+// Uniform01 maps the hash to [0, 1).
+func (t *Tabulation) Uniform01(x uint64) float64 {
+	return float64(t.Eval(x)>>11) / float64(1<<53)
+}
+
+// Bucket returns Eval(x) mod w.
+func (t *Tabulation) Bucket(x uint64, w int) int {
+	return int(t.Eval(x) % uint64(w))
+}
+
+// Sign returns ±1 from the low bit.
+func (t *Tabulation) Sign(x uint64) int64 {
+	return int64(t.Eval(x)&1)*2 - 1
+}
+
+// SpaceBytes returns the table storage.
+func (t *Tabulation) SpaceBytes() int { return 8 * 8 * 256 }

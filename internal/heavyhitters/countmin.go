@@ -1,0 +1,171 @@
+package heavyhitters
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/hash"
+)
+
+// CountMin is the Cormode–Muthukrishnan sketch for non-negative streams:
+// rows × width counters, Query returns the minimum over rows, which always
+// upper-bounds the true frequency and exceeds it by at most ‖f‖₁/width
+// with probability 1 − 2^{−rows} per query. It provides the L1 point-query
+// guarantee (weaker than CountSketch's L2 guarantee, as the paper
+// discusses in Section 6: ‖f‖₂ can be √n times smaller than ‖f‖₁).
+type CountMin struct {
+	rows, w int
+	hs      []hash.Poly
+	c       [][]int64
+}
+
+// SizeCountMin returns dimensions with additive error ≤ ε‖f‖₁ with
+// probability 1−δ per query.
+func SizeCountMin(eps, delta float64) Sizing {
+	if eps <= 0 || eps >= 1 {
+		panic("heavyhitters: need 0 < eps < 1")
+	}
+	rows := int(math.Ceil(math.Log2(1 / delta)))
+	if rows < 2 {
+		rows = 2
+	}
+	return Sizing{Rows: rows, Width: int(math.Ceil(math.E / eps))}
+}
+
+// NewCountMin returns a CountMin sketch with the given dimensions.
+func NewCountMin(s Sizing, rng *rand.Rand) *CountMin {
+	cm := &CountMin{rows: s.Rows, w: s.Width}
+	for r := 0; r < s.Rows; r++ {
+		cm.hs = append(cm.hs, hash.NewPoly(2, rng))
+		cm.c = append(cm.c, make([]int64, s.Width))
+	}
+	return cm
+}
+
+// Update implements sketch.PointQuerier. Deltas must be non-negative for
+// the minimum guarantee to hold.
+func (cm *CountMin) Update(item uint64, delta int64) {
+	for r := 0; r < cm.rows; r++ {
+		cm.c[r][cm.hs[r].Bucket(item, cm.w)] += delta
+	}
+}
+
+// Query returns min over rows — an overestimate of f_item on non-negative
+// streams.
+func (cm *CountMin) Query(item uint64) float64 {
+	min := int64(math.MaxInt64)
+	for r := 0; r < cm.rows; r++ {
+		if v := cm.c[r][cm.hs[r].Bucket(item, cm.w)]; v < min {
+			min = v
+		}
+	}
+	return float64(min)
+}
+
+// Estimate implements sketch.Estimator with the F1 estimate (exact on
+// non-negative streams: every row sums to F1).
+func (cm *CountMin) Estimate() float64 {
+	var s int64
+	for _, v := range cm.c[0] {
+		s += v
+	}
+	return float64(s)
+}
+
+// SpaceBytes charges counters and hash seeds.
+func (cm *CountMin) SpaceBytes() int {
+	total := 0
+	for r := 0; r < cm.rows; r++ {
+		total += 8*cm.w + cm.hs[r].SpaceBytes()
+	}
+	return total
+}
+
+// MisraGries is the deterministic frequent-elements summary [32]: at most
+// k counters; any item with f_i > ‖f‖₁/(k+1) is guaranteed to be present,
+// and every stored count underestimates the truth by at most ‖f‖₁/(k+1).
+// Being deterministic it is adversarially robust as-is — it is the
+// O(ε⁻¹ log n) deterministic L1 row of Table 1, against which the
+// randomized L2 algorithms are compared.
+type MisraGries struct {
+	k        int
+	counters map[uint64]int64
+	f1       int64
+}
+
+// NewMisraGries returns a summary with at most k counters.
+func NewMisraGries(k int) *MisraGries {
+	if k < 1 {
+		panic("heavyhitters: MisraGries needs k >= 1")
+	}
+	return &MisraGries{k: k, counters: make(map[uint64]int64, k+1)}
+}
+
+// Update implements sketch.PointQuerier for unit-style non-negative deltas.
+func (mg *MisraGries) Update(item uint64, delta int64) {
+	if delta <= 0 {
+		panic("heavyhitters: MisraGries is insertion-only")
+	}
+	mg.f1 += delta
+	if _, ok := mg.counters[item]; ok {
+		mg.counters[item] += delta
+		return
+	}
+	// Weighted Misra–Gries: while the item has no counter and the summary
+	// is full, subtract the largest amount that keeps every counter
+	// non-negative (freeing a slot when some counter reaches zero),
+	// charging the same amount against the incoming delta.
+	for delta > 0 {
+		if len(mg.counters) < mg.k {
+			mg.counters[item] += delta
+			return
+		}
+		min := int64(math.MaxInt64)
+		for _, c := range mg.counters {
+			if c < min {
+				min = c
+			}
+		}
+		d := delta
+		if min < d {
+			d = min
+		}
+		for it, c := range mg.counters {
+			if c-d == 0 {
+				delete(mg.counters, it)
+			} else {
+				mg.counters[it] = c - d
+			}
+		}
+		delta -= d
+	}
+}
+
+// Query returns the stored count (a lower bound on f_item; 0 if absent).
+func (mg *MisraGries) Query(item uint64) float64 {
+	return float64(mg.counters[item])
+}
+
+// ErrorBound returns the maximum undercount ‖f‖₁/(k+1).
+func (mg *MisraGries) ErrorBound() float64 {
+	return float64(mg.f1) / float64(mg.k+1)
+}
+
+// HeavyHitters returns stored items with count ≥ thresh, sorted by id.
+func (mg *MisraGries) HeavyHitters(thresh float64) []uint64 {
+	var out []uint64
+	for it, c := range mg.counters {
+		if float64(c) >= thresh {
+			out = append(out, it)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Estimate implements sketch.Estimator with the exact F1.
+func (mg *MisraGries) Estimate() float64 { return float64(mg.f1) }
+
+// SpaceBytes charges 16 bytes per counter.
+func (mg *MisraGries) SpaceBytes() int { return 16*len(mg.counters) + 8 }

@@ -1,0 +1,165 @@
+// Package heavyhitters implements the point-query and heavy hitters
+// substrates of Section 6 of the paper: CountSketch (the static (ε, δ)
+// point-query algorithm of Lemma 6.4), CountMin, and the deterministic
+// Misra–Gries summary (the O(ε⁻¹ log n) L1 row of Table 1). The robust L2
+// heavy hitters algorithm of Theorem 6.5 is assembled from CountSketch and
+// a robust F2 estimator in internal/robust.
+package heavyhitters
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/hash"
+)
+
+// CountSketch is the Charikar–Chen–Farach-Colton sketch: rows × width
+// signed counters. Query(i) returns the median over rows of the signed
+// counter of i's bucket, an estimate of f_i with additive error
+// ≤ ‖f‖₂/√width per row (median over rows boosts the probability). The
+// sketch also tracks a bounded pool of candidate heavy items so the heavy
+// hitters *set* can be emitted without enumerating the universe, and its
+// rows double as AMS estimators of F2.
+type CountSketch struct {
+	rows, w int
+	hs      []hash.Poly
+	c       [][]int64
+
+	cands   map[uint64]struct{}
+	candCap int
+}
+
+// Sizing holds CountSketch dimensions.
+type Sizing struct {
+	Rows, Width int
+}
+
+// SizeForPointQuery returns dimensions giving additive error ε‖f‖₂ on
+// every point query with probability 1−δ (union-bound δ over the queries
+// you intend to make; Lemma 6.4 uses δ/n).
+func SizeForPointQuery(eps, delta float64) Sizing {
+	if eps <= 0 || eps >= 1 {
+		panic("heavyhitters: need 0 < eps < 1")
+	}
+	rows := 2*int(math.Ceil(0.75*math.Log2(1/delta)))/2*2 + 1
+	if rows < 3 {
+		rows = 3
+	}
+	return Sizing{Rows: rows, Width: int(math.Ceil(8 / (eps * eps)))}
+}
+
+// NewCountSketch returns a CountSketch with the given dimensions. The
+// candidate pool holds up to 4·width items (enough for every possible
+// ε-heavy hitter at the sizing above).
+func NewCountSketch(s Sizing, rng *rand.Rand) *CountSketch {
+	cs := &CountSketch{rows: s.Rows, w: s.Width, candCap: 4 * s.Width}
+	for r := 0; r < s.Rows; r++ {
+		cs.hs = append(cs.hs, hash.NewPoly(4, rng))
+		cs.c = append(cs.c, make([]int64, s.Width))
+	}
+	cs.cands = make(map[uint64]struct{})
+	return cs
+}
+
+// Update implements sketch.PointQuerier (turnstile deltas allowed).
+func (cs *CountSketch) Update(item uint64, delta int64) {
+	for r := 0; r < cs.rows; r++ {
+		sign, b := cs.hs[r].SignBucket(item, cs.w)
+		cs.c[r][b] += sign * delta
+	}
+	cs.cands[item] = struct{}{}
+	if len(cs.cands) > 2*cs.candCap {
+		cs.pruneCandidates()
+	}
+}
+
+// pruneCandidates keeps the candCap candidates with the largest estimated
+// magnitudes.
+func (cs *CountSketch) pruneCandidates() {
+	type ce struct {
+		item uint64
+		est  float64
+	}
+	all := make([]ce, 0, len(cs.cands))
+	for it := range cs.cands {
+		all = append(all, ce{it, math.Abs(cs.Query(it))})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].est > all[j].est })
+	cs.cands = make(map[uint64]struct{}, cs.candCap)
+	for i := 0; i < cs.candCap && i < len(all); i++ {
+		cs.cands[all[i].item] = struct{}{}
+	}
+}
+
+// Query returns the point-query estimate of f_item.
+func (cs *CountSketch) Query(item uint64) float64 {
+	ests := make([]float64, cs.rows)
+	for r := 0; r < cs.rows; r++ {
+		sign, b := cs.hs[r].SignBucket(item, cs.w)
+		ests[r] = float64(sign * cs.c[r][b])
+	}
+	sort.Float64s(ests)
+	if cs.rows%2 == 1 {
+		return ests[cs.rows/2]
+	}
+	return (ests[cs.rows/2-1] + ests[cs.rows/2]) / 2
+}
+
+// Estimate implements sketch.Estimator with the F2 estimate derived from
+// the rows (each row's squared norm is an AMS estimator of ‖f‖₂²).
+func (cs *CountSketch) Estimate() float64 {
+	ests := make([]float64, cs.rows)
+	for r := 0; r < cs.rows; r++ {
+		var s float64
+		for _, v := range cs.c[r] {
+			fv := float64(v)
+			s += fv * fv
+		}
+		ests[r] = s
+	}
+	sort.Float64s(ests)
+	return ests[cs.rows/2]
+}
+
+// L2 returns the estimate of ‖f‖₂.
+func (cs *CountSketch) L2() float64 { return math.Sqrt(cs.Estimate()) }
+
+// HeavyHitters returns every candidate whose estimated magnitude is at
+// least thresh, sorted by id.
+func (cs *CountSketch) HeavyHitters(thresh float64) []uint64 {
+	var out []uint64
+	for it := range cs.cands {
+		if math.Abs(cs.Query(it)) >= thresh {
+			out = append(out, it)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Clone returns a deep copy of the sketch state (sharing the immutable
+// hash functions). The robust heavy hitters algorithm freezes clones at
+// switching times.
+func (cs *CountSketch) Clone() *CountSketch {
+	cp := &CountSketch{rows: cs.rows, w: cs.w, candCap: cs.candCap, hs: cs.hs}
+	for r := 0; r < cs.rows; r++ {
+		row := make([]int64, cs.w)
+		copy(row, cs.c[r])
+		cp.c = append(cp.c, row)
+	}
+	cp.cands = make(map[uint64]struct{}, len(cs.cands))
+	for it := range cs.cands {
+		cp.cands[it] = struct{}{}
+	}
+	return cp
+}
+
+// SpaceBytes charges counters, hash seeds and the candidate pool.
+func (cs *CountSketch) SpaceBytes() int {
+	total := 8 * len(cs.cands)
+	for r := 0; r < cs.rows; r++ {
+		total += 8*cs.w + cs.hs[r].SpaceBytes()
+	}
+	return total
+}

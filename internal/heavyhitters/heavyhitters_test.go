@@ -1,0 +1,285 @@
+package heavyhitters
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stream"
+)
+
+func feed(t *testing.T, g stream.Generator, sinks ...interface {
+	Update(uint64, int64)
+}) *stream.Freq {
+	t.Helper()
+	f := stream.NewFreq()
+	for {
+		u, ok := g.Next()
+		if !ok {
+			return f
+		}
+		f.Apply(u)
+		for _, s := range sinks {
+			s.Update(u.Item, u.Delta)
+		}
+	}
+}
+
+func TestCountSketchPointQueryError(t *testing.T) {
+	const eps = 0.1
+	rng := rand.New(rand.NewSource(1))
+	cs := NewCountSketch(SizeForPointQuery(eps, 1e-4), rng)
+	f := feed(t, stream.NewZipf(1<<16, 30000, 1.2, 2), cs)
+	l2 := f.L2()
+	bad := 0
+	checked := 0
+	for _, it := range f.Support() {
+		checked++
+		if math.Abs(cs.Query(it)-float64(f.Count(it))) > eps*l2 {
+			bad++
+		}
+		if checked >= 2000 {
+			break
+		}
+	}
+	if bad > checked/100 {
+		t.Errorf("%d/%d point queries exceeded ε‖f‖₂", bad, checked)
+	}
+}
+
+func TestCountSketchExactOnSparseStream(t *testing.T) {
+	// With fewer items than buckets, collisions are unlikely and queries
+	// are near-exact; with only one item they are exact.
+	rng := rand.New(rand.NewSource(3))
+	cs := NewCountSketch(Sizing{Rows: 5, Width: 256}, rng)
+	cs.Update(42, 1000)
+	if got := cs.Query(42); got != 1000 {
+		t.Errorf("Query(42) = %v, want exactly 1000", got)
+	}
+	if got := cs.Query(43); got != 0 {
+		t.Errorf("Query(43) = %v, want 0", got)
+	}
+}
+
+func TestCountSketchHeavyHittersRecall(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cs := NewCountSketch(SizeForPointQuery(0.05, 1e-4), rng)
+	g := stream.NewHeavy(1<<18, 40000, 5, 0.5, 6)
+	f := feed(t, g, cs)
+	// Every true 0.1-L2 heavy hitter must be recovered at threshold
+	// 0.05·L2 (the Definition 6.1 two-sided guarantee).
+	thresh := 0.05 * f.L2()
+	got := map[uint64]bool{}
+	for _, it := range cs.HeavyHitters(thresh) {
+		got[it] = true
+	}
+	for _, it := range f.L2HeavyHitters(0.1) {
+		if !got[it] {
+			t.Errorf("missed true heavy hitter %d (count %d)", it, f.Count(it))
+		}
+	}
+	// And nothing below 0.025·L2 should appear.
+	for it := range got {
+		if math.Abs(float64(f.Count(it))) < 0.025*f.L2() {
+			t.Errorf("false positive %d (count %d < %v)", it, f.Count(it), 0.025*f.L2())
+		}
+	}
+}
+
+func TestCountSketchF2Estimate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cs := NewCountSketch(SizeForPointQuery(0.1, 1e-3), rng)
+	f := feed(t, stream.NewUniform(1<<14, 20000, 8), cs)
+	if err := math.Abs(cs.Estimate()-f.Fp(2)) / f.Fp(2); err > 0.1 {
+		t.Errorf("F2 estimate error = %v, want ≤ 0.1", err)
+	}
+	if l2 := cs.L2(); math.Abs(l2-f.L2())/f.L2() > 0.06 {
+		t.Errorf("L2 estimate error too large: got %v, want ≈ %v", l2, f.L2())
+	}
+}
+
+func TestCountSketchCloneIsIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	cs := NewCountSketch(Sizing{Rows: 3, Width: 64}, rng)
+	cs.Update(1, 10)
+	cp := cs.Clone()
+	cs.Update(1, 90)
+	if got := cp.Query(1); got != 10 {
+		t.Errorf("clone saw later update: Query(1) = %v, want 10", got)
+	}
+	if got := cs.Query(1); got != 100 {
+		t.Errorf("original Query(1) = %v, want 100", got)
+	}
+}
+
+func TestCountSketchCandidatePoolBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cs := NewCountSketch(Sizing{Rows: 3, Width: 16}, rng)
+	for i := uint64(0); i < 10000; i++ {
+		cs.Update(i, 1)
+	}
+	if len(cs.cands) > 2*cs.candCap+1 {
+		t.Errorf("candidate pool grew to %d, cap is %d", len(cs.cands), cs.candCap)
+	}
+}
+
+func TestCountSketchTurnstile(t *testing.T) {
+	prop := func(items []uint8, deltas []int8) bool {
+		rng := rand.New(rand.NewSource(13))
+		cs := NewCountSketch(Sizing{Rows: 3, Width: 32}, rng)
+		n := len(items)
+		if len(deltas) < n {
+			n = len(deltas)
+		}
+		for i := 0; i < n; i++ {
+			cs.Update(uint64(items[i]), int64(deltas[i]))
+		}
+		for i := 0; i < n; i++ {
+			cs.Update(uint64(items[i]), -int64(deltas[i]))
+		}
+		return cs.Estimate() == 0 && cs.Query(0) == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountMinOverestimates(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	cm := NewCountMin(SizeCountMin(0.01, 1e-3), rng)
+	f := feed(t, stream.NewZipf(1<<14, 20000, 1.3, 16), cm)
+	for _, it := range f.Support()[:100] {
+		if cm.Query(it) < float64(f.Count(it)) {
+			t.Errorf("CountMin underestimated item %d: %v < %d", it, cm.Query(it), f.Count(it))
+		}
+	}
+	if cm.Estimate() != f.F1() {
+		t.Errorf("CountMin F1 = %v, want %v", cm.Estimate(), f.F1())
+	}
+}
+
+func TestCountMinErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const eps = 0.01
+	cm := NewCountMin(SizeCountMin(eps, 1e-4), rng)
+	f := feed(t, stream.NewUniform(1<<12, 30000, 18), cm)
+	bad := 0
+	for _, it := range f.Support()[:500] {
+		if cm.Query(it)-float64(f.Count(it)) > eps*f.F1() {
+			bad++
+		}
+	}
+	if bad > 5 {
+		t.Errorf("%d/500 CountMin queries exceeded ε‖f‖₁ overestimate", bad)
+	}
+}
+
+func TestMisraGriesGuarantees(t *testing.T) {
+	const k = 9
+	mg := NewMisraGries(k)
+	f := feed(t, stream.NewZipf(1<<12, 20000, 1.5, 19), mg)
+	bound := mg.ErrorBound()
+	// Lower-bound property and bounded undercount, for every item.
+	for _, it := range f.Support() {
+		est, truth := mg.Query(it), float64(f.Count(it))
+		if est > truth {
+			t.Errorf("MG overestimated %d: %v > %v", it, est, truth)
+		}
+		if truth-est > bound {
+			t.Errorf("MG undercount for %d exceeds bound: %v - %v > %v", it, truth, est, bound)
+		}
+	}
+	// Every item above F1/(k+1) must be present.
+	for _, it := range f.HeavyHitters(bound + 1) {
+		if mg.Query(it) == 0 {
+			t.Errorf("MG missed guaranteed heavy item %d", it)
+		}
+	}
+	if len(mg.counters) > k {
+		t.Errorf("MG stored %d counters, cap %d", len(mg.counters), k)
+	}
+}
+
+func TestMisraGriesWeightedUpdates(t *testing.T) {
+	mg := NewMisraGries(2)
+	mg.Update(1, 100)
+	mg.Update(2, 50)
+	mg.Update(3, 80) // evicts mass: subtract min(50,80)=50, freeing item 2, then store 30
+	if mg.Query(1) != 50 {
+		t.Errorf("Query(1) = %v, want 50", mg.Query(1))
+	}
+	if mg.Query(2) != 0 {
+		t.Errorf("Query(2) = %v, want 0", mg.Query(2))
+	}
+	if mg.Query(3) != 30 {
+		t.Errorf("Query(3) = %v, want 30", mg.Query(3))
+	}
+	if mg.Estimate() != 230 {
+		t.Errorf("F1 = %v, want 230", mg.Estimate())
+	}
+}
+
+func TestMisraGriesRejectsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on delta <= 0")
+		}
+	}()
+	NewMisraGries(4).Update(1, -1)
+}
+
+func TestMisraGriesDeterministicAndRobust(t *testing.T) {
+	// Determinism: two instances fed the same stream agree exactly —
+	// the reason deterministic algorithms are trivially adversarially
+	// robust.
+	a, b := NewMisraGries(8), NewMisraGries(8)
+	g := stream.NewZipf(1024, 5000, 1.4, 21)
+	for {
+		u, ok := g.Next()
+		if !ok {
+			break
+		}
+		a.Update(u.Item, u.Delta)
+		b.Update(u.Item, u.Delta)
+	}
+	for it := uint64(0); it < 1024; it++ {
+		if a.Query(it) != b.Query(it) {
+			t.Fatalf("instances disagree at %d", it)
+		}
+	}
+}
+
+func TestSpacePositive(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	cs := NewCountSketch(Sizing{Rows: 3, Width: 8}, rng)
+	cm := NewCountMin(Sizing{Rows: 2, Width: 8}, rng)
+	mg := NewMisraGries(4)
+	cs.Update(1, 1)
+	cm.Update(1, 1)
+	mg.Update(1, 1)
+	for _, sb := range []int{cs.SpaceBytes(), cm.SpaceBytes(), mg.SpaceBytes()} {
+		if sb <= 0 {
+			t.Errorf("SpaceBytes = %d, want > 0", sb)
+		}
+	}
+}
+
+func BenchmarkCountSketchUpdate(b *testing.B) {
+	cs := NewCountSketch(SizeForPointQuery(0.05, 1e-4), rand.New(rand.NewSource(1)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs.Update(uint64(i), 1)
+	}
+}
+
+func BenchmarkCountSketchQuery(b *testing.B) {
+	cs := NewCountSketch(SizeForPointQuery(0.05, 1e-4), rand.New(rand.NewSource(1)))
+	for i := 0; i < 10000; i++ {
+		cs.Update(uint64(i), 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs.Query(uint64(i % 10000))
+	}
+}

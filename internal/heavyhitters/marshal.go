@@ -1,0 +1,67 @@
+package heavyhitters
+
+import (
+	"fmt"
+
+	"repro/internal/codec"
+	"repro/internal/hash"
+)
+
+const csFormatV1 = 1
+
+// MarshalBinary encodes the sketch state (hash functions, counters, and
+// the candidate pool, so heavy hitters survive the round trip).
+func (cs *CountSketch) MarshalBinary() ([]byte, error) {
+	var w codec.Writer
+	w.U8(csFormatV1)
+	w.U64(uint64(cs.rows))
+	w.U64(uint64(cs.w))
+	w.U64(uint64(cs.candCap))
+	for r := 0; r < cs.rows; r++ {
+		w.U64s(cs.hs[r].Coeffs())
+		w.I64s(cs.c[r])
+	}
+	cands := make([]uint64, 0, len(cs.cands))
+	for it := range cs.cands {
+		cands = append(cands, it)
+	}
+	w.U64s(cands)
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary decodes state produced by MarshalBinary, replacing cs.
+func (cs *CountSketch) UnmarshalBinary(data []byte) error {
+	r := codec.NewReader(data)
+	if v := r.U8(); v != csFormatV1 && r.Err() == nil {
+		return fmt.Errorf("heavyhitters: unsupported CountSketch format version %d", v)
+	}
+	rows := int(r.U64())
+	w := int(r.U64())
+	candCap := int(r.U64())
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if rows < 1 || rows > 1<<20 || w < 1 || candCap < 0 {
+		return fmt.Errorf("heavyhitters: invalid CountSketch header (%d, %d, %d)", rows, w, candCap)
+	}
+	hs := make([]hash.Poly, 0, rows)
+	c := make([][]int64, 0, rows)
+	for i := 0; i < rows; i++ {
+		hs = append(hs, hash.PolyFromCoeffs(r.U64s()))
+		row := r.I64s()
+		if r.Err() == nil && len(row) != w {
+			return fmt.Errorf("heavyhitters: row %d has %d counters, want %d", i, len(row), w)
+		}
+		c = append(c, row)
+	}
+	cands := r.U64s()
+	if err := r.Done(); err != nil {
+		return err
+	}
+	cs.rows, cs.w, cs.candCap, cs.hs, cs.c = rows, w, candCap, hs, c
+	cs.cands = make(map[uint64]struct{}, len(cands))
+	for _, it := range cands {
+		cs.cands[it] = struct{}{}
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package prf
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPRFDeterministic(t *testing.T) {
+	a := NewFromSeed(1)
+	b := NewFromSeed(1)
+	for x := uint64(0); x < 100; x++ {
+		if a.Eval64(x) != b.Eval64(x) {
+			t.Fatalf("same-seed PRFs differ at %d", x)
+		}
+	}
+}
+
+func TestPRFKeysDiffer(t *testing.T) {
+	a := NewFromSeed(1)
+	b := NewFromSeed(2)
+	same := 0
+	for x := uint64(0); x < 100; x++ {
+		if a.Eval64(x) == b.Eval64(x) {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d/100 collisions between different keys; expected none", same)
+	}
+}
+
+func TestPRFInjectiveOnSample(t *testing.T) {
+	p := NewFromSeed(3)
+	seen := map[uint64]uint64{}
+	for x := uint64(0); x < 100000; x++ {
+		y := p.Eval64(x)
+		if prev, ok := seen[y]; ok {
+			t.Fatalf("collision: Eval64(%d) == Eval64(%d)", x, prev)
+		}
+		seen[y] = x
+	}
+}
+
+func TestPRFBitBalance(t *testing.T) {
+	p := NewFromSeed(4)
+	ones := 0
+	const n = 10000
+	for x := uint64(0); x < n; x++ {
+		y := p.Eval64(x)
+		for b := 0; b < 64; b++ {
+			if y&(1<<b) != 0 {
+				ones++
+			}
+		}
+	}
+	total := float64(n * 64)
+	frac := float64(ones) / total
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Errorf("bit balance = %v, want ≈ 0.5", frac)
+	}
+}
+
+func TestNewRejectsBadKey(t *testing.T) {
+	if _, err := New([]byte("short")); err == nil {
+		t.Error("New accepted a 5-byte key")
+	}
+	if _, err := New(make([]byte, 16)); err != nil {
+		t.Errorf("New rejected a 16-byte key: %v", err)
+	}
+}
+
+func TestOracleDeterministicAndKeyed(t *testing.T) {
+	a := NewOracle(7)
+	b := NewOracle(7)
+	c := NewOracle(8)
+	diff := false
+	for x := uint64(0); x < 100; x++ {
+		if a.Query(x) != b.Query(x) {
+			t.Fatalf("same-seed oracles differ at %d", x)
+		}
+		if a.Query(x) != c.Query(x) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different-seed oracles agree everywhere")
+	}
+}
+
+func TestSpaceAccounting(t *testing.T) {
+	if got := NewFromSeed(1).SpaceBytes(); got != 176 {
+		t.Errorf("PRF SpaceBytes = %d, want 176 (11 AES round keys)", got)
+	}
+	if got := NewOracle(1).SpaceBytes(); got != 0 {
+		t.Errorf("Oracle SpaceBytes = %d, want 0 by the random-oracle convention", got)
+	}
+}

@@ -1,0 +1,34 @@
+package robust
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/fp"
+)
+
+// NewBoundedDeletionFp returns the adversarially robust Fp estimator for
+// α-bounded-deletion streams of Theorem 1.11 / 8.3 (p ∈ [1, 2]): the
+// computation-paths reduction, with the flip budget of Lemma 8.2
+// (λ = O(p·α·ε^{−p}·log n) — every (1±ε) movement of ‖f‖_p forces the
+// absolute-value stream's moment to grow by a (1 + ε^p/α) factor). The
+// published value tracks the moment ‖f‖_p^p as in the theorem statement.
+// kCap as in NewFpPaths; pass 0 for the honest sizing.
+func NewBoundedDeletionFp(p, alpha, eps float64, n, m uint64, maxCount float64, kCap int, seed int64) *core.Paths {
+	lambda := core.FlipBoundBoundedDeletion(p, alpha, eps/20, n, maxCount)
+	t := float64(n) * math.Pow(maxCount, p)
+	lnInvDelta0 := core.PathsLnInvDelta(m, lambda, eps, t, math.Log(1000))
+	k := int(math.Ceil(3 / (eps / 6 * eps / 6) * 0.3 * lnInvDelta0 * math.Log2E))
+	if kCap > 0 && k > kCap {
+		k = kCap
+	}
+	inner := fp.NewIndyk(p, k, rand.New(rand.NewSource(seed)))
+	return core.NewPaths(eps, momentAdapter{inner})
+}
+
+// BoundedDeletionLambda exposes the Lemma 8.2 flip bound for the
+// experiment harness.
+func BoundedDeletionLambda(p, alpha, eps float64, n uint64, maxCount float64) int {
+	return core.FlipBoundBoundedDeletion(p, alpha, eps, n, maxCount)
+}

@@ -1,0 +1,76 @@
+package robust
+
+import (
+	"fmt"
+
+	"repro/internal/prf"
+	"repro/internal/sketch"
+)
+
+// CryptoF0 is the cryptographically robust distinct-elements estimator of
+// Theorem 10.1: every stream item is passed through an AES-based
+// pseudorandom function before reaching a duplicate-insensitive F0 sketch.
+// Against a polynomial-time adversary the PRF outputs are indistinguishable
+// from fresh random identities, so adaptivity buys nothing: re-inserting a
+// seen item provably does not change the state (duplicate-insensitivity),
+// and a new item's hash behavior is computationally unpredictable even if
+// the inner sketch's own hash function is public. The extra space over the
+// static sketch is one AES key schedule — the essentially-free
+// robustification of the theorem.
+type CryptoF0 struct {
+	prf   *prf.PRF
+	inner sketch.Estimator
+}
+
+// NewCryptoF0 wraps inner, which must declare duplicate-insensitivity
+// (sketch.DuplicateInsensitive); KMV-based estimators from internal/f0 do.
+func NewCryptoF0(p *prf.PRF, inner sketch.Estimator) (*CryptoF0, error) {
+	di, ok := inner.(sketch.DuplicateInsensitive)
+	if !ok || !di.DuplicateInsensitive() {
+		return nil, fmt.Errorf("robust: CryptoF0 requires a duplicate-insensitive inner sketch, got %T", inner)
+	}
+	return &CryptoF0{prf: p, inner: inner}, nil
+}
+
+// Update maps the item through the PRF and feeds the inner sketch.
+func (c *CryptoF0) Update(item uint64, delta int64) {
+	c.inner.Update(c.prf.Eval64(item), delta)
+}
+
+// Estimate returns the inner sketch's distinct-count estimate (the PRF is
+// injective up to negligible truncation collisions, so distinct counts are
+// preserved).
+func (c *CryptoF0) Estimate() float64 { return c.inner.Estimate() }
+
+// SpaceBytes charges the inner sketch plus the AES key schedule.
+func (c *CryptoF0) SpaceBytes() int { return c.inner.SpaceBytes() + c.prf.SpaceBytes() }
+
+// OracleF0 is the random-oracle variant of Theorem 1.3 (first part of
+// Theorem 10.1): identical to CryptoF0 but with the item mapping served by
+// a random oracle, whose storage the random-oracle model does not charge —
+// so the robust algorithm costs exactly the static sketch's space.
+type OracleF0 struct {
+	oracle *prf.Oracle
+	inner  sketch.Estimator
+}
+
+// NewOracleF0 wraps inner (which must be duplicate-insensitive, as in
+// NewCryptoF0) with a random-oracle item mapping.
+func NewOracleF0(o *prf.Oracle, inner sketch.Estimator) (*OracleF0, error) {
+	di, ok := inner.(sketch.DuplicateInsensitive)
+	if !ok || !di.DuplicateInsensitive() {
+		return nil, fmt.Errorf("robust: OracleF0 requires a duplicate-insensitive inner sketch, got %T", inner)
+	}
+	return &OracleF0{oracle: o, inner: inner}, nil
+}
+
+// Update maps the item through the oracle and feeds the inner sketch.
+func (c *OracleF0) Update(item uint64, delta int64) {
+	c.inner.Update(c.oracle.Query(item), delta)
+}
+
+// Estimate returns the inner sketch's estimate.
+func (c *OracleF0) Estimate() float64 { return c.inner.Estimate() }
+
+// SpaceBytes charges only the inner sketch (random-oracle convention).
+func (c *OracleF0) SpaceBytes() int { return c.inner.SpaceBytes() + c.oracle.SpaceBytes() }

@@ -1,0 +1,159 @@
+package robust
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/f0"
+	"repro/internal/game"
+	"repro/internal/prf"
+	"repro/internal/stream"
+)
+
+func TestOracleF0AccuracyAndSpace(t *testing.T) {
+	inner := f0.NewHLL(12, rand.New(rand.NewSource(1)))
+	alg, err := NewOracleF0(prf.NewOracle(7), inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := game.Run(alg,
+		game.FromGenerator(stream.NewUniform(1<<14, 10000, 3)),
+		(*stream.Freq).F0,
+		game.RelCheck(0.15),
+		game.Config{Warmup: 100})
+	if res.Broken {
+		t.Fatalf("oracle F0 broke at %d: est %v vs truth %v", res.BrokenAt, res.BrokenEst, res.BrokenTru)
+	}
+	// Theorem 1.3: in the random-oracle model the mapping is free, so the
+	// robust algorithm's space equals the static sketch's space exactly.
+	if alg.SpaceBytes() != inner.SpaceBytes() {
+		t.Errorf("oracle F0 space %d != inner %d; the oracle must cost 0", alg.SpaceBytes(), inner.SpaceBytes())
+	}
+}
+
+func TestOracleF0RejectsNonDuplicateInsensitive(t *testing.T) {
+	if _, err := NewOracleF0(prf.NewOracle(1), f0.NewAlg2(f0.Alg2Params{B: 8, D: 8}, true, 1)); err == nil {
+		t.Error("batched Alg2 must be rejected")
+	}
+}
+
+func TestFpPathsTracks(t *testing.T) {
+	const eps = 0.5
+	alg := NewFpPaths(2, eps, 1<<10, 1<<12, 1024, 2048, 7)
+	res := game.Run(alg,
+		game.FromGenerator(stream.NewUniform(1<<10, 3000, 9)),
+		(*stream.Freq).L2,
+		game.RelCheck(2*eps),
+		game.Config{Warmup: 50})
+	if res.Broken {
+		t.Fatalf("computation-paths L2 broke at %d: est %v vs truth %v",
+			res.BrokenAt, res.BrokenEst, res.BrokenTru)
+	}
+}
+
+func TestFpPathsLnInvDeltaRegime(t *testing.T) {
+	// The Theorem 1.5 sizing must demand an astronomically small δ₀:
+	// ln(1/δ₀) far beyond anything float64-representable as a probability.
+	ln := FpPathsLnInvDelta(2, 0.2, 1<<20, 1<<20, float64(1<<20))
+	if ln < 700 { // e^{-700} is below float64's smallest positive value
+		t.Errorf("ln(1/δ₀) = %v; expected the deep sub-float64 regime", ln)
+	}
+}
+
+// TestRobustHeavyHittersUnderAdaptiveFlooder ports the netmon scenario
+// into a regression test: the flooder throttles whenever the published set
+// contains it, so its behavior depends on the algorithm's outputs.
+func TestRobustHeavyHittersUnderAdaptiveFlooder(t *testing.T) {
+	const eps = 0.3
+	const flood = uint64(0xBAD)
+	hh := NewHeavyHitters(eps, 0.02, 1<<20, 1)
+	truth := stream.NewFreq()
+	rng := rand.New(rand.NewSource(99))
+	var set []uint64
+	contains := func(id uint64) bool {
+		for _, s := range set {
+			if s == id {
+				return true
+			}
+		}
+		return false
+	}
+	for step := 0; step < 15000; step++ {
+		var u stream.Update
+		switch {
+		case step%5 == 0:
+			u = stream.Update{Item: 1<<20 + uint64(step%4), Delta: 1}
+		case step%2 == 0 && contains(flood):
+			u = stream.Update{Item: rng.Uint64() % (1 << 20), Delta: 1}
+		case step%2 == 0:
+			u = stream.Update{Item: flood, Delta: 3}
+		default:
+			u = stream.Update{Item: rng.Uint64() % (1 << 20), Delta: 1}
+		}
+		hh.Update(u.Item, u.Delta)
+		truth.Apply(u)
+		if step%100 == 0 {
+			set = hh.Set()
+		}
+	}
+	set = hh.Set()
+	for _, id := range truth.L2HeavyHitters(1.5 * eps) {
+		if !contains(id) {
+			t.Errorf("missed true 1.5ε-heavy flow %#x (count %d)", id, truth.Count(id))
+		}
+	}
+	for _, id := range set {
+		if math.Abs(float64(truth.Count(id))) < eps/4*truth.L2() {
+			t.Errorf("false positive %#x (count %d)", id, truth.Count(id))
+		}
+	}
+}
+
+// TestDistributedShardsFeedRobustTracker combines the library features:
+// shards sketch locally, serialize, merge at a coordinator — and the
+// merged sketch continues as the seed state of further robust tracking.
+func TestDistributedShardsFeedRobustTracker(t *testing.T) {
+	origin := f0.NewKMV(512, rand.New(rand.NewSource(1)))
+	shards := []*f0.KMV{origin.Fresh(), origin.Fresh(), origin.Fresh()}
+	truth := stream.NewFreq()
+	g := stream.NewUniform(1<<14, 30000, 5)
+	for {
+		u, ok := g.Next()
+		if !ok {
+			break
+		}
+		shards[u.Item%3].Update(u.Item, u.Delta)
+		truth.Apply(u)
+	}
+	merged := origin.Fresh()
+	for _, s := range shards {
+		data, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var decoded f0.KMV
+		if err := decoded.UnmarshalBinary(data); err != nil {
+			t.Fatal(err)
+		}
+		if err := merged.Merge(&decoded); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e := math.Abs(merged.Estimate()-truth.F0()) / truth.F0(); e > 0.15 {
+		t.Fatalf("merged estimate error %v", e)
+	}
+	// Continue the stream on the merged sketch (a coordinator taking over
+	// live tracking) and hand it to the crypto wrapper.
+	alg, err := NewCryptoF0(prf.NewFromSeed(3), merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1 << 20); i < 1<<20+5000; i++ {
+		alg.Update(i, 1)
+		truth.Apply(stream.Update{Item: 1<<21 + i, Delta: 1}) // PRF remaps; track count only
+	}
+	if e := math.Abs(alg.Estimate()-truth.F0()) / truth.F0(); e > 0.15 {
+		t.Fatalf("post-merge continued tracking error %v", e)
+	}
+}

@@ -1,0 +1,56 @@
+package robust
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/f0"
+	"repro/internal/sketch"
+)
+
+// NewF0 returns the adversarially robust distinct-elements estimator of
+// Theorem 1.1 (sketch switching with the ring/restart optimization of
+// Theorem 4.1, which cuts the copy count from Θ(ε⁻¹ log n) to
+// Θ(ε⁻¹ log ε⁻¹)): a ring of independent (Θ(ε), δ/copies)-strong-tracking
+// KMV estimators, published through ε/2-rounding. With probability 1−δ the
+// output is a (1±ε)-approximation of ‖f^(t)‖₀ at every step of any
+// adaptively chosen insertion-only stream over [n].
+func NewF0(eps, delta float64, n uint64, seed int64) *core.Switcher {
+	copies := core.RingCopies(eps)
+	innerDelta := delta / float64(copies)
+	// Inner accuracy ε/5 (the paper's proof constant is ε/20; see the
+	// DESIGN.md note on constants — the integration tests validate the
+	// end-to-end ε guarantee empirically).
+	return core.NewSwitcher(eps, copies, true, seed, func(s int64) sketch.Estimator {
+		return f0.NewTracking(eps/5, innerDelta, n, s)
+	})
+}
+
+// F0FastLnInvDelta returns ln(1/δ₀) for the computation-paths reduction
+// applied to F0 over streams of length m (Theorem 1.2's regime
+// δ = n^{−Θ((1/ε)·log n)}).
+func F0FastLnInvDelta(eps float64, n, m uint64) float64 {
+	lambda := core.FlipBoundFp(0, eps/20, n, 1)
+	return core.PathsLnInvDelta(m, lambda, eps, float64(n), math.Log(1000))
+}
+
+// NewF0Fast returns the fast robust distinct-elements estimator of
+// Theorem 1.2: a single instance of the paper's Algorithm 2 (batched
+// multipoint hashing, so the update cost depends only poly-log-log on the
+// tiny failure probability), instantiated at the computation-paths δ₀ and
+// published through ε/2-rounding.
+func NewF0Fast(eps float64, n, m uint64, seed int64) *core.Paths {
+	params := f0.Alg2Sizing(eps/10, F0FastLnInvDelta(eps, n, m), n)
+	return core.NewPaths(eps, f0.NewAlg2(params, true, seed))
+}
+
+// NewF0FastScaled is NewF0Fast with a caller-chosen ln(1/δ₀) instead of
+// the full Theorem 1.2 value. At laptop scale the honest δ₀ makes
+// Algorithm 2's exact prefix longer than the whole stream (the space bound
+// ε⁻³·log³n exceeds the stream size until n is very large — an honest
+// consequence of the theory); the scaled variant lets demos and benchmarks
+// exercise the level-sampling path.
+func NewF0FastScaled(eps, lnInvDelta float64, n uint64, seed int64) *core.Paths {
+	params := f0.Alg2Sizing(eps/10, lnInvDelta, n)
+	return core.NewPaths(eps, f0.NewAlg2(params, true, seed))
+}

@@ -1,0 +1,112 @@
+package robust
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/fp"
+	"repro/internal/sketch"
+)
+
+// indykTrackingK sizes the counter count of an Indyk sketch for
+// (ε, δ)-tracking on insertion-only streams via the milestone union bound
+// (the statistic is monotone, so correctness at the O(ε⁻¹ log T)
+// milestones where it grows by (1+ε) pins it everywhere up to constants —
+// the heuristic stand-in for [7]'s chaining argument documented in
+// DESIGN.md, substitution 2).
+func indykTrackingK(eps, delta float64, n uint64) int {
+	milestones := math.Log(float64(n)+4)/math.Log1p(eps) + 2
+	boost := 0.3 * math.Log2(milestones/delta)
+	if boost < 1 {
+		boost = 1
+	}
+	k := int(math.Ceil(3 / (eps * eps) * boost))
+	if k < 16 {
+		k = 16
+	}
+	return k
+}
+
+// NewFp returns the adversarially robust Lp-norm estimator of Theorem 1.4
+// for p ∈ (0, 2]: ring sketch switching over strong-tracking p-stable
+// sketches (for p = 2, the faster bucketed AMS sketch). With probability
+// 1−δ it publishes (1±ε)·‖f^(t)‖_p at every step of any adaptively chosen
+// insertion-only stream.
+func NewFp(p, eps, delta float64, n uint64, seed int64) *core.Switcher {
+	copies := core.RingCopies(eps)
+	innerDelta := delta / float64(copies)
+	eps0 := eps / 6
+	var factory sketch.Factory
+	if p == 2 {
+		// Milestone union bound, as in indykTrackingK.
+		milestones := math.Log(float64(n)+4)/math.Log1p(eps0) + 2
+		sizing := fp.SizeF2(eps0, innerDelta/milestones)
+		factory = func(s int64) sketch.Estimator {
+			return l2Adapter{fp.NewF2(sizing, rand.New(rand.NewSource(s)))}
+		}
+	} else {
+		k := indykTrackingK(eps0, innerDelta, n)
+		factory = func(s int64) sketch.Estimator {
+			return fp.NewIndyk(p, k, rand.New(rand.NewSource(s)))
+		}
+	}
+	return core.NewSwitcher(eps, copies, true, seed, factory)
+}
+
+// FpPathsLnInvDelta returns ln(1/δ₀) for the computation-paths reduction
+// applied to ‖·‖_p over streams of length m with counts ≤ maxCount
+// (Theorems 1.5/4.2: δ ≈ n^{−C·(1/ε)·log n}).
+func FpPathsLnInvDelta(p, eps float64, n, m uint64, maxCount float64) float64 {
+	lambda := core.FlipBoundLp(p, eps/20, n, maxCount)
+	t := math.Pow(float64(n)*math.Pow(maxCount, p), 1/p)
+	return core.PathsLnInvDelta(m, lambda, eps, t, math.Log(1000))
+}
+
+// NewFpPaths returns the computation-paths robust Lp estimator of
+// Theorem 1.5 (preferable to switching in the very-small-δ regime): one
+// p-stable sketch instantiated at δ₀ and published through ε/2-rounding.
+// kCap, when positive, caps the sketch's counter count so the estimator
+// stays runnable at laptop scale; pass 0 for the honest Theorem 4.2 sizing.
+func NewFpPaths(p, eps float64, n, m uint64, maxCount float64, kCap int, seed int64) *core.Paths {
+	lnInvDelta0 := FpPathsLnInvDelta(p, eps, n, m, maxCount)
+	k := int(math.Ceil(3 / (eps / 6 * eps / 6) * 0.3 * lnInvDelta0 * math.Log2E))
+	if kCap > 0 && k > kCap {
+		k = kCap
+	}
+	return core.NewPaths(eps, fp.NewIndyk(p, k, rand.New(rand.NewSource(seed))))
+}
+
+// NewTurnstileFp returns the robust Fp estimator of Theorem 1.6 for the
+// class S_λ of turnstile streams with Fp flip number at most λ: the
+// computation-paths reduction with the caller-supplied flip budget. The
+// published value tracks the moment F_p = ‖f‖_p^p, as in Theorem 4.3.
+// kCap as in NewFpPaths.
+func NewTurnstileFp(p, eps float64, lambda int, m uint64, maxT float64, kCap int, seed int64) *core.Paths {
+	lnInvDelta0 := core.PathsLnInvDelta(m, lambda, eps, maxT, math.Log(1000))
+	k := int(math.Ceil(3 / (eps / 6 * eps / 6) * 0.3 * lnInvDelta0 * math.Log2E))
+	if kCap > 0 && k > kCap {
+		k = kCap
+	}
+	inner := fp.NewIndyk(p, k, rand.New(rand.NewSource(seed)))
+	return core.NewPaths(eps, momentAdapter{inner})
+}
+
+// momentAdapter publishes the moment ‖f‖_p^p from a norm-semantics sketch.
+type momentAdapter struct {
+	inner *fp.Indyk
+}
+
+func (a momentAdapter) Update(item uint64, delta int64) { a.inner.Update(item, delta) }
+func (a momentAdapter) Estimate() float64               { return a.inner.Moment() }
+func (a momentAdapter) SpaceBytes() int                 { return a.inner.SpaceBytes() }
+
+// NewFpBig returns the robust Fp estimator for p > 2 of Theorem 1.7:
+// computation paths over the max-stability estimator, whose width carries
+// the n^{1−2/p} dependence of the space bound. reps/rows size the inner
+// estimator (the benchmark harness sweeps them).
+func NewFpBig(p, eps float64, n, m uint64, reps, rows int, seed int64) *core.Paths {
+	w := fp.SizeMaxStableWidth(p, n)
+	inner := fp.NewMaxStable(p, reps, rows, w, rand.New(rand.NewSource(seed)))
+	return core.NewPaths(eps, inner)
+}

@@ -1,0 +1,6 @@
+package robust_test
+
+import "math/rand"
+
+// newRand returns a seeded source for the examples (deterministic output).
+func newRand() *rand.Rand { return rand.New(rand.NewSource(99)) }

@@ -1,0 +1,281 @@
+package robust
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/f0"
+	"repro/internal/game"
+	"repro/internal/prf"
+	"repro/internal/stream"
+)
+
+func TestRobustF0TracksObliviousStream(t *testing.T) {
+	const eps = 0.3
+	alg := NewF0(eps, 0.05, 1<<20, 1)
+	res := game.Run(alg,
+		game.FromGenerator(stream.NewUniform(1<<14, 15000, 3)),
+		(*stream.Freq).F0,
+		game.RelCheck(2*eps),
+		game.Config{Warmup: 100})
+	if res.Broken {
+		t.Fatalf("robust F0 broke at step %d: est %v vs truth %v",
+			res.BrokenAt, res.BrokenEst, res.BrokenTru)
+	}
+}
+
+func TestRobustF0TracksAdaptiveFeedbackStream(t *testing.T) {
+	// An adaptive adversary that uses the published estimate to pick
+	// items: inserts fresh items when the estimate looks low, duplicates
+	// when it looks high — the feedback pattern static analyses do not
+	// cover. The robust wrapper must keep tracking.
+	const eps = 0.3
+	alg := NewF0(eps, 0.05, 1<<20, 2)
+	truth := 0
+	adv := game.AdversaryFunc(func(last float64, step int) (stream.Update, bool) {
+		if step >= 8000 {
+			return stream.Update{}, false
+		}
+		if float64(truth) > last { // estimate lags: feed duplicates
+			return stream.Update{Item: uint64(step % (truth/2 + 1)), Delta: 1}, true
+		}
+		truth++
+		return stream.Update{Item: uint64(truth - 1), Delta: 1}, true
+	})
+	res := game.Run(alg, adv, (*stream.Freq).F0, game.RelCheck(2*eps), game.Config{Warmup: 100})
+	if res.Broken {
+		t.Fatalf("robust F0 broke under adaptive feedback at step %d: est %v vs truth %v",
+			res.BrokenAt, res.BrokenEst, res.BrokenTru)
+	}
+}
+
+func TestRobustF0FastExactRegime(t *testing.T) {
+	// At laptop scale the honest Theorem 1.2 sizing keeps Algorithm 2 in
+	// its exact prefix, so tracking is perfect up to rounding.
+	const eps = 0.4
+	alg := NewF0Fast(eps, 1<<12, 1<<12, 1)
+	res := game.Run(alg,
+		game.FromGenerator(stream.NewUniform(1<<11, 4096, 5)),
+		(*stream.Freq).F0,
+		game.RelCheck(eps),
+		game.Config{Warmup: 20})
+	if res.Broken {
+		t.Fatalf("fast robust F0 broke at step %d: est %v vs truth %v",
+			res.BrokenAt, res.BrokenEst, res.BrokenTru)
+	}
+}
+
+func TestRobustF0FastScaledLevelRegime(t *testing.T) {
+	// The scaled variant leaves the exact prefix and exercises the
+	// level-sampling estimator.
+	const eps = 0.3
+	alg := NewF0FastScaled(eps, 3, 1<<20, 7)
+	res := game.Run(alg,
+		game.FromGenerator(stream.NewDistinct(300000)),
+		(*stream.Freq).F0,
+		game.RelCheck(2*eps),
+		game.Config{Warmup: 500})
+	if res.Broken {
+		t.Fatalf("scaled fast F0 broke at step %d: est %v vs truth %v",
+			res.BrokenAt, res.BrokenEst, res.BrokenTru)
+	}
+}
+
+func TestRobustF2TracksL2(t *testing.T) {
+	const eps = 0.3
+	alg := NewFp(2, eps, 0.05, 1<<16, 3)
+	res := game.Run(alg,
+		game.FromGenerator(stream.NewZipf(1<<14, 12000, 1.2, 9)),
+		(*stream.Freq).L2,
+		game.RelCheck(2*eps),
+		game.Config{Warmup: 100})
+	if res.Broken {
+		t.Fatalf("robust L2 broke at step %d: est %v vs truth %v",
+			res.BrokenAt, res.BrokenEst, res.BrokenTru)
+	}
+}
+
+func TestRobustF1TracksL1(t *testing.T) {
+	const eps = 0.5
+	alg := NewFp(1, eps, 0.05, 1<<12, 5)
+	res := game.Run(alg,
+		game.FromGenerator(stream.NewUniform(1<<10, 1200, 11)),
+		(*stream.Freq).F1,
+		game.RelCheck(2*eps),
+		game.Config{Warmup: 50})
+	if res.Broken {
+		t.Fatalf("robust L1 broke at step %d: est %v vs truth %v",
+			res.BrokenAt, res.BrokenEst, res.BrokenTru)
+	}
+}
+
+func TestRobustTurnstileFpOnInsertDelete(t *testing.T) {
+	// The λ-bounded turnstile class of Theorem 1.6, on the canonical
+	// insert-then-delete hard instance.
+	const eps = 0.5
+	const n = 1500
+	seq := stream.Trajectory(stream.Collect(stream.NewInsertDelete(n), 0),
+		func(f *stream.Freq) float64 { return f.Fp(2) })
+	lambda := core.FlipNumber(seq, eps/20) + 8
+	alg := NewTurnstileFp(2, eps, lambda, 2*n, float64(n), 3000, 7)
+	res := game.Run(alg,
+		game.FromGenerator(stream.NewInsertDelete(n)),
+		func(f *stream.Freq) float64 { return f.Fp(2) },
+		game.RelCheck(2*eps),
+		game.Config{Warmup: 50})
+	if res.Broken && res.BrokenTru > 20 {
+		// Tiny truths near the final full cancellation are excused by
+		// rounding granularity; anything else is a real failure.
+		t.Fatalf("robust turnstile F2 broke at step %d: est %v vs truth %v",
+			res.BrokenAt, res.BrokenEst, res.BrokenTru)
+	}
+}
+
+func TestRobustFpBigTracksF3(t *testing.T) {
+	const eps = 0.4
+	alg := NewFpBig(3, eps, 4096, 10000, 100, 3, 13)
+	res := game.Run(alg,
+		game.FromGenerator(stream.NewZipf(4096, 8000, 1.5, 15)),
+		func(f *stream.Freq) float64 { return f.Lp(3) },
+		game.RelCheck(2*eps),
+		game.Config{Warmup: 200})
+	if res.Broken {
+		t.Fatalf("robust F3 broke at step %d: est %v vs truth %v",
+			res.BrokenAt, res.BrokenEst, res.BrokenTru)
+	}
+}
+
+func TestRobustBoundedDeletionFp(t *testing.T) {
+	const eps, p, alpha = 0.5, 1.0, 4.0
+	alg := NewBoundedDeletionFp(p, alpha, eps, 256, 4000, 4000, 2500, 17)
+	res := game.Run(alg,
+		game.FromGenerator(stream.NewBoundedDeletion(256, 4000, p, alpha, 0.4, 19)),
+		func(f *stream.Freq) float64 { return f.Fp(p) },
+		game.RelCheck(2*eps),
+		game.Config{Warmup: 100})
+	if res.Broken {
+		t.Fatalf("robust bounded-deletion F1 broke at step %d: est %v vs truth %v",
+			res.BrokenAt, res.BrokenEst, res.BrokenTru)
+	}
+}
+
+func TestRobustEntropyTracks(t *testing.T) {
+	const epsBits = 1.0
+	alg := NewEntropy(epsBits, 0.05, 30, 21)
+	res := game.Run(alg,
+		game.FromGenerator(stream.NewZipf(1<<10, 1200, 1.3, 23)),
+		(*stream.Freq).Entropy,
+		game.AdditiveCheck(2*epsBits),
+		game.Config{Warmup: 100})
+	if res.Broken {
+		t.Fatalf("robust entropy broke at step %d: est %v vs truth %v",
+			res.BrokenAt, res.BrokenEst, res.BrokenTru)
+	}
+	if alg.Exhausted() {
+		t.Error("entropy switcher exhausted its flip budget on a mild stream")
+	}
+}
+
+func TestRobustHeavyHittersRecallPrecision(t *testing.T) {
+	const eps = 0.25
+	hh := NewHeavyHitters(eps, 0.02, 1<<20, 25)
+	gen := stream.NewHeavy(1<<18, 20000, 4, 0.4, 27)
+	f := stream.NewFreq()
+	for {
+		u, ok := gen.Next()
+		if !ok {
+			break
+		}
+		hh.Update(u.Item, u.Delta)
+		f.Apply(u)
+	}
+	set := map[uint64]bool{}
+	for _, it := range hh.Set() {
+		set[it] = true
+	}
+	// Recall: every 2ε-heavy item must be present.
+	for _, it := range f.L2HeavyHitters(2 * eps) {
+		if !set[it] {
+			t.Errorf("missed true heavy hitter %d (count %d, threshold %v)",
+				it, f.Count(it), 2*eps*f.L2())
+		}
+	}
+	// Precision: nothing below (ε/4)·L2 may appear.
+	for it := range set {
+		if math.Abs(float64(f.Count(it))) < eps/4*f.L2() {
+			t.Errorf("false positive %d (count %d)", it, f.Count(it))
+		}
+	}
+	// Point queries from the frozen snapshot stay O(ε)-correct.
+	l2 := f.L2()
+	for _, it := range gen.Heavy() {
+		if err := math.Abs(hh.Query(it) - float64(f.Count(it))); err > 2*eps*l2 {
+			t.Errorf("point query for %d off by %v > 2ε·L2", it, err)
+		}
+	}
+}
+
+func TestCryptoF0RequiresDuplicateInsensitivity(t *testing.T) {
+	p := prf.NewFromSeed(1)
+	if _, err := NewCryptoF0(p, f0.NewKMV(64, rand.New(rand.NewSource(1)))); err != nil {
+		t.Errorf("KMV should be accepted: %v", err)
+	}
+	if _, err := NewCryptoF0(p, f0.NewAlg2(f0.Alg2Params{B: 16, D: 8}, true, 1)); err == nil {
+		t.Error("batched Alg2 must be rejected (not duplicate-insensitive)")
+	}
+}
+
+func TestCryptoF0Accuracy(t *testing.T) {
+	p := prf.NewFromSeed(2)
+	inner := f0.NewTracking(0.1, 0.01, 1<<20, 3)
+	alg, err := NewCryptoF0(p, inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := game.Run(alg,
+		game.FromGenerator(stream.NewUniform(1<<14, 10000, 5)),
+		(*stream.Freq).F0,
+		game.RelCheck(0.15),
+		game.Config{Warmup: 50})
+	if res.Broken {
+		t.Fatalf("crypto F0 broke at step %d: est %v vs truth %v",
+			res.BrokenAt, res.BrokenEst, res.BrokenTru)
+	}
+}
+
+func TestCryptoF0SpaceOverheadIsOneKeySchedule(t *testing.T) {
+	p := prf.NewFromSeed(3)
+	inner := f0.NewKMV(256, rand.New(rand.NewSource(4)))
+	alg, _ := NewCryptoF0(p, inner)
+	for i := uint64(0); i < 5000; i++ {
+		alg.Update(i, 1)
+	}
+	if got, want := alg.SpaceBytes()-inner.SpaceBytes(), p.SpaceBytes(); got != want {
+		t.Errorf("crypto overhead = %d bytes, want exactly the key schedule %d", got, want)
+	}
+}
+
+func TestRobustSpaceExceedsStatic(t *testing.T) {
+	// Table 1's qualitative relation: robust costs a poly(1/ε, log n)
+	// factor more than static, and both are far below the deterministic
+	// Ω(n).
+	staticF0 := f0.NewTracking(0.3, 0.05, 1<<20, 1)
+	robustF0 := NewF0(0.3, 0.05, 1<<20, 1)
+	for i := uint64(0); i < 20000; i++ {
+		staticF0.Update(i, 1)
+		robustF0.Update(i, 1)
+	}
+	s, r := staticF0.SpaceBytes(), robustF0.SpaceBytes()
+	if r <= s {
+		t.Errorf("robust space %d not above static %d", r, s)
+	}
+	// The overhead factor is Θ(ε⁻¹·log ε⁻¹) copies × (ε/ε₀)² from the
+	// inner accuracy — a few thousand at ε = 0.3. (The comparison against
+	// the deterministic Ω(n) bound is asymptotic and appears in the
+	// experiment tables at analytic n, not here.)
+	if r > 5000*s {
+		t.Errorf("robust space %d more than 5000x static %d; factor should be poly(1/ε, log ε⁻¹)", r, s)
+	}
+}

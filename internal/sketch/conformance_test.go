@@ -1,0 +1,90 @@
+package sketch_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/entropy"
+	"repro/internal/f0"
+	"repro/internal/fp"
+	"repro/internal/heavyhitters"
+	"repro/internal/prf"
+	"repro/internal/robust"
+	"repro/internal/sketch"
+)
+
+// Compile-time conformance: every estimator in the repository satisfies
+// the shared interfaces it claims.
+var (
+	_ sketch.Estimator = (*f0.Exact)(nil)
+	_ sketch.Estimator = (*f0.KMV)(nil)
+	_ sketch.Estimator = (*f0.Median)(nil)
+	_ sketch.Estimator = (*f0.Alg2)(nil)
+	_ sketch.Estimator = (*fp.F1)(nil)
+	_ sketch.Estimator = (*fp.DenseAMS)(nil)
+	_ sketch.Estimator = (*fp.F2Sketch)(nil)
+	_ sketch.Estimator = (*fp.Indyk)(nil)
+	_ sketch.Estimator = (*fp.MaxStable)(nil)
+	_ sketch.Estimator = (*heavyhitters.CountSketch)(nil)
+	_ sketch.Estimator = (*heavyhitters.CountMin)(nil)
+	_ sketch.Estimator = (*heavyhitters.MisraGries)(nil)
+	_ sketch.Estimator = (*entropy.Exact)(nil)
+	_ sketch.Estimator = (*entropy.CC)(nil)
+	_ sketch.Estimator = (*entropy.Renyi)(nil)
+	_ sketch.Estimator = (*robust.CryptoF0)(nil)
+	_ sketch.Estimator = (*robust.OracleF0)(nil)
+	_ sketch.Estimator = (*robust.Entropy)(nil)
+	_ sketch.Estimator = (*robust.HeavyHitters)(nil)
+
+	_ sketch.PointQuerier = (*heavyhitters.CountSketch)(nil)
+	_ sketch.PointQuerier = (*heavyhitters.CountMin)(nil)
+	_ sketch.PointQuerier = (*heavyhitters.MisraGries)(nil)
+
+	_ sketch.DuplicateInsensitive = (*f0.Exact)(nil)
+	_ sketch.DuplicateInsensitive = (*f0.KMV)(nil)
+	_ sketch.DuplicateInsensitive = (*f0.Median)(nil)
+	_ sketch.DuplicateInsensitive = (*f0.Alg2)(nil)
+)
+
+// TestEstimatorContractSmoke drives every concrete estimator through the
+// minimal Estimator contract: fresh instances answer 0-ish, accept
+// updates, and report positive space afterwards.
+func TestEstimatorContractSmoke(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	crypto, err := robust.NewCryptoF0(prf.NewFromSeed(1), f0.NewKMV(16, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := robust.NewOracleF0(prf.NewOracle(1), f0.NewKMV(16, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ests := map[string]sketch.Estimator{
+		"f0.Exact":       f0.NewExact(),
+		"f0.KMV":         f0.NewKMV(16, rng),
+		"f0.Alg2":        f0.NewAlg2(f0.Alg2Params{B: 16, D: 8}, false, 1),
+		"fp.F1":          fp.NewF1(),
+		"fp.F2Sketch":    fp.NewF2(fp.F2Sizing{Rows: 3, Width: 16}, rng),
+		"fp.Indyk":       fp.NewIndyk(1, 16, rng),
+		"fp.MaxStable":   fp.NewMaxStable(3, 4, 2, 16, rng),
+		"hh.CountSketch": heavyhitters.NewCountSketch(heavyhitters.Sizing{Rows: 3, Width: 16}, rng),
+		"hh.CountMin":    heavyhitters.NewCountMin(heavyhitters.Sizing{Rows: 2, Width: 16}, rng),
+		"hh.MisraGries":  heavyhitters.NewMisraGries(4),
+		"entropy.Exact":  entropy.NewExact(),
+		"entropy.CC":     entropy.NewCC(entropy.CCSizing{Groups: 3, Per: 8}, rng),
+		"entropy.Renyi":  entropy.NewRenyi(1.5, 16, rng),
+		"robust.Crypto":  crypto,
+		"robust.Oracle":  oracle,
+	}
+	for name, e := range ests {
+		if got := e.Estimate(); got != 0 {
+			t.Errorf("%s: fresh estimate = %v, want 0", name, got)
+		}
+		for i := uint64(0); i < 32; i++ {
+			e.Update(i, 1)
+		}
+		if e.SpaceBytes() <= 0 {
+			t.Errorf("%s: SpaceBytes = %d after updates, want > 0", name, e.SpaceBytes())
+		}
+	}
+}

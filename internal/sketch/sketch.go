@@ -1,0 +1,52 @@
+// Package sketch defines the interfaces shared by all streaming estimators
+// in this repository: the static (non-robust) sketches under internal/f0,
+// internal/fp, internal/heavyhitters and internal/entropy, and the
+// adversarially robust wrappers under internal/robust that are built from
+// them via the sketch-switching and computation-paths transformations of
+// internal/core.
+package sketch
+
+// Estimator is a one-pass streaming algorithm that tracks a real-valued
+// statistic g(f) of the frequency vector f of the stream processed so far.
+// Implementations must support queries after every update (the paper's
+// "tracking" guarantee), not only at the end of the stream.
+type Estimator interface {
+	// Update processes the stream update (item, delta), i.e. f[item] += delta.
+	// Insertion-only estimators may require delta > 0; they document this.
+	Update(item uint64, delta int64)
+
+	// Estimate returns the current estimate of g(f).
+	Estimate() float64
+
+	// SpaceBytes returns the number of bytes of working state held by the
+	// estimator. It is the quantity compared in Table 1 of the paper and
+	// excludes transient per-update scratch space.
+	SpaceBytes() int
+}
+
+// Factory constructs a fresh, independent Estimator instance seeded with
+// the given value. The sketch-switching transformation calls a Factory
+// once per copy (and again on every restart in ring mode), so instances
+// built from distinct seeds must use independent randomness.
+type Factory func(seed int64) Estimator
+
+// PointQuerier is implemented by sketches that support per-coordinate
+// frequency estimates (e.g. CountSketch), the primitive behind the heavy
+// hitters algorithms of Section 6 of the paper.
+type PointQuerier interface {
+	Estimator
+
+	// Query returns an estimate of f[item].
+	Query(item uint64) float64
+}
+
+// DuplicateInsensitive is a marker implemented by estimators whose internal
+// state provably does not change when an item that already appeared is
+// inserted again (with probability 1 over the estimator's randomness).
+// The cryptographic robustification of Section 10 requires this property
+// of its inner sketch and refuses estimators that do not declare it.
+type DuplicateInsensitive interface {
+	// DuplicateInsensitive returns true if re-inserting a previously seen
+	// item never changes the estimator's state.
+	DuplicateInsensitive() bool
+}

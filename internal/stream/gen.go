@@ -1,0 +1,253 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+)
+
+// UniformGen emits m insertions of items drawn uniformly from [n].
+type UniformGen struct {
+	n   uint64
+	m   int
+	t   int
+	rng *rand.Rand
+}
+
+// NewUniform returns a generator of m uniform insertions over a universe of
+// size n.
+func NewUniform(n uint64, m int, seed int64) *UniformGen {
+	return &UniformGen{n: n, m: m, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next implements Generator.
+func (g *UniformGen) Next() (Update, bool) {
+	if g.t >= g.m {
+		return Update{}, false
+	}
+	g.t++
+	return Update{Item: g.rng.Uint64() % g.n, Delta: 1}, true
+}
+
+// ZipfGen emits m insertions with item frequencies following a Zipf law
+// with parameter s > 1 over [n]. Zipfian streams are the canonical skewed
+// workload for heavy hitters and entropy experiments.
+type ZipfGen struct {
+	m   int
+	t   int
+	z   *rand.Zipf
+	rng *rand.Rand
+}
+
+// NewZipf returns a Zipf(s) generator over universe [n] emitting m updates.
+// s must be > 1.
+func NewZipf(n uint64, m int, s float64, seed int64) *ZipfGen {
+	rng := rand.New(rand.NewSource(seed))
+	return &ZipfGen{m: m, z: rand.NewZipf(rng, s, 1, n-1), rng: rng}
+}
+
+// Next implements Generator.
+func (g *ZipfGen) Next() (Update, bool) {
+	if g.t >= g.m {
+		return Update{}, false
+	}
+	g.t++
+	return Update{Item: g.z.Uint64(), Delta: 1}, true
+}
+
+// DistinctGen emits m insertions of m distinct items (0, 1, 2, …). It
+// drives F0 along its steepest possible trajectory, maximizing the flip
+// number of monotone statistics.
+type DistinctGen struct {
+	m int
+	t int
+}
+
+// NewDistinct returns a generator of m all-distinct insertions.
+func NewDistinct(m int) *DistinctGen { return &DistinctGen{m: m} }
+
+// Next implements Generator.
+func (g *DistinctGen) Next() (Update, bool) {
+	if g.t >= g.m {
+		return Update{}, false
+	}
+	u := Update{Item: uint64(g.t), Delta: 1}
+	g.t++
+	return u, true
+}
+
+// HeavyGen emits a background of uniform light items mixed with a fixed set
+// of heavy items, each receiving a heavyFrac share of the updates. It is
+// the workload for the heavy hitters experiments.
+type HeavyGen struct {
+	n      uint64
+	m      int
+	t      int
+	heavy  []uint64
+	hProb  float64
+	rng    *rand.Rand
+	offset uint64
+}
+
+// NewHeavy returns a generator over universe [n] emitting m updates where a
+// fraction heavyFrac of updates is split evenly among k heavy items (ids
+// n, n+1, …, n+k−1, disjoint from the light universe).
+func NewHeavy(n uint64, m, k int, heavyFrac float64, seed int64) *HeavyGen {
+	h := &HeavyGen{n: n, m: m, hProb: heavyFrac, rng: rand.New(rand.NewSource(seed)), offset: n}
+	for i := 0; i < k; i++ {
+		h.heavy = append(h.heavy, n+uint64(i))
+	}
+	return h
+}
+
+// Heavy returns the ids of the heavy items.
+func (g *HeavyGen) Heavy() []uint64 { return append([]uint64(nil), g.heavy...) }
+
+// Next implements Generator.
+func (g *HeavyGen) Next() (Update, bool) {
+	if g.t >= g.m {
+		return Update{}, false
+	}
+	g.t++
+	if len(g.heavy) > 0 && g.rng.Float64() < g.hProb {
+		return Update{Item: g.heavy[g.rng.Intn(len(g.heavy))], Delta: 1}, true
+	}
+	return Update{Item: g.rng.Uint64() % g.n, Delta: 1}, true
+}
+
+// InsertDeleteGen emits the turnstile hard instance the paper cites when
+// discussing flip number ([25]'s lower-bound stream): n insertions of
+// distinct items followed by n deletions of the same items. Its Fp flip
+// number is at most twice that of an insertion-only stream.
+type InsertDeleteGen struct {
+	n uint64
+	t uint64
+}
+
+// NewInsertDelete returns the insert-then-delete turnstile generator over n
+// items (stream length 2n).
+func NewInsertDelete(n uint64) *InsertDeleteGen { return &InsertDeleteGen{n: n} }
+
+// Next implements Generator.
+func (g *InsertDeleteGen) Next() (Update, bool) {
+	if g.t >= 2*g.n {
+		return Update{}, false
+	}
+	u := Update{Item: g.t % g.n, Delta: 1}
+	if g.t >= g.n {
+		u.Delta = -1
+	}
+	g.t++
+	return u, true
+}
+
+// BoundedDeletionGen emits a turnstile stream of unit updates that
+// maintains the Fp α-bounded deletion invariant of Definition 8.1 exactly:
+// at every prefix, ‖f‖_p^p ≥ (1/α)·‖h‖_p^p, where h is the absolute-value
+// stream. Deletions are attempted with probability delProb and silently
+// replaced by insertions whenever they would violate the invariant, so
+// every emitted prefix satisfies it.
+type BoundedDeletionGen struct {
+	n       uint64
+	m       int
+	t       int
+	p       float64
+	alpha   float64
+	delProb float64
+	rng     *rand.Rand
+
+	counts map[uint64]int64 // current f
+	fp     float64          // Σ|f_i|^p
+	hp     float64          // Σ h_i^p
+	habs   map[uint64]int64 // current h
+	live   []uint64         // items with f_i > 0, for choosing deletions
+	liveIx map[uint64]int
+	fresh  uint64 // next never-touched id (disjoint range above n)
+}
+
+// NewBoundedDeletion returns an Fp α-bounded-deletion generator over
+// universe [n], emitting m unit updates, deleting with probability delProb
+// when permitted. Requires p ≥ 1 and alpha ≥ 1.
+func NewBoundedDeletion(n uint64, m int, p, alpha, delProb float64, seed int64) *BoundedDeletionGen {
+	return &BoundedDeletionGen{
+		n: n, m: m, p: p, alpha: alpha, delProb: delProb,
+		rng:    rand.New(rand.NewSource(seed)),
+		counts: make(map[uint64]int64),
+		habs:   make(map[uint64]int64),
+		liveIx: make(map[uint64]int),
+	}
+}
+
+func (g *BoundedDeletionGen) pow(c int64) float64 {
+	if c <= 0 {
+		return 0
+	}
+	return math.Pow(float64(c), g.p)
+}
+
+func (g *BoundedDeletionGen) addLive(item uint64) {
+	if _, ok := g.liveIx[item]; ok {
+		return
+	}
+	g.liveIx[item] = len(g.live)
+	g.live = append(g.live, item)
+}
+
+func (g *BoundedDeletionGen) removeLive(item uint64) {
+	ix, ok := g.liveIx[item]
+	if !ok {
+		return
+	}
+	last := len(g.live) - 1
+	g.live[ix] = g.live[last]
+	g.liveIx[g.live[ix]] = ix
+	g.live = g.live[:last]
+	delete(g.liveIx, item)
+}
+
+func (g *BoundedDeletionGen) apply(item uint64, delta int64) {
+	c := g.counts[item]
+	g.fp += g.pow(c+delta) - g.pow(c)
+	g.counts[item] = c + delta
+	if c+delta == 0 {
+		delete(g.counts, item)
+		g.removeLive(item)
+	} else {
+		g.addLive(item)
+	}
+	h := g.habs[item]
+	g.hp += g.pow(h+1) - g.pow(h)
+	g.habs[item] = h + 1
+}
+
+// Next implements Generator.
+func (g *BoundedDeletionGen) Next() (Update, bool) {
+	if g.t >= g.m {
+		return Update{}, false
+	}
+	g.t++
+	if len(g.live) > 0 && g.rng.Float64() < g.delProb {
+		item := g.live[g.rng.Intn(len(g.live))]
+		c := g.counts[item]
+		// The deletion is allowed only if the invariant survives it.
+		newFp := g.fp + g.pow(c-1) - g.pow(c)
+		newHp := g.hp + g.pow(g.habs[item]+1) - g.pow(g.habs[item])
+		if newFp >= newHp/g.alpha {
+			g.apply(item, -1)
+			return Update{Item: item, Delta: -1}, true
+		}
+	}
+	item := g.rng.Uint64() % g.n
+	// For p > 1 an insertion into an item whose absolute-stream count h_i
+	// exceeds its live count f_i grows Fp(h) faster than Fp(f), so even an
+	// insertion can break the invariant. Fall back to a never-touched item
+	// (where the two sides grow by exactly 1 each) whenever the margin is
+	// too tight.
+	newFp := g.fp + g.pow(g.counts[item]+1) - g.pow(g.counts[item])
+	newHp := g.hp + g.pow(g.habs[item]+1) - g.pow(g.habs[item])
+	if newFp < newHp/g.alpha {
+		item = g.n + g.fresh
+		g.fresh++
+	}
+	g.apply(item, 1)
+	return Update{Item: item, Delta: 1}, true
+}
