@@ -11,10 +11,13 @@ package repro
 import (
 	"math"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/adversary"
 	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/engine"
 	"repro/internal/entropy"
 	"repro/internal/f0"
 	"repro/internal/fp"
@@ -237,6 +240,101 @@ func BenchmarkFastF0UpdateMedianKMV(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		med.Update(uint64(i)*2654435761, 1)
 	}
+}
+
+// indykFactory builds the L1 estimator used by the engine ingest
+// benchmarks: 128 counters ≈ 4 µs of stable-variate work per update, a
+// realistic per-update cost for the sharding to amortize.
+func indykFactory(seed int64) sketch.Estimator {
+	return fp.NewIndyk(1, 128, rand.New(rand.NewSource(seed)))
+}
+
+// BenchmarkEngineIngestSingleThread — the unsharded baseline for the
+// engine throughput comparison: one estimator, one goroutine.
+func BenchmarkEngineIngestSingleThread(b *testing.B) {
+	est := indykFactory(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est.Update(dist.SplitMix64(uint64(i)), 1)
+	}
+}
+
+// benchEngineSharded ingests through the engine at the given shard count
+// with parallel producers; compare ns/op against the single-thread
+// baseline above (the acceptance bar is ≥2× throughput at 8 shards).
+func benchEngineSharded(b *testing.B, shards int) {
+	eng := engine.New(engine.Config{
+		Shards:  shards,
+		Batch:   512,
+		Combine: engine.Norm(1),
+		Factory: indykFactory,
+		Seed:    1,
+	})
+	var producer atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		base := producer.Add(1) << 40
+		i := uint64(0)
+		for pb.Next() {
+			eng.Update(dist.SplitMix64(base+i), 1)
+			i++
+		}
+	})
+	b.StopTimer()
+	eng.Close()
+}
+
+func BenchmarkEngineIngestSharded2(b *testing.B) { benchEngineSharded(b, 2) }
+func BenchmarkEngineIngestSharded4(b *testing.B) { benchEngineSharded(b, 4) }
+func BenchmarkEngineIngestSharded8(b *testing.B) { benchEngineSharded(b, 8) }
+
+// zipfItems pre-draws a skewed workload so item generation stays out of
+// the timed loop.
+func zipfItems(n int) []uint64 {
+	items := make([]uint64, n)
+	g := stream.NewZipf(1<<12, n, 1.3, 17)
+	for i := range items {
+		u, _ := g.Next()
+		items[i] = u.Item
+	}
+	return items
+}
+
+// BenchmarkEngineIngestZipfSingleThread — unsharded baseline on a skewed
+// (Zipf 1.3) stream: every duplicate pays the full estimator update.
+func BenchmarkEngineIngestZipfSingleThread(b *testing.B) {
+	items := zipfItems(1 << 16)
+	est := indykFactory(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est.Update(items[i&(1<<16-1)], 1)
+	}
+}
+
+// BenchmarkEngineIngestZipfSharded8 — the same skewed stream through the
+// 8-shard engine: batch coalescing merges duplicates before the estimator
+// sees them, so this wins even without spare cores, and stacks with the
+// parallel speedup when GOMAXPROCS > 1.
+func BenchmarkEngineIngestZipfSharded8(b *testing.B) {
+	items := zipfItems(1 << 16)
+	eng := engine.New(engine.Config{
+		Shards:  8,
+		Batch:   512,
+		Combine: engine.Norm(1),
+		Factory: indykFactory,
+		Seed:    1,
+	})
+	var producer atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := producer.Add(0x9E3779B97F4A7C15)
+		for pb.Next() {
+			eng.Update(items[i&(1<<16-1)], 1)
+			i++
+		}
+	})
+	b.StopTimer()
+	eng.Close()
 }
 
 // BenchmarkRobustF0Game — end-to-end adversarial game throughput: the

@@ -5,4 +5,34 @@
 // under examples/, and the experiment harness under cmd/experiments. The
 // root package holds the benchmark suite that regenerates every table and
 // figure of the paper (bench_test.go).
+//
+// Package map, bottom to top:
+//
+//   - internal/hash, internal/dist, internal/prf, internal/codec — the
+//     primitive layer: polynomial/tabulation hashing over a Mersenne
+//     field, deterministic pseudorandom variates (SplitMix64, exponential,
+//     p-stable and maximally skewed 1-stable via Chambers–Mallows–Stuck,
+//     plus the MedianAbs calibration constant of Indyk's estimator), an
+//     AES-based PRF, and the binary codec behind sketch marshaling.
+//   - internal/sketch — the Estimator/Factory interfaces every algorithm
+//     implements.
+//   - internal/f0, internal/fp, internal/heavyhitters, internal/entropy,
+//     internal/cascaded — the static (non-robust) sketches.
+//   - internal/core — the paper's generic robustifications: sketch
+//     switching (§4), computation paths (§4), ε-rounding and flip-number
+//     machinery (§3).
+//   - internal/robust — the assembled robust estimators, one constructor
+//     per theorem.
+//   - internal/engine — a sharded, batched, concurrent ingest pipeline
+//     that hash-routes updates to per-shard estimator instances (static
+//     or robust), coalesces duplicates per batch, and recombines the
+//     per-shard estimates into the global statistic (sums, power sums, or
+//     the entropy chain rule). It implements sketch.Estimator, so it
+//     drops into any harness in the repository.
+//   - internal/stream, internal/game, internal/adversary — stream
+//     generators, the adaptive adversary game loop, and concrete attacks.
+//
+// Verify the tree with the tier-1 command:
+//
+//	go build ./... && go test ./...
 package repro

@@ -1,0 +1,171 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestSplitMix64KnownVectors pins the mixer to the reference SplitMix64
+// sequence (Steele–Lea–Flood): our SplitMix64(state) equals next() of a
+// generator at that state, so seeds 0 and 0+γ give the published first two
+// outputs of the seed-0 stream.
+func TestSplitMix64KnownVectors(t *testing.T) {
+	if got := SplitMix64(0); got != 0xE220A8397B1DCDAF {
+		t.Errorf("SplitMix64(0) = %#x, want 0xE220A8397B1DCDAF", got)
+	}
+	if got := SplitMix64(0x9E3779B97F4A7C15); got != 0x6E789E6AA1B965F4 {
+		t.Errorf("SplitMix64(γ) = %#x, want 0x6E789E6AA1B965F4", got)
+	}
+}
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	for _, x := range []uint64{1, 42, math.MaxUint64} {
+		if SplitMix64(x) != SplitMix64(x) {
+			t.Fatalf("SplitMix64(%d) not deterministic", x)
+		}
+	}
+}
+
+// TestExpMoments: Exp(1) has mean 1 and variance 1.
+func TestExpMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := Exp(rng.Uint64())
+		if x <= 0 || math.IsInf(x, 0) || math.IsNaN(x) {
+			t.Fatalf("Exp produced invalid variate %v", x)
+		}
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	varr := sumSq/n - mean*mean
+	if math.Abs(mean-1) > 0.02 {
+		t.Errorf("Exp mean = %v, want 1 ± 0.02", mean)
+	}
+	if math.Abs(varr-1) > 0.05 {
+		t.Errorf("Exp variance = %v, want 1 ± 0.05", varr)
+	}
+}
+
+// sampleAbsMedian draws n |Stable(p)| variates under a fixed seed and
+// returns their median.
+func sampleAbsMedian(p float64, n int, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	abs := make([]float64, n)
+	for i := range abs {
+		abs[i] = math.Abs(Stable(p, rng.Uint64(), rng.Uint64()))
+	}
+	sort.Float64s(abs)
+	return abs[n/2]
+}
+
+// TestStableCauchy: p = 1 is a standard Cauchy — median |X| = tan(π/4) = 1
+// and quartiles at ±1.
+func TestStableCauchy(t *testing.T) {
+	if med := sampleAbsMedian(1, 200000, 2); math.Abs(med-1) > 0.02 {
+		t.Errorf("median |Cauchy| = %v, want 1 ± 0.02", med)
+	}
+}
+
+// TestStableGaussian: p = 2 is N(0, 2) in this parametrization — sample
+// variance 2, median |X| = √2·Φ⁻¹(3/4).
+func TestStableGaussian(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 200000
+	var sumSq float64
+	for i := 0; i < n; i++ {
+		x := Stable(2, rng.Uint64(), rng.Uint64())
+		sumSq += x * x
+	}
+	if varr := sumSq / n; math.Abs(varr-2) > 0.05 {
+		t.Errorf("Var[Stable(2)] = %v, want 2 ± 0.05", varr)
+	}
+	want := math.Sqrt2 * 0.6744897501960817
+	if med := sampleAbsMedian(2, 200000, 4); math.Abs(med-want) > 0.02 {
+		t.Errorf("median |Stable(2)| = %v, want %v ± 0.02", med, want)
+	}
+}
+
+// TestMedianAbsMatchesSamples: the deterministic quantile-grid calibration
+// must agree with fixed-seed Monte Carlo medians across the supported
+// range of p, including the closed-form anchors at p = 1 and p = 2.
+func TestMedianAbsMatchesSamples(t *testing.T) {
+	for _, p := range []float64{0.5, 1, 1.25, 1.5, 1.75, 2} {
+		want := sampleAbsMedian(p, 400000, 5)
+		got := MedianAbs(p)
+		if rel := math.Abs(got-want) / want; rel > 0.02 {
+			t.Errorf("MedianAbs(%v) = %v, sampled median %v: rel err %.4f > 0.02",
+				p, got, want, rel)
+		}
+	}
+}
+
+func TestMedianAbsMemoizedAndPanics(t *testing.T) {
+	if a, b := MedianAbs(1.3), MedianAbs(1.3); a != b {
+		t.Errorf("MedianAbs(1.3) not stable across calls: %v vs %v", a, b)
+	}
+	for _, p := range []float64{0, -1, 2.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("MedianAbs(%v) did not panic", p)
+				}
+			}()
+			MedianAbs(p)
+		}()
+	}
+}
+
+// TestSkewedStable1MGF pins the property the entropy sketch relies on:
+// for X maximally skewed 1-stable (β = −1, scale 1, location 0),
+// E[exp(tX)] = exp((2/π)·t·ln t), so E[exp(X)] = 1 and
+// E[exp(2X)] = exp((4/π)·ln 2).
+func TestSkewedStable1MGF(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const n = 400000
+	var m1, m2 float64
+	for i := 0; i < n; i++ {
+		x := SkewedStable1(rng.Uint64(), rng.Uint64())
+		m1 += math.Exp(x)
+		m2 += math.Exp(2 * x)
+	}
+	m1 /= n
+	m2 /= n
+	if math.Abs(m1-1) > 0.02 {
+		t.Errorf("E[exp(X)] = %v, want 1 ± 0.02", m1)
+	}
+	want2 := math.Exp(4 * math.Ln2 / math.Pi)
+	if math.Abs(m2-want2) > 0.07 {
+		t.Errorf("E[exp(2X)] = %v, want %v ± 0.07", m2, want2)
+	}
+}
+
+// TestSkewedStable1WeightedSum checks the α = 1 stability shift that turns
+// sums of variates into entropy estimates: for weights aᵢ summing to 1,
+// E[exp(Σ aᵢXᵢ)] = exp(−(2/π)·H_nat(a)).
+func TestSkewedStable1WeightedSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	weights := []float64{0.5, 0.25, 0.125, 0.125}
+	var hNat float64
+	for _, a := range weights {
+		hNat -= a * math.Log(a)
+	}
+	const n = 300000
+	var mean float64
+	for i := 0; i < n; i++ {
+		var y float64
+		for _, a := range weights {
+			y += a * SkewedStable1(rng.Uint64(), rng.Uint64())
+		}
+		mean += math.Exp(y)
+	}
+	mean /= n
+	want := math.Exp(-(2 / math.Pi) * hNat)
+	if math.Abs(mean-want) > 0.02 {
+		t.Errorf("E[exp(Σ aᵢXᵢ)] = %v, want exp(−(2/π)H) = %v ± 0.02", mean, want)
+	}
+}

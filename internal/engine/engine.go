@@ -1,0 +1,347 @@
+// Package engine is a sharded, batched, concurrent ingest pipeline for the
+// estimators in this repository. Updates are routed by a salted SplitMix64
+// hash of the item to one of S shard workers, each owning an independent
+// sketch.Estimator (static or robust), so the frequency vectors of the
+// shards partition the stream's frequency vector. A Combiner reassembles
+// the global statistic from the per-shard estimates: sums for additive
+// statistics (F0, F1, moments), power sums for norms, and the entropy
+// chain rule for Shannon entropy — see combine.go for why hash
+// partitioning makes each of these exact.
+//
+// The pipeline shape is shard → batch → merge: producers append updates to
+// per-shard batches under a shard-striped lock, full batches are handed to
+// the shard worker over a bounded queue (backpressure, never drops), and
+// workers periodically publish their estimate, mass and space to lock-free
+// snapshots that Peek combines without blocking ingest. Before touching
+// the estimator, a worker coalesces duplicate items within the batch
+// (pre-aggregation), so skewed streams cost the estimator only one update
+// per distinct item per batch. Estimate performs
+// a full Flush first, so it reflects every Update that happened-before the
+// call. Update, Estimate, Peek, Flush and Close are all safe for
+// concurrent use.
+package engine
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dist"
+	"repro/internal/sketch"
+)
+
+// Update is one stream update: f[Item] += Delta.
+type Update struct {
+	Item  uint64
+	Delta int64
+}
+
+// Config parameterizes New. Factory is the only required field.
+type Config struct {
+	// Shards is the number of shard workers (and independent estimator
+	// instances). Defaults to GOMAXPROCS. Each shard holds a full-size
+	// estimator, so space grows linearly in Shards — the price of
+	// parallel ingest.
+	Shards int
+
+	// Batch is the number of updates a producer accumulates per shard
+	// before handing the batch to the worker. Defaults to 256.
+	Batch int
+
+	// Queue is the number of batches buffered per shard before producers
+	// block (backpressure; updates are never dropped). Defaults to 8.
+	Queue int
+
+	// RefreshEvery is the number of updates a worker processes between
+	// refreshes of its published (Peek-visible) estimate. Defaults to
+	// 4096. Flush and Close always refresh regardless.
+	RefreshEvery int
+
+	// Combine turns the per-shard estimates into the global estimate.
+	// Defaults to Sum, which is exact for additive statistics over the
+	// hash-partitioned shards (F0, F1, frequency moments).
+	Combine Combiner
+
+	// DisableCoalesce turns off per-batch pre-aggregation. By default a
+	// worker merges duplicate items within a batch (summing their deltas)
+	// before touching the estimator, which on skewed streams cuts the
+	// number of estimator updates by the batch's duplication factor. This
+	// is state-preserving for every estimator in this repository: the
+	// linear sketches (Indyk, F2, CC, CountSketch) are linear in delta,
+	// and the F0 sketches are duplicate-insensitive. Disable it for an
+	// estimator whose state depends on the exact update sequence rather
+	// than the frequency vector.
+	DisableCoalesce bool
+
+	// Factory builds the estimator owned by each shard. Shard seeds are
+	// derived from Seed by SplitMix64, so instances use independent
+	// randomness as sketch.Factory requires.
+	Factory sketch.Factory
+
+	// Seed is the root randomness seed for shard estimators and routing.
+	Seed int64
+}
+
+type op struct {
+	batch []Update
+	sync  *sync.WaitGroup // if non-nil: refresh published state, then Done
+}
+
+type shard struct {
+	ops  chan op
+	done chan struct{}
+
+	mu      sync.Mutex
+	pending []Update
+	closed  bool
+
+	est  sketch.Estimator // owned by the worker goroutine
+	mass int64            // worker-local net Σdelta
+	idx  map[uint64]int   // coalescing scratch, worker-local
+
+	// Published snapshots, refreshed every RefreshEvery updates and on
+	// every Flush/Close.
+	pubEstimate atomic.Uint64 // math.Float64bits
+	pubMass     atomic.Int64
+	pubSpace    atomic.Int64
+}
+
+// Engine is a sharded concurrent ingest pipeline. It implements
+// sketch.Estimator, so it can stand in for a single estimator anywhere in
+// the repository (including inside the experiment harnesses).
+type Engine struct {
+	shards    []*shard
+	salt      uint64
+	batch     int
+	queue     int
+	refresh   int
+	combine   Combiner
+	coalesce  bool
+	pool      sync.Pool
+	closeOnce sync.Once
+}
+
+// New starts the shard workers and returns a running engine. Call Close to
+// stop the workers and finalize the estimate.
+func New(cfg Config) *Engine {
+	if cfg.Factory == nil {
+		panic("engine: Config.Factory is required")
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 256
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = 8
+	}
+	if cfg.RefreshEvery <= 0 {
+		cfg.RefreshEvery = 4096
+	}
+	if cfg.Combine == nil {
+		cfg.Combine = Sum
+	}
+	e := &Engine{
+		salt:     dist.SplitMix64(uint64(cfg.Seed) ^ 0xA5A5A5A55A5A5A5A),
+		batch:    cfg.Batch,
+		queue:    cfg.Queue,
+		refresh:  cfg.RefreshEvery,
+		combine:  cfg.Combine,
+		coalesce: !cfg.DisableCoalesce,
+	}
+	e.pool.New = func() any { return make([]Update, 0, cfg.Batch) }
+	for i := 0; i < cfg.Shards; i++ {
+		s := &shard{
+			ops:  make(chan op, cfg.Queue),
+			done: make(chan struct{}),
+			est:  cfg.Factory(int64(dist.SplitMix64(uint64(cfg.Seed) + uint64(i)))),
+			idx:  make(map[uint64]int, cfg.Batch),
+		}
+		s.publish() // estimator space and zero estimate visible before the first refresh
+		e.shards = append(e.shards, s)
+		go e.run(s)
+	}
+	return e
+}
+
+// run is the shard worker loop: drain batches, refresh periodically and on
+// sync requests, refresh once more when the ops channel closes.
+func (e *Engine) run(s *shard) {
+	defer close(s.done)
+	sinceRefresh := 0
+	first := true
+	for o := range s.ops {
+		sinceRefresh += len(o.batch) // count pre-coalesce stream updates
+		b := o.batch
+		if e.coalesce {
+			b = s.coalesceBatch(b)
+		}
+		for _, u := range b {
+			s.est.Update(u.Item, u.Delta)
+			s.mass += u.Delta
+		}
+		if o.batch != nil {
+			e.pool.Put(o.batch[:0])
+		}
+		if o.sync != nil {
+			s.publish()
+			sinceRefresh = 0
+			o.sync.Done()
+		} else if sinceRefresh >= e.refresh || first {
+			// Publishing after the first batch gives early Peeks a real
+			// (if partial) value instead of the zero snapshot.
+			s.publish()
+			sinceRefresh = 0
+		}
+		first = false
+	}
+	s.publish()
+}
+
+// coalesceBatch compacts a batch in place, merging duplicate items by
+// summing their deltas (first-occurrence order; zero-sum entries are kept
+// so delta-ignoring F0 estimators still see the item). Worker goroutine
+// only.
+func (s *shard) coalesceBatch(b []Update) []Update {
+	clear(s.idx)
+	out := b[:0]
+	for _, u := range b {
+		if j, ok := s.idx[u.Item]; ok {
+			out[j].Delta += u.Delta
+		} else {
+			s.idx[u.Item] = len(out)
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// publish refreshes the lock-free snapshot of the shard's state. Worker
+// goroutine only.
+func (s *shard) publish() {
+	s.pubEstimate.Store(math.Float64bits(s.est.Estimate()))
+	s.pubMass.Store(s.mass)
+	s.pubSpace.Store(int64(s.est.SpaceBytes()))
+}
+
+// shardOf routes an item to its shard; the salted mix keeps routing
+// independent of the estimators' own hash functions.
+func (e *Engine) shardOf(item uint64) *shard {
+	return e.shards[dist.SplitMix64(item^e.salt)%uint64(len(e.shards))]
+}
+
+// Update implements sketch.Estimator. It appends to the item's shard batch
+// and hands full batches to the shard worker, blocking only when the
+// shard's queue is full. Update panics if called after Close.
+func (e *Engine) Update(item uint64, delta int64) {
+	s := e.shardOf(item)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		panic("engine: Update after Close")
+	}
+	if s.pending == nil {
+		s.pending = e.pool.Get().([]Update)
+	}
+	s.pending = append(s.pending, Update{Item: item, Delta: delta})
+	if len(s.pending) >= e.batch {
+		b := s.pending
+		s.pending = nil
+		s.ops <- op{batch: b} // under mu: preserves per-shard batch order
+	}
+	s.mu.Unlock()
+}
+
+// Flush pushes every pending batch to the workers and blocks until all of
+// them have been applied and every shard's published snapshot is fresh.
+// After Flush returns, Peek and Estimate reflect every Update that
+// happened-before the Flush call. Flush after Close is a no-op.
+func (e *Engine) Flush() {
+	var wg sync.WaitGroup
+	for _, s := range e.shards {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			continue
+		}
+		b := s.pending
+		s.pending = nil
+		wg.Add(1)
+		s.ops <- op{batch: b, sync: &wg}
+		s.mu.Unlock()
+	}
+	wg.Wait()
+}
+
+// Estimate implements sketch.Estimator: it flushes all pending updates and
+// returns the combined global estimate. For a cheap non-blocking (and
+// possibly slightly stale) read from a monitoring path, use Peek.
+func (e *Engine) Estimate() float64 {
+	e.Flush()
+	return e.combine(e.ShardEstimates())
+}
+
+// Peek combines the shards' last published snapshots without flushing or
+// blocking ingest. It lags Estimate by at most RefreshEvery updates per
+// shard plus whatever sits in the batch buffers.
+func (e *Engine) Peek() float64 {
+	return e.combine(e.ShardEstimates())
+}
+
+// ShardEstimates returns the last published per-shard estimates and
+// masses, in shard order — the Combiner's input, exposed for debugging
+// and custom combiners.
+func (e *Engine) ShardEstimates() []ShardEstimate {
+	out := make([]ShardEstimate, len(e.shards))
+	for i, s := range e.shards {
+		out[i] = ShardEstimate{
+			Estimate: math.Float64frombits(s.pubEstimate.Load()),
+			Mass:     s.pubMass.Load(),
+		}
+	}
+	return out
+}
+
+// SpaceBytes implements sketch.Estimator: the sum of the shard estimators'
+// published space plus the engine's own buffers — per shard, one pending
+// batch, up to Queue batches in flight on the ops channel, and the
+// coalescing scratch map.
+func (e *Engine) SpaceBytes() int {
+	total := 0
+	for _, s := range e.shards {
+		total += int(s.pubSpace.Load())
+	}
+	perShard := (e.queue + 1) * e.batch * 16 // Update structs
+	if e.coalesce {
+		perShard += e.batch * 24 // map entries: item, index, bucket overhead
+	}
+	return total + len(e.shards)*perShard
+}
+
+// Shards returns the shard count.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Close flushes every pending update, stops the shard workers and waits
+// for them to exit. The engine stays queryable after Close (Estimate and
+// Peek return the final combined estimate); further Updates panic. Close
+// is idempotent and safe to call concurrently with producers only after
+// they have stopped updating.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() {
+		for _, s := range e.shards {
+			s.mu.Lock()
+			s.closed = true
+			if s.pending != nil {
+				s.ops <- op{batch: s.pending}
+				s.pending = nil
+			}
+			close(s.ops)
+			s.mu.Unlock()
+		}
+		for _, s := range e.shards {
+			<-s.done
+		}
+	})
+}

@@ -1,0 +1,326 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/entropy"
+	"repro/internal/f0"
+	"repro/internal/robust"
+	"repro/internal/sketch"
+	"repro/internal/stream"
+)
+
+// collect drains a generator into a reusable slice of updates.
+func collect(g stream.Generator) []Update {
+	var out []Update
+	for {
+		u, ok := g.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, Update{Item: u.Item, Delta: u.Delta})
+	}
+}
+
+// feedTruth applies updates to a frequency vector for ground truth.
+func feedTruth(ups []Update) *stream.Freq {
+	f := stream.NewFreq()
+	for _, u := range ups {
+		f.Apply(stream.Update{Item: u.Item, Delta: u.Delta})
+	}
+	return f
+}
+
+// TestExactShardingIsLossless: with exact per-shard estimators, routing by
+// hash and combining must reproduce the global statistic exactly — the
+// sharpest check that the shard → batch → merge plumbing loses nothing.
+func TestExactShardingIsLossless(t *testing.T) {
+	ups := collect(stream.NewZipf(1<<12, 60000, 1.2, 7))
+	truth := feedTruth(ups)
+
+	t.Run("f0-sum", func(t *testing.T) {
+		e := New(Config{
+			Shards:  8,
+			Batch:   64,
+			Seed:    3,
+			Factory: func(seed int64) sketch.Estimator { return f0.NewExact() },
+		})
+		defer e.Close()
+		for _, u := range ups {
+			e.Update(u.Item, u.Delta)
+		}
+		if got, want := e.Estimate(), truth.F0(); got != want {
+			t.Fatalf("sharded exact F0 = %v, want %v", got, want)
+		}
+	})
+
+	t.Run("entropy-chain-rule", func(t *testing.T) {
+		e := New(Config{
+			Shards:  8,
+			Batch:   64,
+			Seed:    3,
+			Combine: Entropy,
+			Factory: func(seed int64) sketch.Estimator { return entropy.NewExact() },
+		})
+		defer e.Close()
+		for _, u := range ups {
+			e.Update(u.Item, u.Delta)
+		}
+		got, want := e.Estimate(), truth.Entropy()
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("sharded exact entropy = %v, want %v (chain-rule combiner broken)", got, want)
+		}
+	})
+}
+
+// TestShardedRobustF0Conformance: the acceptance test of the engine —
+// sharded-and-merged robust estimates agree with an unsharded reference
+// (and with the truth) within the configured ε.
+func TestShardedRobustF0Conformance(t *testing.T) {
+	const eps = 0.2
+	ups := collect(stream.NewUniform(1<<12, 30000, 11))
+	truth := feedTruth(ups).F0()
+
+	ref := robust.NewF0(eps, 0.05, 1<<20, 5)
+	for _, u := range ups {
+		ref.Update(u.Item, u.Delta)
+	}
+
+	e := New(Config{
+		Shards: 8,
+		Batch:  128,
+		Seed:   5,
+		Factory: func(seed int64) sketch.Estimator {
+			return robust.NewF0(eps, 0.05, 1<<20, seed)
+		},
+	})
+	defer e.Close()
+	for _, u := range ups {
+		e.Update(u.Item, u.Delta)
+	}
+
+	sharded, unsharded := e.Estimate(), ref.Estimate()
+	if relErr(sharded, truth) > eps {
+		t.Errorf("sharded robust F0 = %v, truth %v: rel err %.3f > ε=%.2f",
+			sharded, truth, relErr(sharded, truth), eps)
+	}
+	if relErr(unsharded, truth) > eps {
+		t.Errorf("unsharded robust F0 = %v, truth %v: rel err %.3f > ε=%.2f",
+			unsharded, truth, relErr(unsharded, truth), eps)
+	}
+	// Both are within ε of the truth, hence within ~2ε of each other; use
+	// the direct form the acceptance criterion states.
+	if relErr(sharded, unsharded) > 2*eps {
+		t.Errorf("sharded %v vs unsharded %v differ by %.3f > 2ε",
+			sharded, unsharded, relErr(sharded, unsharded))
+	}
+}
+
+// TestShardedRobustL2Conformance: same conformance check for a norm
+// statistic through the Norm(2) power-sum combiner.
+func TestShardedRobustL2Conformance(t *testing.T) {
+	const eps = 0.3
+	ups := collect(stream.NewZipf(1<<10, 25000, 1.1, 13))
+	truth := feedTruth(ups).L2()
+
+	e := New(Config{
+		Shards:  8,
+		Batch:   128,
+		Seed:    9,
+		Combine: Norm(2),
+		Factory: func(seed int64) sketch.Estimator {
+			return robust.NewFp(2, eps, 0.05, 1<<16, seed)
+		},
+	})
+	defer e.Close()
+	for _, u := range ups {
+		e.Update(u.Item, u.Delta)
+	}
+	if got := e.Estimate(); relErr(got, truth) > eps {
+		t.Errorf("sharded robust L2 = %v, truth %v: rel err %.3f > ε=%.2f",
+			got, truth, relErr(got, truth), eps)
+	}
+}
+
+// TestConcurrentProducers hammers one engine from many goroutines and
+// checks the result is still exact (run under -race in CI).
+func TestConcurrentProducers(t *testing.T) {
+	const producers, perProducer = 8, 20000
+	e := New(Config{
+		Shards:  4,
+		Batch:   32,
+		Queue:   2,
+		Seed:    1,
+		Factory: func(seed int64) sketch.Estimator { return f0.NewExact() },
+	})
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				// Overlapping ranges: distinct count is the union.
+				e.Update(uint64(p*perProducer/2+i), 1)
+			}
+		}(p)
+	}
+	wg.Wait()
+	want := float64((producers-1)*perProducer/2 + perProducer)
+	if got := e.Estimate(); got != want {
+		t.Fatalf("concurrent exact F0 = %v, want %v", got, want)
+	}
+	e.Close()
+	if got := e.Estimate(); got != want {
+		t.Fatalf("estimate after Close = %v, want %v", got, want)
+	}
+}
+
+// TestPeekConvergesAfterFlush: Peek may lag mid-stream, but after a Flush
+// it must agree with Estimate.
+func TestPeekConvergesAfterFlush(t *testing.T) {
+	e := New(Config{
+		Shards:  3,
+		Batch:   16,
+		Seed:    2,
+		Factory: func(seed int64) sketch.Estimator { return f0.NewExact() },
+	})
+	defer e.Close()
+	for i := 0; i < 5000; i++ {
+		e.Update(uint64(i), 1)
+	}
+	e.Flush()
+	if p, est := e.Peek(), e.Estimate(); p != est {
+		t.Fatalf("after Flush, Peek = %v but Estimate = %v", p, est)
+	}
+	if got := e.Estimate(); got != 5000 {
+		t.Fatalf("exact F0 = %v, want 5000", got)
+	}
+}
+
+// TestCloseSemantics: Close is idempotent, flushes the tail of the stream,
+// and further Updates panic.
+func TestCloseSemantics(t *testing.T) {
+	e := New(Config{
+		Shards:  2,
+		Batch:   1024, // never fills: Close must flush the pending tail
+		Seed:    4,
+		Factory: func(seed int64) sketch.Estimator { return f0.NewExact() },
+	})
+	for i := 0; i < 100; i++ {
+		e.Update(uint64(i), 1)
+	}
+	e.Close()
+	e.Close() // idempotent
+	if got := e.Estimate(); got != 100 {
+		t.Fatalf("estimate after Close = %v, want 100 (tail not flushed)", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Update after Close did not panic")
+		}
+	}()
+	e.Update(1, 1)
+}
+
+// TestSpaceBytesAccounts: the engine charges the shard estimators plus its
+// own buffers.
+func TestSpaceBytesAccounts(t *testing.T) {
+	e := New(Config{
+		Shards:  4,
+		Batch:   64,
+		Seed:    6,
+		Factory: func(seed int64) sketch.Estimator { return f0.NewExact() },
+	})
+	defer e.Close()
+	for i := 0; i < 1000; i++ {
+		e.Update(uint64(i), 1)
+	}
+	e.Flush()
+	if est, min := e.SpaceBytes(), 8*1000; est < min {
+		t.Fatalf("SpaceBytes = %d, want >= %d (4 exact shards hold 1000 ids)", est, min)
+	}
+	if e.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", e.Shards())
+	}
+}
+
+// TestSpaceBytesVisibleBeforeFirstRefresh: the shard estimators' footprint
+// is published at construction, not only after the first worker refresh.
+func TestSpaceBytesVisibleBeforeFirstRefresh(t *testing.T) {
+	e := New(Config{
+		Shards: 2,
+		Batch:  32,
+		Seed:   1,
+		Factory: func(seed int64) sketch.Estimator {
+			return f0.NewHLL(10, rand.New(rand.NewSource(seed)))
+		},
+	})
+	defer e.Close()
+	if est := e.SpaceBytes(); est < 2*(1<<10) {
+		t.Fatalf("SpaceBytes = %d before first refresh, want >= %d (two 1 KiB HLL shards)",
+			est, 2*(1<<10))
+	}
+}
+
+// sumSq is an exact turnstile Σf_i² tracker: a linear-in-delta reference
+// for checking that batch coalescing preserves turnstile semantics.
+type sumSq struct{ counts map[uint64]int64 }
+
+func (s *sumSq) Update(item uint64, delta int64) { s.counts[item] += delta }
+func (s *sumSq) SpaceBytes() int                 { return 16 * len(s.counts) }
+func (s *sumSq) Estimate() float64 {
+	var t float64
+	for _, c := range s.counts {
+		t += float64(c) * float64(c)
+	}
+	return t
+}
+
+// TestCoalescePreservesTurnstile: mixed-sign duplicate-heavy batches must
+// produce the same state with coalescing on (default) and off.
+func TestCoalescePreservesTurnstile(t *testing.T) {
+	run := func(disable bool) float64 {
+		e := New(Config{
+			Shards:          4,
+			Batch:           64,
+			Seed:            8,
+			DisableCoalesce: disable,
+			Factory:         func(seed int64) sketch.Estimator { return &sumSq{counts: make(map[uint64]int64)} },
+		})
+		defer e.Close()
+		for i := 0; i < 30000; i++ {
+			item := uint64(i % 37) // heavy duplication within every batch
+			delta := int64(1)
+			if i%3 == 0 {
+				delta = -2
+			}
+			e.Update(item, delta)
+		}
+		return e.Estimate()
+	}
+	truth := stream.NewFreq()
+	for i := 0; i < 30000; i++ {
+		delta := int64(1)
+		if i%3 == 0 {
+			delta = -2
+		}
+		truth.Apply(stream.Update{Item: uint64(i % 37), Delta: delta})
+	}
+	want := truth.Fp(2)
+	if got := run(false); got != want {
+		t.Errorf("coalesced Σf² = %v, want %v", got, want)
+	}
+	if got := run(true); got != want {
+		t.Errorf("uncoalesced Σf² = %v, want %v", got, want)
+	}
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
