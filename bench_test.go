@@ -9,12 +9,15 @@
 package repro
 
 import (
+	"context"
 	"math"
 	"math/rand"
+	"net/http/httptest"
 	"sync/atomic"
 	"testing"
 
 	"repro/internal/adversary"
+	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/engine"
@@ -25,6 +28,7 @@ import (
 	"repro/internal/heavyhitters"
 	"repro/internal/prf"
 	"repro/internal/robust"
+	"repro/internal/server"
 	"repro/internal/sketch"
 	"repro/internal/stream"
 )
@@ -336,6 +340,49 @@ func BenchmarkEngineIngestZipfSharded8(b *testing.B) {
 	b.StopTimer()
 	eng.Close()
 }
+
+// benchSketchdIngest — client-side load benchmark for the sketchd
+// service: parallel producers push batched JSON updates through
+// internal/client into one keyspace on a loopback server. ns/op is per
+// stream update (batches of 512 amortize the HTTP round trip); compare
+// against the in-process engine benchmarks above for the wire tax.
+func benchSketchdIngest(b *testing.B, sketchType string) {
+	srv := server.New(server.Config{Shards: 4, Eps: 0.3, Delta: 0.05, N: 1 << 20, Seed: 1, DefaultSketch: sketchType})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	defer srv.Drain()
+	c := client.New(hs.URL, hs.Client())
+	ctx := context.Background()
+	if err := c.CreateKey(ctx, "load", sketchType); err != nil {
+		b.Fatal(err)
+	}
+	var producer atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		base := producer.Add(1) << 40
+		i := uint64(0)
+		batch := make([]client.Update, 0, 512)
+		for pb.Next() {
+			batch = append(batch, client.Update{Item: dist.SplitMix64(base + i), Delta: 1})
+			i++
+			if len(batch) == cap(batch) {
+				if err := c.Update(ctx, "load", batch); err != nil {
+					b.Error(err) // Fatal must not run on a RunParallel goroutine
+					return
+				}
+				batch = batch[:0]
+			}
+		}
+		if len(batch) > 0 {
+			if err := c.Update(ctx, "load", batch); err != nil {
+				b.Error(err)
+			}
+		}
+	})
+}
+
+func BenchmarkSketchdIngestCountSketch(b *testing.B) { benchSketchdIngest(b, "countsketch") }
+func BenchmarkSketchdIngestRobustF2(b *testing.B)    { benchSketchdIngest(b, "robust-f2") }
 
 // BenchmarkRobustF0Game — end-to-end adversarial game throughput: the
 // robust F0 estimator playing against the adaptive Chaser.

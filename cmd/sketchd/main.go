@@ -1,0 +1,85 @@
+// Command sketchd serves the repository's streaming estimators as a
+// multi-tenant network service: batched JSON ingest, blocking and
+// lock-free estimate reads, and binary snapshot/merge state transfer
+// between instances. See internal/server for the API and README.md for a
+// walkthrough.
+//
+// Usage:
+//
+//	sketchd -addr :8080 -sketch robust-f2 -eps 0.2 -max-keys 64
+//
+// On SIGINT/SIGTERM the server drains gracefully: in-flight requests
+// finish, new writes get a retryable 503, and every keyspace engine is
+// flushed and closed so late reads still see the full ingested stream.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		maxKeys = flag.Int("max-keys", 64, "server-wide keyspace quota")
+		shards  = flag.Int("shards", 4, "engine shards per keyspace")
+		batch   = flag.Int("batch", 256, "engine batch size")
+		queue   = flag.Int("queue", 8, "engine queue depth (batches per shard)")
+		eps     = flag.Float64("eps", 0.2, "per-keyspace accuracy target ε")
+		delta   = flag.Float64("delta", 0.05, "per-keyspace failure probability δ (split δ/shards per shard instance)")
+		n       = flag.Uint64("n", 1<<32, "universe size bound for the robust constructors")
+		seed    = flag.Int64("seed", 1, "root randomness seed (servers exchanging snapshots must share it)")
+		sketch  = flag.String("sketch", "robust-f2", "default sketch type for new keyspaces (f2, kmv, countsketch, cc, robust-f2, robust-f0, robust-hh, robust-entropy)")
+		drainT  = flag.Duration("drain-timeout", 10*time.Second, "maximum time to wait for in-flight requests on shutdown")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		MaxKeys:       *maxKeys,
+		Shards:        *shards,
+		Batch:         *batch,
+		Queue:         *queue,
+		Eps:           *eps,
+		Delta:         *delta,
+		N:             *n,
+		Seed:          *seed,
+		DefaultSketch: *sketch,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("sketchd listening on %s (default sketch %s, ε=%g δ=%g, %d shards/key, quota %d keys)",
+		*addr, *sketch, *eps, *delta, *shards, *maxKeys)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("sketchd: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("sketchd: signal received, draining (timeout %s)", *drainT)
+	// Drain first: every keyspace engine is flushed and closed, so
+	// in-flight and late writes get retryable 503s (not panics or
+	// connection errors) while reads keep serving the final state; then
+	// Shutdown stops the listener and waits for in-flight requests.
+	srv.Drain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainT)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("sketchd: shutdown: %v", err)
+	}
+	log.Printf("sketchd: drained, exiting")
+}

@@ -29,6 +29,13 @@
 //     per-shard estimates into the global statistic (sums, power sums, or
 //     the entropy chain rule). It implements sketch.Estimator, so it
 //     drops into any harness in the repository.
+//   - internal/server, internal/client — sketchd, the multi-tenant
+//     network sketch service (cmd/sketchd): batched JSON ingest, blocking
+//     and lock-free reads, binary snapshot/merge between same-seed
+//     servers, per-keyspace engines created on demand under a quota, and
+//     graceful drain. The robust estimators make the shared endpoint safe
+//     to query adaptively — the paper's threat model, realized as a
+//     service.
 //   - internal/stream, internal/game, internal/adversary — stream
 //     generators, the adaptive adversary game loop, and concrete attacks.
 //

@@ -27,7 +27,7 @@ import (
 
 const (
 	tenants   = 6
-	perTenant = 15000  // events per tenant
+	perTenant = 15000   // events per tenant
 	universe  = 1 << 14 // per-tenant user universe
 	eps       = 0.25
 )

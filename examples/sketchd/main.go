@@ -1,0 +1,122 @@
+// Example sketchd: the full service workflow in one process — boot two
+// sketchd instances on loopback listeners, ingest a Zipf stream through
+// the Go client into multi-tenant keyspaces (an adversarially robust L2
+// tracker and a mergeable CountSketch), read estimates and lock-free
+// peeks, ship a binary snapshot from one server into the other, and
+// finish with a graceful drain.
+//
+//	go run ./examples/sketchd
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"repro/internal/client"
+	"repro/internal/server"
+	"repro/internal/stream"
+)
+
+// boot starts a sketchd instance on a loopback listener and returns a
+// client for it plus a shutdown func.
+func boot(cfg server.Config) (*client.Client, *server.Server, func()) {
+	srv := server.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	shutdown := func() { srv.Drain(); _ = hs.Close() }
+	return client.New("http://"+ln.Addr().String(), nil), srv, shutdown
+}
+
+func main() {
+	ctx := context.Background()
+	// Two servers sharing -seed and -shards: snapshot-compatible.
+	cfg := server.Config{Shards: 2, Eps: 0.2, Delta: 0.05, N: 1 << 20, Seed: 42, MaxKeys: 8}
+	cEdge, _, stopEdge := boot(cfg)
+	cAgg, aggSrv, stopAgg := boot(cfg)
+	defer stopEdge()
+	defer stopAgg()
+
+	// Tenants on the edge server: a robust L2-norm tracker (safe to query
+	// adaptively — the paper's whole point) and a mergeable CountSketch.
+	for key, sketch := range map[string]string{
+		"norms":     "robust-f2",
+		"hot-items": "countsketch",
+	} {
+		if err := cEdge.CreateKey(ctx, key, sketch); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Ingest one Zipf stream into both keyspaces, batched.
+	truth := stream.NewFreq()
+	gen := stream.NewZipf(1<<12, 50000, 1.2, 7)
+	batch := make([]client.Update, 0, 1024)
+	send := func() {
+		for _, key := range []string{"norms", "hot-items"} {
+			if err := cEdge.Update(ctx, key, batch); err != nil {
+				log.Fatal(err)
+			}
+		}
+		batch = batch[:0]
+	}
+	for {
+		u, ok := gen.Next()
+		if !ok {
+			break
+		}
+		truth.Apply(u)
+		if batch = append(batch, client.Update{Item: u.Item, Delta: u.Delta}); len(batch) == cap(batch) {
+			send()
+		}
+	}
+	send()
+
+	est, err := cEdge.Estimate(ctx, "norms")
+	if err != nil {
+		log.Fatal(err)
+	}
+	peek, _ := cEdge.Peek(ctx, "norms")
+	fmt.Printf("robust-f2   estimate %.1f  peek %.1f  truth ‖f‖₂ = %.1f\n", est, peek, truth.L2())
+
+	estHH, err := cEdge.Estimate(ctx, "hot-items")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("countsketch estimate %.3g  truth F₂ = %.3g\n", estHH, truth.Fp(2))
+
+	// Snapshot the mergeable keyspace and fold it into the aggregator —
+	// the distributed pattern: edges ingest locally, snapshots merge up.
+	snap, err := cEdge.Snapshot(ctx, "hot-items")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cAgg.Merge(ctx, "hot-items", snap); err != nil {
+		log.Fatal(err)
+	}
+	estAgg, _ := cAgg.Estimate(ctx, "hot-items")
+	fmt.Printf("merged into aggregator: estimate %.3g (%d-byte snapshot, identical state)\n", estAgg, len(snap))
+
+	// Robust ensembles are not linear-mergeable; the server says so.
+	if _, err := cEdge.Snapshot(ctx, "norms"); err != nil {
+		fmt.Printf("snapshot of robust keyspace refused: %v\n", err)
+	}
+
+	// Graceful drain: writes turn into retryable 503s, reads still serve
+	// the fully flushed state.
+	aggSrv.Drain()
+	if err := cAgg.Add(ctx, "hot-items", 1); err != nil {
+		fmt.Printf("update after drain refused: %v\n", err)
+	}
+	estDrained, err := cAgg.Estimate(ctx, "hot-items")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("estimate after drain still serves: %.3g\n", estDrained)
+}

@@ -1,0 +1,189 @@
+// Package client is the Go client for sketchd (internal/server): batched
+// ingest, blocking and lock-free reads, and binary snapshot/merge state
+// transfer between servers. All methods are safe for concurrent use.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"repro/internal/server"
+)
+
+// Update mirrors the wire type: f[Item] += Delta.
+type Update = server.UpdateItem
+
+// Client talks to one sketchd instance.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the sketchd instance at base (e.g.
+// "http://127.0.0.1:8080"). Pass nil to use http.DefaultClient.
+func New(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// apiError turns a non-2xx reply into an error carrying the server's
+// message, status code, and (for partial batch failures) the count of
+// updates the server applied before failing.
+type apiError struct {
+	Status   int
+	Msg      string
+	Accepted int
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("sketchd: %s (HTTP %d)", e.Msg, e.Status)
+}
+
+// StatusCode returns the HTTP status of err if it came from the server,
+// else 0.
+func StatusCode(err error) int {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae.Status
+	}
+	return 0
+}
+
+// AcceptedCount returns the number of updates the server applied before
+// the batch failed (an update that straddled a drain). A retrying client
+// must resend only updates[AcceptedCount:] — the prefix is already in the
+// drained state and would be double counted.
+func AcceptedCount(err error) int {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae.Accepted
+	}
+	return 0
+}
+
+// do issues the request and decodes a JSON reply into out (unless out is
+// nil) or returns the raw body when raw is non-nil.
+func (c *Client) do(ctx context.Context, method, path string, q url.Values, body []byte, contentType string, out any, raw *[]byte) error {
+	u := c.base + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var e server.ErrorResponse
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return &apiError{Status: resp.StatusCode, Msg: e.Error, Accepted: e.Accepted}
+		}
+		return &apiError{Status: resp.StatusCode, Msg: strings.TrimSpace(string(data))}
+	}
+	if raw != nil {
+		*raw = data
+		return nil
+	}
+	if out != nil {
+		return json.Unmarshal(data, out)
+	}
+	return nil
+}
+
+func keyQuery(key string) url.Values { return url.Values{"key": {key}} }
+
+// CreateKey creates keyspace key with the given sketch type ("" for the
+// server default). Idempotent when the types agree.
+func (c *Client) CreateKey(ctx context.Context, key, sketch string) error {
+	q := keyQuery(key)
+	if sketch != "" {
+		q.Set("sketch", sketch)
+	}
+	return c.do(ctx, http.MethodPost, "/v1/keys", q, nil, "", nil, nil)
+}
+
+// DeleteKey tears keyspace key down, freeing its quota slot.
+func (c *Client) DeleteKey(ctx context.Context, key string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/keys", keyQuery(key), nil, "", nil, nil)
+}
+
+// Update sends one batch of updates to keyspace key (created on demand
+// with the server's default sketch type if absent). If the batch
+// straddles a server drain the call fails with a 503; AcceptedCount on
+// the error says how many updates were applied, so retry with
+// updates[AcceptedCount(err):] only.
+func (c *Client) Update(ctx context.Context, key string, updates []Update) error {
+	body, err := json.Marshal(server.UpdateRequest{Updates: updates})
+	if err != nil {
+		return err
+	}
+	return c.do(ctx, http.MethodPost, "/v1/update", keyQuery(key), body, "application/json", nil, nil)
+}
+
+// Add is Update with delta 1 for each item.
+func (c *Client) Add(ctx context.Context, key string, items ...uint64) error {
+	ups := make([]Update, len(items))
+	for i, it := range items {
+		ups[i] = Update{Item: it, Delta: 1}
+	}
+	return c.Update(ctx, key, ups)
+}
+
+// Estimate returns the flushed, combined estimate for key — it reflects
+// every update the server accepted before the call.
+func (c *Client) Estimate(ctx context.Context, key string) (float64, error) {
+	var resp server.EstimateResponse
+	err := c.do(ctx, http.MethodGet, "/v1/estimate", keyQuery(key), nil, "", &resp, nil)
+	return resp.Estimate, err
+}
+
+// Peek returns the lock-free snapshot estimate for key: cheap, never
+// blocks ingest, may lag Estimate slightly.
+func (c *Client) Peek(ctx context.Context, key string) (float64, error) {
+	var resp server.EstimateResponse
+	err := c.do(ctx, http.MethodGet, "/v1/peek", keyQuery(key), nil, "", &resp, nil)
+	return resp.Estimate, err
+}
+
+// Snapshot returns the binary sketch state of key (static linear sketch
+// types only).
+func (c *Client) Snapshot(ctx context.Context, key string) ([]byte, error) {
+	var raw []byte
+	err := c.do(ctx, http.MethodGet, "/v1/snapshot", keyQuery(key), nil, "", nil, &raw)
+	return raw, err
+}
+
+// Merge folds a snapshot (typically from another sketchd sharing the same
+// -seed and -shards) into keyspace key, creating it if absent.
+func (c *Client) Merge(ctx context.Context, key string, snapshot []byte) error {
+	return c.do(ctx, http.MethodPost, "/v1/merge", keyQuery(key), snapshot, "application/octet-stream", nil, nil)
+}
+
+// Stats returns server-wide stats and the keyspace listing.
+func (c *Client) Stats(ctx context.Context) (*server.StatsResponse, error) {
+	var resp server.StatsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, nil, "", &resp, nil); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}

@@ -17,8 +17,8 @@
 // (pre-aggregation), so skewed streams cost the estimator only one update
 // per distinct item per batch. Estimate performs
 // a full Flush first, so it reflects every Update that happened-before the
-// call. Update, Estimate, Peek, Flush and Close are all safe for
-// concurrent use.
+// call. Update, TryUpdate, Estimate, Peek, Flush, Visit and Close are all
+// safe for concurrent use.
 package engine
 
 import (
@@ -85,14 +85,21 @@ type Config struct {
 
 type op struct {
 	batch []Update
-	sync  *sync.WaitGroup // if non-nil: refresh published state, then Done
+	visit func(est sketch.Estimator) // if non-nil: run against the estimator
+	sync  *sync.WaitGroup            // if non-nil: refresh published state, then Done
 }
 
 type shard struct {
 	ops  chan op
 	done chan struct{}
 
+	// mu guards pending/closed — the append critical section. sendMu
+	// serializes sends on ops and is always acquired before mu is
+	// released, so sealed batches reach the worker in seal order while a
+	// producer blocked on a full queue holds only sendMu, leaving mu free
+	// for other producers to keep appending.
 	mu      sync.Mutex
+	sendMu  sync.Mutex
 	pending []Update
 	closed  bool
 
@@ -119,7 +126,21 @@ type Engine struct {
 	combine   Combiner
 	coalesce  bool
 	pool      sync.Pool
+	liveBufs  atomic.Int64 // batch buffers checked out of the pool
 	closeOnce sync.Once
+}
+
+// getBuf checks a batch buffer out of the pool, counting it as
+// outstanding until putBuf returns it.
+func (e *Engine) getBuf() []Update {
+	e.liveBufs.Add(1)
+	return e.pool.Get().([]Update)
+}
+
+// putBuf returns a batch buffer to the pool.
+func (e *Engine) putBuf(b []Update) {
+	e.pool.Put(b[:0])
+	e.liveBufs.Add(-1)
 }
 
 // New starts the shard workers and returns a running engine. Call Close to
@@ -183,7 +204,10 @@ func (e *Engine) run(s *shard) {
 			s.mass += u.Delta
 		}
 		if o.batch != nil {
-			e.pool.Put(o.batch[:0])
+			e.putBuf(o.batch)
+		}
+		if o.visit != nil {
+			o.visit(s.est)
 		}
 		if o.sync != nil {
 			s.publish()
@@ -218,11 +242,25 @@ func (s *shard) coalesceBatch(b []Update) []Update {
 	return out
 }
 
+// MassReporter is implemented by estimators that track the stream mass
+// (net Σdelta) themselves, e.g. the CC entropy sketch's exact F1 counter.
+// The engine publishes a reporter's own mass instead of its worker-side
+// tally, so mass folded in by a Visit-applied Merge (which bypasses the
+// worker's update path) is reflected in the published snapshots — the
+// Entropy combiner depends on it.
+type MassReporter interface {
+	Mass() int64
+}
+
 // publish refreshes the lock-free snapshot of the shard's state. Worker
-// goroutine only.
+// goroutine only (or Visit's post-Close inline path, under mu).
 func (s *shard) publish() {
 	s.pubEstimate.Store(math.Float64bits(s.est.Estimate()))
-	s.pubMass.Store(s.mass)
+	mass := s.mass
+	if mr, ok := s.est.(MassReporter); ok {
+		mass = mr.Mass()
+	}
+	s.pubMass.Store(mass)
 	s.pubSpace.Store(int64(s.est.SpaceBytes()))
 }
 
@@ -234,24 +272,42 @@ func (e *Engine) shardOf(item uint64) *shard {
 
 // Update implements sketch.Estimator. It appends to the item's shard batch
 // and hands full batches to the shard worker, blocking only when the
-// shard's queue is full. Update panics if called after Close.
+// shard's queue is full. Update panics if called after Close — a
+// programmer error; a draining server racing late requests against
+// shutdown should use TryUpdate instead.
 func (e *Engine) Update(item uint64, delta int64) {
+	if !e.TryUpdate(item, delta) {
+		panic("engine: Update after Close")
+	}
+}
+
+// TryUpdate is Update with a non-panicking failure mode: it reports false
+// (dropping the update) if the engine has been closed, and true otherwise.
+func (e *Engine) TryUpdate(item uint64, delta int64) bool {
 	s := e.shardOf(item)
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		panic("engine: Update after Close")
+		return false
 	}
 	if s.pending == nil {
-		s.pending = e.pool.Get().([]Update)
+		s.pending = e.getBuf()
 	}
 	s.pending = append(s.pending, Update{Item: item, Delta: delta})
-	if len(s.pending) >= e.batch {
-		b := s.pending
-		s.pending = nil
-		s.ops <- op{batch: b} // under mu: preserves per-shard batch order
+	if len(s.pending) < e.batch {
+		s.mu.Unlock()
+		return true
 	}
+	b := s.pending
+	s.pending = nil
+	// Hand off outside the append critical section: sealing order fixes
+	// send order via sendMu, and a producer stalled on a full queue blocks
+	// followers only when they too have a sealed batch to send.
+	s.sendMu.Lock()
 	s.mu.Unlock()
+	s.ops <- op{batch: b}
+	s.sendMu.Unlock()
+	return true
 }
 
 // Flush pushes every pending batch to the workers and blocks until all of
@@ -269,10 +325,52 @@ func (e *Engine) Flush() {
 		b := s.pending
 		s.pending = nil
 		wg.Add(1)
-		s.ops <- op{batch: b, sync: &wg}
+		s.sendMu.Lock()
 		s.mu.Unlock()
+		s.ops <- op{batch: b, sync: &wg}
+		s.sendMu.Unlock()
 	}
 	wg.Wait()
+}
+
+// Visit flushes the engine and then runs fn against each shard's
+// estimator in shard order, serialized with that shard's updates (fn runs
+// on the worker goroutine). It is the engine's escape hatch for
+// type-specific estimator operations — serializing sketch state for a
+// snapshot, merging a peer's sketch in — without giving up the ownership
+// discipline that makes the pipeline race-free. fn may mutate the
+// estimator; the shard's published snapshot is refreshed after it
+// returns. Visit reports the first error fn returns, visiting every shard
+// regardless. After Close, fn runs inline on the caller's goroutine
+// (safe: the workers have exited); concurrent post-Close Visits are
+// serialized per shard.
+func (e *Engine) Visit(fn func(shard int, est sketch.Estimator) error) error {
+	e.Flush()
+	var firstErr error
+	for i, s := range e.shards {
+		var err error
+		s.mu.Lock()
+		if s.closed {
+			<-s.done // worker has exited; mu now guards est
+			err = fn(i, s.est)
+			s.publish()
+			s.mu.Unlock()
+		} else {
+			var wg sync.WaitGroup
+			wg.Add(1)
+			i := i
+			o := op{visit: func(est sketch.Estimator) { err = fn(i, est) }, sync: &wg}
+			s.sendMu.Lock()
+			s.mu.Unlock()
+			s.ops <- o
+			s.sendMu.Unlock()
+			wg.Wait()
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // Estimate implements sketch.Estimator: it flushes all pending updates and
@@ -305,19 +403,21 @@ func (e *Engine) ShardEstimates() []ShardEstimate {
 }
 
 // SpaceBytes implements sketch.Estimator: the sum of the shard estimators'
-// published space plus the engine's own buffers — per shard, one pending
-// batch, up to Queue batches in flight on the ops channel, and the
-// coalescing scratch map.
+// published space plus the engine's buffers actually outstanding — batch
+// buffers currently checked out of the pool (pending, sealed and awaiting
+// handoff, queued, or being applied; at most Queue+3 per shard under full
+// backpressure, zero when the pipeline has drained) and the coalescing
+// scratch maps.
 func (e *Engine) SpaceBytes() int {
 	total := 0
 	for _, s := range e.shards {
 		total += int(s.pubSpace.Load())
 	}
-	perShard := (e.queue + 1) * e.batch * 16 // Update structs
+	total += int(e.liveBufs.Load()) * e.batch * 16 // Update structs
 	if e.coalesce {
-		perShard += e.batch * 24 // map entries: item, index, bucket overhead
+		total += len(e.shards) * e.batch * 24 // map entries: item, index, bucket overhead
 	}
-	return total + len(e.shards)*perShard
+	return total
 }
 
 // Shards returns the shard count.
@@ -325,20 +425,26 @@ func (e *Engine) Shards() int { return len(e.shards) }
 
 // Close flushes every pending update, stops the shard workers and waits
 // for them to exit. The engine stays queryable after Close (Estimate and
-// Peek return the final combined estimate); further Updates panic. Close
-// is idempotent and safe to call concurrently with producers only after
-// they have stopped updating.
+// Peek return the final combined estimate). Close is idempotent and safe
+// to call concurrently with active producers — the mu→sendMu handoff
+// protocol serializes it against in-flight sends, and producers that
+// arrive after it observe the closed state (TryUpdate reports false,
+// Update panics); that is the drain path a server shutting down under
+// live traffic relies on.
 func (e *Engine) Close() {
 	e.closeOnce.Do(func() {
 		for _, s := range e.shards {
 			s.mu.Lock()
 			s.closed = true
-			if s.pending != nil {
-				s.ops <- op{batch: s.pending}
-				s.pending = nil
+			b := s.pending
+			s.pending = nil
+			s.sendMu.Lock() // wait out any producer mid-handoff
+			s.mu.Unlock()
+			if b != nil {
+				s.ops <- op{batch: b}
 			}
 			close(s.ops)
-			s.mu.Unlock()
+			s.sendMu.Unlock()
 		}
 		for _, s := range e.shards {
 			<-s.done

@@ -1,0 +1,231 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/f0"
+	"repro/internal/sketch"
+)
+
+// gatedEst blocks inside every Update until release is closed, recording
+// the items it was fed — a stand-in for an arbitrarily slow estimator that
+// lets the tests park a shard worker mid-batch.
+type gatedEst struct {
+	release chan struct{}
+	entered chan struct{} // signaled once, on the first Update
+
+	mu        sync.Mutex
+	seen      []uint64
+	enterOnce sync.Once
+}
+
+func (g *gatedEst) Update(item uint64, delta int64) {
+	g.mu.Lock()
+	g.seen = append(g.seen, item)
+	g.mu.Unlock()
+	g.enterOnce.Do(func() { close(g.entered) })
+	<-g.release
+}
+
+func (g *gatedEst) Estimate() float64 { return 0 }
+func (g *gatedEst) SpaceBytes() int   { return 0 }
+
+func (g *gatedEst) items() []uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]uint64(nil), g.seen...)
+}
+
+// TestUpdateHandoffDoesNotConvoy is the regression test for the lock-held
+// blocking handoff: with a tiny queue and a slow estimator, a producer
+// stalled on shard backpressure must not hold the append lock, so a second
+// producer whose update merely lands in the fresh pending batch completes
+// immediately. Against the old code (channel send under the shard mutex)
+// the second producer convoys on the lock until the estimator is released,
+// and this test times out.
+func TestUpdateHandoffDoesNotConvoy(t *testing.T) {
+	est := &gatedEst{release: make(chan struct{}), entered: make(chan struct{})}
+	e := New(Config{
+		Shards:  1,
+		Batch:   2,
+		Queue:   1,
+		Seed:    1,
+		Factory: func(seed int64) sketch.Estimator { return est },
+	})
+
+	// Producer 1: three sealed batches. B1 is taken by the worker (which
+	// parks inside est.Update), B2 fills the queue, and the send of B3
+	// blocks on backpressure.
+	var p1 sync.WaitGroup
+	p1.Add(1)
+	go func() {
+		defer p1.Done()
+		for i := uint64(0); i < 6; i++ {
+			e.Update(i, 1)
+		}
+	}()
+
+	<-est.entered // worker is parked inside the estimator
+	// Give producer 1 time to reach the blocking send of its third batch.
+	time.Sleep(100 * time.Millisecond)
+
+	// Producer 2: a single update that only appends to the fresh pending
+	// batch. It must complete while producer 1 is still blocked.
+	done := make(chan struct{})
+	go func() {
+		e.Update(6, 1)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Update convoyed on the shard lock behind a producer blocked on backpressure")
+	}
+
+	close(est.release)
+	p1.Wait()
+	e.Close()
+
+	// The handoff restructure must not reorder batches: the estimator sees
+	// the six producer-1 items in seal order, then producer 2's item from
+	// the final pending batch flushed by Close.
+	want := []uint64{0, 1, 2, 3, 4, 5, 6}
+	got := est.items()
+	if len(got) != len(want) {
+		t.Fatalf("estimator saw %d updates, want %d (%v)", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("batch order broken: estimator saw %v, want %v", got, want)
+		}
+	}
+}
+
+// TestTryUpdateAfterClose: TryUpdate reports false instead of panicking
+// once the engine is closed (the drain path a server needs), while Update
+// keeps the panic for programmer error.
+func TestTryUpdateAfterClose(t *testing.T) {
+	e := New(Config{
+		Shards:  2,
+		Batch:   4,
+		Seed:    1,
+		Factory: func(seed int64) sketch.Estimator { return f0.NewExact() },
+	})
+	for i := uint64(0); i < 100; i++ {
+		if !e.TryUpdate(i, 1) {
+			t.Fatalf("TryUpdate(%d) = false before Close", i)
+		}
+	}
+	e.Close()
+
+	if e.TryUpdate(1, 1) {
+		t.Error("TryUpdate = true after Close")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Update after Close did not panic")
+			}
+		}()
+		e.Update(1, 1)
+	}()
+
+	if got := e.Estimate(); got != 100 {
+		t.Errorf("estimate after Close = %v, want 100", got)
+	}
+}
+
+// TestSpaceBytesReflectsOutstandingBuffers: the engine charges only batch
+// buffers actually checked out — zero once the pipeline has drained, one
+// batch after a single buffered update — rather than the old permanent
+// (Queue+1)·Batch·16 per shard.
+func TestSpaceBytesReflectsOutstandingBuffers(t *testing.T) {
+	const shards, batch = 2, 8
+	e := New(Config{
+		Shards:  shards,
+		Batch:   batch,
+		Queue:   4,
+		Seed:    1,
+		Factory: func(seed int64) sketch.Estimator { return f0.NewExact() },
+	})
+	defer e.Close()
+
+	base := func() int {
+		total := shards * batch * 24 // coalescing scratch maps
+		for _, s := range e.shards {
+			total += int(s.pubSpace.Load())
+		}
+		return total
+	}
+
+	for i := uint64(0); i < 1000; i++ {
+		e.Update(i, 1)
+	}
+	e.Flush()
+	if got, want := e.SpaceBytes(), base(); got != want {
+		t.Errorf("space after Flush = %d, want %d (no outstanding buffers)", got, want)
+	}
+
+	e.Update(12345, 1) // one buffered update: exactly one checked-out batch
+	if got, want := e.SpaceBytes(), base()+batch*16; got != want {
+		t.Errorf("space with one pending batch = %d, want %d", got, want)
+	}
+
+	e.Flush()
+	if got, want := e.SpaceBytes(), base(); got != want {
+		t.Errorf("space after second Flush = %d, want %d", got, want)
+	}
+}
+
+// TestVisit: fn observes a flushed estimator per shard (their F0s sum to
+// the global count), runs serialized with ingest, and keeps working after
+// Close.
+func TestVisit(t *testing.T) {
+	e := New(Config{
+		Shards:  4,
+		Batch:   16,
+		Seed:    9,
+		Factory: func(seed int64) sketch.Estimator { return f0.NewExact() },
+	})
+	for i := uint64(0); i < 500; i++ {
+		e.Update(i, 1)
+	}
+
+	var sum float64
+	if err := e.Visit(func(_ int, est sketch.Estimator) error {
+		sum += est.Estimate()
+		return nil
+	}); err != nil {
+		t.Fatalf("Visit: %v", err)
+	}
+	if sum != 500 {
+		t.Errorf("per-shard F0s sum to %v, want 500", sum)
+	}
+
+	e.Close()
+	sum = 0
+	if err := e.Visit(func(_ int, est sketch.Estimator) error {
+		sum += est.Estimate()
+		return nil
+	}); err != nil {
+		t.Fatalf("Visit after Close: %v", err)
+	}
+	if sum != 500 {
+		t.Errorf("per-shard F0s after Close sum to %v, want 500", sum)
+	}
+
+	// A post-Close Visit that mutates the estimator (the server's merge
+	// path racing a drain) must refresh the published snapshots, or the
+	// acknowledged mutation would be invisible to Peek/Estimate forever.
+	if err := e.Visit(func(i int, est sketch.Estimator) error {
+		est.Update(uint64(1000+i), 1) // one new distinct item per shard
+		return nil
+	}); err != nil {
+		t.Fatalf("mutating Visit after Close: %v", err)
+	}
+	if got := e.Peek(); got != 504 {
+		t.Errorf("Peek after post-Close mutating Visit = %v, want 504", got)
+	}
+}

@@ -116,5 +116,9 @@ func (cc *CC) Estimate() float64 {
 // F1 returns the exact stream mass tracked by the sketch.
 func (cc *CC) F1() int64 { return cc.f1 }
 
+// Mass implements engine.MassReporter with the exact F1 counter, which
+// Merge folds in — so a merged sketch reports the combined stream mass.
+func (cc *CC) Mass() int64 { return cc.f1 }
+
 // SpaceBytes charges counters and salts plus the F1 counter.
 func (cc *CC) SpaceBytes() int { return 16*len(cc.y) + 8 }

@@ -1,0 +1,77 @@
+package entropy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCCMarshalRoundTrip(t *testing.T) {
+	orig := NewCC(CCSizing{Groups: 5, Per: 32}, rand.New(rand.NewSource(1)))
+	for i := uint64(0); i < 5000; i++ {
+		orig.Update(i%64, 1)
+	}
+	data, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded CC
+	if err := decoded.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Estimate() != orig.Estimate() {
+		t.Errorf("decoded entropy %v != original %v", decoded.Estimate(), orig.Estimate())
+	}
+	if decoded.F1() != orig.F1() {
+		t.Errorf("decoded F1 %v != original %v", decoded.F1(), orig.F1())
+	}
+	// The decoded sketch keeps evolving identically: the salts survived.
+	decoded.Update(999, 3)
+	orig.Update(999, 3)
+	if decoded.Estimate() != orig.Estimate() {
+		t.Errorf("post-decode update diverged: %v != %v", decoded.Estimate(), orig.Estimate())
+	}
+}
+
+func TestCCUnmarshalRejectsCorruption(t *testing.T) {
+	orig := NewCC(CCSizing{Groups: 3, Per: 8}, rand.New(rand.NewSource(2)))
+	data, _ := orig.MarshalBinary()
+	var s CC
+	if err := s.UnmarshalBinary(data[:10]); err == nil {
+		t.Error("truncated input accepted")
+	}
+	bad := append([]byte(nil), data...)
+	bad[0] = 9
+	if err := s.UnmarshalBinary(bad); err == nil {
+		t.Error("unknown version accepted")
+	}
+}
+
+// TestCCMergeIsStreamConcatenation: merging two Fresh copies fed disjoint
+// halves reproduces the sketch of the whole stream exactly (linearity).
+func TestCCMergeIsStreamConcatenation(t *testing.T) {
+	whole := NewCC(CCSizing{Groups: 5, Per: 64}, rand.New(rand.NewSource(3)))
+	a, b := whole.Fresh(), whole.Fresh()
+	for i := uint64(0); i < 4000; i++ {
+		whole.Update(i%97, 1)
+		if i%2 == 0 {
+			a.Update(i%97, 1)
+		} else {
+			b.Update(i%97, 1)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Estimate()-whole.Estimate()) > 1e-9 {
+		t.Errorf("merged estimate %v != whole-stream estimate %v", a.Estimate(), whole.Estimate())
+	}
+	if a.F1() != whole.F1() {
+		t.Errorf("merged F1 %v != whole-stream F1 %v", a.F1(), whole.F1())
+	}
+
+	other := NewCC(CCSizing{Groups: 5, Per: 64}, rand.New(rand.NewSource(4)))
+	if err := a.Merge(other); err != ErrIncompatible {
+		t.Errorf("merge of unrelated sketch: err = %v, want ErrIncompatible", err)
+	}
+}

@@ -1,0 +1,32 @@
+package entropy
+
+import "errors"
+
+// ErrIncompatible is returned when two sketches do not share the
+// randomness that linear-sketch merging requires.
+var ErrIncompatible = errors.New("entropy: sketches do not share randomness; use Fresh() copies of one origin")
+
+// Fresh returns an empty CC sketch sharing cc's variate salts.
+func (cc *CC) Fresh() *CC {
+	return &CC{groups: cc.groups, per: cc.per, salts: cc.salts, y: make([]float64, len(cc.y))}
+}
+
+// Merge adds other's counters (and F1 mass) into cc. The counters
+// y_j = Σ_i f_i·X_ij are linear in f, so the merged state equals the
+// sketch of the concatenated streams. Both sketches must share salts (be
+// Fresh copies of one origin).
+func (cc *CC) Merge(other *CC) error {
+	if cc.groups != other.groups || cc.per != other.per {
+		return ErrIncompatible
+	}
+	for i := range cc.salts {
+		if cc.salts[i] != other.salts[i] {
+			return ErrIncompatible
+		}
+	}
+	for i := range cc.y {
+		cc.y[i] += other.y[i]
+	}
+	cc.f1 += other.f1
+	return nil
+}

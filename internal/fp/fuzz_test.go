@@ -1,0 +1,52 @@
+package fp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzF2Unmarshal: arbitrary bytes must never panic or produce a sketch
+// that panics on use; valid encodings must round-trip (the contract every
+// wire format reachable from a network merge endpoint has to honor).
+func FuzzF2Unmarshal(f *testing.F) {
+	seed := NewF2(F2Sizing{Rows: 3, Width: 16}, rand.New(rand.NewSource(1)))
+	for i := uint64(0); i < 100; i++ {
+		seed.Update(i, 1)
+	}
+	data, _ := seed.MarshalBinary()
+	f.Add(data)
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		var s F2Sketch
+		if err := s.UnmarshalBinary(b); err != nil {
+			return
+		}
+		// A successfully decoded sketch must be usable.
+		s.Update(42, 1)
+		_ = s.Estimate()
+		_ = s.EstimateL2()
+		_ = s.SpaceBytes()
+	})
+}
+
+// FuzzIndykUnmarshal: same contract for the p-stable sketch wire format.
+func FuzzIndykUnmarshal(f *testing.F) {
+	seed := NewIndyk(1, 16, rand.New(rand.NewSource(1)))
+	for i := uint64(0); i < 100; i++ {
+		seed.Update(i, 1)
+	}
+	data, _ := seed.MarshalBinary()
+	f.Add(data)
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		var s Indyk
+		if err := s.UnmarshalBinary(b); err != nil {
+			return
+		}
+		s.Update(42, 1)
+		_ = s.Estimate()
+		_ = s.SpaceBytes()
+	})
+}

@@ -1,0 +1,66 @@
+package server
+
+// Wire types of the sketchd HTTP/JSON API, shared with internal/client.
+//
+// Endpoints (all keyed by the ?key= query parameter):
+//
+//	POST /v1/update    {"updates":[{"item":1,"delta":2},...]}  batched ingest
+//	GET  /v1/estimate  flushes, returns the combined estimate
+//	GET  /v1/peek      lock-free snapshot estimate, never blocks ingest
+//	GET  /v1/snapshot  binary sketch state (application/octet-stream)
+//	POST /v1/merge     merges a snapshot (possibly from another server)
+//	POST /v1/keys      creates a keyspace explicitly (?sketch= chooses type)
+//	DELETE /v1/keys    tears a keyspace down, freeing its quota slot
+//	GET  /v1/stats     server-wide stats and per-keyspace listing
+//
+// Item identifiers are uint64; non-Go clients talking JSON should keep
+// them below 2^53 or pre-hash to that range.
+
+// UpdateItem is one stream update: f[Item] += Delta.
+type UpdateItem struct {
+	Item  uint64 `json:"item"`
+	Delta int64  `json:"delta"`
+}
+
+// UpdateRequest is the body of POST /v1/update.
+type UpdateRequest struct {
+	Updates []UpdateItem `json:"updates"`
+}
+
+// UpdateResponse reports how many updates were accepted.
+type UpdateResponse struct {
+	Accepted int `json:"accepted"`
+}
+
+// EstimateResponse is the body of GET /v1/estimate and GET /v1/peek.
+type EstimateResponse struct {
+	Key      string  `json:"key"`
+	Sketch   string  `json:"sketch"`
+	Estimate float64 `json:"estimate"`
+}
+
+// KeyStats describes one keyspace in GET /v1/stats.
+type KeyStats struct {
+	Key        string `json:"key"`
+	Sketch     string `json:"sketch"`
+	Shards     int    `json:"shards"`
+	SpaceBytes int    `json:"space_bytes"`
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	Keys     int        `json:"keys"`
+	MaxKeys  int        `json:"max_keys"`
+	Draining bool       `json:"draining"`
+	Tenants  []KeyStats `json:"tenants"`
+}
+
+// ErrorResponse is the body of every non-2xx reply. Accepted is set on a
+// partial batch failure (an update batch that straddled a drain): the
+// first Accepted updates were applied and are in the drained state, so a
+// retrying client must resend only the remaining tail to avoid double
+// counting.
+type ErrorResponse struct {
+	Error    string `json:"error"`
+	Accepted int    `json:"accepted,omitempty"`
+}

@@ -1,0 +1,466 @@
+// Package server implements sketchd, a multi-tenant network sketch
+// service over the repository's estimators. Each keyspace (tenant) is
+// backed by its own engine.Engine — a sharded concurrent ingest pipeline
+// over a robust or static sketch factory — created on demand from a
+// server-wide quota and torn down with a graceful drain on shutdown.
+//
+// The service exposes batched JSON ingest (POST /v1/update), blocking and
+// lock-free reads (GET /v1/estimate, GET /v1/peek), and binary state
+// transfer (GET /v1/snapshot, POST /v1/merge) for the linear static
+// sketches, which lets a fleet of sketchd instances ingest independently
+// and fold their state together — the distributed-aggregation pattern
+// that motivates mergeable sketches. The adversarially robust types
+// (robust-f2, robust-f0, robust-hh, robust-entropy) keep their estimates
+// trustworthy even when clients adaptively react to what the endpoint
+// returns, which is exactly the threat model of a shared network service;
+// see the paper and internal/robust.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dist"
+	"repro/internal/engine"
+	"repro/internal/sketch"
+)
+
+// Config parameterizes New. The zero value is usable: every field has a
+// default.
+type Config struct {
+	// MaxKeys is the server-wide keyspace quota: creating a tenant beyond
+	// it fails with 507 until another keyspace is deleted. Defaults to 64.
+	MaxKeys int
+
+	// Shards, Batch, Queue configure each tenant's engine.Engine.
+	// Shards defaults to 4, Batch to 256, Queue to 8.
+	Shards int
+	Batch  int
+	Queue  int
+
+	// Eps and Delta are the per-keyspace accuracy targets; robust and
+	// static factories size each shard instance at Delta/Shards so the
+	// union bound over shards restores the server-wide guarantee.
+	// Default 0.2 and 0.05.
+	Eps   float64
+	Delta float64
+
+	// N is the universe-size bound handed to the robust constructors.
+	// Defaults to 2^32.
+	N uint64
+
+	// Seed is the root randomness seed. Two servers that should exchange
+	// snapshots must share it: tenant and shard seeds derive from it
+	// deterministically, which is what makes shard i's sketch on one
+	// server mergeable with shard i's on another.
+	Seed int64
+
+	// DefaultSketch is the sketch type used when a keyspace is created
+	// without an explicit ?sketch= parameter. Defaults to "robust-f2".
+	DefaultSketch string
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.MaxKeys <= 0 {
+		cfg.MaxKeys = 64
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 4
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 256
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = 8
+	}
+	if cfg.Eps <= 0 {
+		cfg.Eps = 0.2
+	}
+	if cfg.Delta <= 0 {
+		cfg.Delta = 0.05
+	}
+	if cfg.N == 0 {
+		cfg.N = 1 << 32
+	}
+	if cfg.DefaultSketch == "" {
+		cfg.DefaultSketch = "robust-f2"
+	}
+	return cfg
+}
+
+// maxBodyBytes bounds /v1/update and /v1/merge request bodies.
+const maxBodyBytes = 64 << 20
+
+var (
+	errDraining = errors.New("server is draining")
+	errQuota    = errors.New("keyspace quota exhausted; delete a key or raise -max-keys")
+	errConflict = errors.New("conflict")
+)
+
+type tenant struct {
+	key  string
+	spec spec
+	eng  *engine.Engine
+}
+
+// Server is a sketchd instance. Create with New, mount Handler on an
+// http.Server, and call Drain on shutdown.
+type Server struct {
+	cfg      Config
+	mu       sync.RWMutex
+	tenants  map[string]*tenant
+	draining atomic.Bool
+}
+
+// New returns a Server with no keyspaces yet.
+func New(cfg Config) *Server {
+	return &Server{cfg: cfg.withDefaults(), tenants: make(map[string]*tenant)}
+}
+
+// tenantSeed derives a keyspace's engine seed from the root seed, so two
+// servers sharing a root seed build snapshot-compatible sketches.
+func tenantSeed(root int64, key string) int64 {
+	h := dist.SplitMix64(uint64(root) ^ 0x6b657973706163e5)
+	for _, b := range []byte(key) {
+		h = dist.SplitMix64(h ^ uint64(b))
+	}
+	return int64(h)
+}
+
+// lookup returns the tenant for key, or nil.
+func (s *Server) lookup(key string) *tenant {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tenants[key]
+}
+
+// getOrCreate returns the tenant for key, creating it (with the given or
+// default sketch type) under the quota if absent.
+func (s *Server) getOrCreate(key, sketchName string) (*tenant, error) {
+	if key == "" {
+		return nil, errors.New("missing ?key= parameter")
+	}
+	if t := s.lookup(key); t != nil {
+		if sketchName != "" && sketchName != t.spec.Name {
+			return nil, fmt.Errorf("%w: key %q already holds a %q sketch, not %q", errConflict, key, t.spec.Name, sketchName)
+		}
+		return t, nil
+	}
+	if s.draining.Load() {
+		return nil, errDraining
+	}
+	sp, err := specFor(sketchName, s.cfg.DefaultSketch)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t := s.tenants[key]; t != nil { // lost the creation race
+		if sketchName != "" && sketchName != t.spec.Name {
+			return nil, fmt.Errorf("%w: key %q already holds a %q sketch, not %q", errConflict, key, t.spec.Name, sketchName)
+		}
+		return t, nil
+	}
+	// Re-check under the write lock: Drain snapshots the tenant map, so a
+	// tenant inserted after its flag-set but before its copy would keep a
+	// live engine on a drained server.
+	if s.draining.Load() {
+		return nil, errDraining
+	}
+	if len(s.tenants) >= s.cfg.MaxKeys {
+		return nil, errQuota
+	}
+	t := &tenant{
+		key:  key,
+		spec: sp,
+		eng: engine.New(engine.Config{
+			Shards:  s.cfg.Shards,
+			Batch:   s.cfg.Batch,
+			Queue:   s.cfg.Queue,
+			Combine: sp.combine,
+			Factory: sp.factory(s.cfg),
+			Seed:    tenantSeed(s.cfg.Seed, key),
+		}),
+	}
+	s.tenants[key] = t
+	return t, nil
+}
+
+// Drain stops accepting writes and closes every tenant engine, flushing
+// all pending updates so reads served after Drain reflect the full
+// ingested stream. Reads (estimate, peek, snapshot, stats) keep working;
+// updates, merges and keyspace creation fail with 503. Idempotent.
+func (s *Server) Drain() {
+	if !s.draining.CompareAndSwap(false, true) {
+		return
+	}
+	s.mu.RLock()
+	ts := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		ts = append(ts, t)
+	}
+	s.mu.RUnlock()
+	for _, t := range ts {
+		t.eng.Close()
+	}
+}
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Handler returns the sketchd HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/update", s.handleUpdate)
+	mux.HandleFunc("/v1/estimate", s.handleEstimate)
+	mux.HandleFunc("/v1/peek", s.handlePeek)
+	mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/v1/merge", s.handleMerge)
+	mux.HandleFunc("/v1/keys", s.handleKeys)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// fail maps service errors onto statuses: drain → 503, quota → 507,
+// conflicts (sketch type or randomness mismatches) → 409.
+func fail(w http.ResponseWriter, status int, err error) {
+	switch {
+	case errors.Is(err, errDraining):
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, errQuota):
+		status = http.StatusInsufficientStorage
+	case errors.Is(err, errConflict):
+		status = http.StatusConflict
+	}
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+func methodIs(w http.ResponseWriter, r *http.Request, methods ...string) bool {
+	for _, m := range methods {
+		if r.Method == m {
+			return true
+		}
+	}
+	w.Header().Set("Allow", methods[0])
+	writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "method not allowed"})
+	return false
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if !methodIs(w, r, http.MethodPost) {
+		return
+	}
+	var req UpdateRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		fail(w, http.StatusBadRequest, fmt.Errorf("bad update body: %w", err))
+		return
+	}
+	q := r.URL.Query()
+	t, err := s.getOrCreate(q.Get("key"), q.Get("sketch"))
+	if err != nil {
+		fail(w, http.StatusBadRequest, err)
+		return
+	}
+	// TryUpdate instead of Update: a request that lost the race against
+	// Drain (or a concurrent DELETE of the key) finds the engine closed
+	// and gets a clean error, not a panicking connection. Under drain the
+	// applied prefix is in the drained state, so Accepted tells the client
+	// to retry only the tail; under delete the prefix died with the
+	// engine, so Accepted stays 0 and the client re-sends the full batch.
+	for i, u := range req.Updates {
+		if !t.eng.TryUpdate(u.Item, u.Delta) {
+			if s.draining.Load() {
+				w.Header().Set("Retry-After", "1")
+				writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{
+					Error:    fmt.Sprintf("%v (accepted %d of %d updates)", errDraining, i, len(req.Updates)),
+					Accepted: i,
+				})
+			} else {
+				writeJSON(w, http.StatusGone, ErrorResponse{
+					Error: fmt.Sprintf("keyspace %q was deleted concurrently; re-send the full batch", t.key),
+				})
+			}
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, UpdateResponse{Accepted: len(req.Updates)})
+}
+
+// estimateWith answers /v1/estimate and /v1/peek with the given read.
+func (s *Server) estimateWith(w http.ResponseWriter, r *http.Request, read func(*engine.Engine) float64) {
+	if !methodIs(w, r, http.MethodGet) {
+		return
+	}
+	key := r.URL.Query().Get("key")
+	t := s.lookup(key)
+	if t == nil {
+		fail(w, http.StatusNotFound, fmt.Errorf("unknown key %q", key))
+		return
+	}
+	writeJSON(w, http.StatusOK, EstimateResponse{Key: t.key, Sketch: t.spec.Name, Estimate: read(t.eng)})
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	s.estimateWith(w, r, (*engine.Engine).Estimate)
+}
+
+func (s *Server) handlePeek(w http.ResponseWriter, r *http.Request) {
+	s.estimateWith(w, r, (*engine.Engine).Peek)
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if !methodIs(w, r, http.MethodGet) {
+		return
+	}
+	key := r.URL.Query().Get("key")
+	t := s.lookup(key)
+	if t == nil {
+		fail(w, http.StatusNotFound, fmt.Errorf("unknown key %q", key))
+		return
+	}
+	if !t.spec.Mergeable() {
+		fail(w, http.StatusNotImplemented,
+			fmt.Errorf("sketch type %q is not serializable (robust ensembles are not linear-mergeable)", t.spec.Name))
+		return
+	}
+	parts := make([][]byte, t.eng.Shards())
+	err := t.eng.Visit(func(i int, est sketch.Estimator) error {
+		b, err := t.spec.marshal(est)
+		parts[i] = b
+		return err
+	})
+	if err != nil {
+		fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Sketch", t.spec.Name)
+	_, _ = w.Write(encodeSnapshot(t.spec.Name, parts))
+}
+
+func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
+	if !methodIs(w, r, http.MethodPost) {
+		return
+	}
+	if s.draining.Load() {
+		fail(w, 0, errDraining)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		fail(w, http.StatusBadRequest, err)
+		return
+	}
+	name, parts, err := decodeSnapshot(body)
+	if err != nil {
+		fail(w, http.StatusBadRequest, err)
+		return
+	}
+	// Validate everything the snapshot alone can tell us before touching
+	// the tenant map: a failed merge must not consume a quota slot or
+	// leave an engine behind.
+	sp, err := specFor(name, name)
+	if err != nil {
+		fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if !sp.Mergeable() {
+		fail(w, http.StatusNotImplemented, fmt.Errorf("sketch type %q does not support merge", sp.Name))
+		return
+	}
+	if want := s.cfg.Shards; len(parts) != want {
+		fail(w, http.StatusConflict,
+			fmt.Errorf("%w: snapshot has %d shards, this server runs %d (snapshot exchange requires identical -shards and -seed)",
+				errConflict, len(parts), want))
+		return
+	}
+	m, err := sp.prepare(parts)
+	if err != nil {
+		fail(w, http.StatusBadRequest, err)
+		return
+	}
+	t, err := s.getOrCreate(r.URL.Query().Get("key"), name)
+	if err != nil {
+		fail(w, http.StatusBadRequest, err)
+		return
+	}
+	// Two-phase merge: check every shard's compatibility without mutating
+	// (phase 1), then apply (phase 2). A mismatch — almost always a
+	// different root seed — aborts with the sketches untouched, so the
+	// client can safely retry after fixing the snapshot.
+	if err := t.eng.Visit(m.Check); err != nil {
+		fail(w, http.StatusConflict, fmt.Errorf("%w: %v", errConflict, err))
+		return
+	}
+	if err := t.eng.Visit(m.Apply); err != nil {
+		fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	// Re-check the tenant map: Visit succeeds even on an engine closed by
+	// a concurrent DELETE (the post-Close inline path), which would turn
+	// this 200 into a silently discarded merge. If the tenant is still
+	// mapped now, the merge landed in live state; a delete after this
+	// point is an ordinary later event.
+	if s.lookup(t.key) != t {
+		writeJSON(w, http.StatusGone, ErrorResponse{
+			Error: fmt.Sprintf("keyspace %q was deleted concurrently; the merge was discarded", t.key),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, UpdateResponse{Accepted: len(parts)})
+}
+
+func (s *Server) handleKeys(w http.ResponseWriter, r *http.Request) {
+	if !methodIs(w, r, http.MethodPost, http.MethodDelete) {
+		return
+	}
+	q := r.URL.Query()
+	key := q.Get("key")
+	switch r.Method {
+	case http.MethodPost:
+		t, err := s.getOrCreate(key, q.Get("sketch"))
+		if err != nil {
+			fail(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, KeyStats{Key: t.key, Sketch: t.spec.Name, Shards: t.eng.Shards(), SpaceBytes: t.eng.SpaceBytes()})
+	case http.MethodDelete:
+		s.mu.Lock()
+		t := s.tenants[key]
+		delete(s.tenants, key)
+		s.mu.Unlock()
+		if t == nil {
+			fail(w, http.StatusNotFound, fmt.Errorf("unknown key %q", key))
+			return
+		}
+		t.eng.Close() // flushes, stops the shard workers, frees the quota slot
+		writeJSON(w, http.StatusOK, KeyStats{Key: t.key, Sketch: t.spec.Name, Shards: t.eng.Shards()})
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if !methodIs(w, r, http.MethodGet) {
+		return
+	}
+	s.mu.RLock()
+	resp := StatsResponse{Keys: len(s.tenants), MaxKeys: s.cfg.MaxKeys, Draining: s.draining.Load()}
+	for _, t := range s.tenants {
+		resp.Tenants = append(resp.Tenants, KeyStats{
+			Key: t.key, Sketch: t.spec.Name, Shards: t.eng.Shards(), SpaceBytes: t.eng.SpaceBytes(),
+		})
+	}
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,51 @@
+package server
+
+import (
+	"fmt"
+
+	"repro/internal/codec"
+)
+
+// The snapshot envelope carried by GET /v1/snapshot and POST /v1/merge:
+// a version byte, the sketch type name, and one opaque blob per shard
+// (each shard's estimator serialized by its own MarshalBinary). Shard
+// blobs are positional — merging requires the same shard count and the
+// same root seed on both servers, so shard i's estimator on the source
+// shares randomness with shard i's on the destination and the items hash
+// to the same shards.
+const snapshotFormatV1 = 1
+
+func encodeSnapshot(sketchName string, parts [][]byte) []byte {
+	var w codec.Writer
+	w.U8(snapshotFormatV1)
+	w.U8s([]byte(sketchName))
+	w.U64(uint64(len(parts)))
+	for _, p := range parts {
+		w.U8s(p)
+	}
+	return w.Bytes()
+}
+
+func decodeSnapshot(data []byte) (sketchName string, parts [][]byte, err error) {
+	r := codec.NewReader(data)
+	if v := r.U8(); v != snapshotFormatV1 && r.Err() == nil {
+		return "", nil, fmt.Errorf("server: unsupported snapshot format version %d", v)
+	}
+	name := string(r.U8s())
+	n := r.U64()
+	if r.Err() != nil {
+		return "", nil, r.Err()
+	}
+	// Each shard blob costs at least its 8-byte length prefix.
+	if n > uint64(len(data))/8 {
+		return "", nil, fmt.Errorf("server: snapshot declares %d shards for %d bytes", n, len(data))
+	}
+	parts = make([][]byte, 0, n)
+	for i := uint64(0); i < n; i++ {
+		parts = append(parts, r.U8s())
+	}
+	if err := r.Done(); err != nil {
+		return "", nil, err
+	}
+	return name, parts, nil
+}

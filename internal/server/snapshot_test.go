@@ -1,0 +1,145 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestSnapshotEnvelopeRoundTrip(t *testing.T) {
+	parts := [][]byte{{1, 2, 3}, {}, {0xff}}
+	enc := encodeSnapshot("countsketch", parts)
+	name, got, err := decodeSnapshot(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "countsketch" || len(got) != len(parts) {
+		t.Fatalf("decoded (%q, %d parts), want (countsketch, %d)", name, len(got), len(parts))
+	}
+	for i := range parts {
+		if !bytes.Equal(got[i], parts[i]) {
+			t.Errorf("part %d = %v, want %v", i, got[i], parts[i])
+		}
+	}
+	if _, _, err := decodeSnapshot(enc[:len(enc)-1]); err == nil {
+		t.Error("truncated envelope accepted")
+	}
+	if _, _, err := decodeSnapshot([]byte{9}); err == nil {
+		t.Error("unknown version accepted")
+	}
+}
+
+// TestMergeAtomicityAndQuota: a snapshot with one corrupted shard blob
+// must reject the whole merge (no shard partially applied — a retry after
+// repair must not double count), and failed merges against fresh keys
+// must not consume quota slots or leave engines behind.
+func TestMergeAtomicityAndQuota(t *testing.T) {
+	srv := New(Config{Shards: 2, Seed: 3, MaxKeys: 2, DefaultSketch: "f2"})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	defer srv.Drain()
+
+	do := func(method, path string, body []byte) (int, []byte) {
+		req, _ := http.NewRequest(method, hs.URL+path, bytes.NewReader(body))
+		resp, err := hs.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, data
+	}
+	estimate := func(key string) float64 {
+		code, body := do(http.MethodGet, "/v1/estimate?key="+key, nil)
+		if code != 200 {
+			t.Fatalf("estimate(%s): HTTP %d: %s", key, code, body)
+		}
+		var e EstimateResponse
+		if err := json.Unmarshal(body, &e); err != nil {
+			t.Fatal(err)
+		}
+		return e.Estimate
+	}
+
+	if code, body := do(http.MethodPost, "/v1/update?key=k&sketch=f2",
+		[]byte(`{"updates":[{"item":1,"delta":5},{"item":2,"delta":3}]}`)); code != 200 {
+		t.Fatalf("update: HTTP %d: %s", code, body)
+	}
+	before := estimate("k")
+
+	code, snap := do(http.MethodGet, "/v1/snapshot?key=k", nil)
+	if code != 200 {
+		t.Fatalf("snapshot: HTTP %d", code)
+	}
+	name, parts, err := decodeSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts[1] = []byte{99} // corrupt one shard blob (bad codec version)
+	bad := encodeSnapshot(name, parts)
+
+	// Merging the half-corrupted snapshot into the live key must change
+	// nothing: phase-1 decode fails before any shard is touched.
+	if code, body := do(http.MethodPost, "/v1/merge?key=k", bad); code != http.StatusBadRequest {
+		t.Errorf("corrupted merge: HTTP %d (%s), want 400", code, body)
+	}
+	if after := estimate("k"); after != before {
+		t.Errorf("estimate moved %v → %v on a rejected merge (partial apply)", before, after)
+	}
+
+	// Failed merges against fresh keys must not leak tenants into the
+	// quota: a wrong-shard-count snapshot and the corrupted one both fail
+	// without creating "fresh".
+	if code, _ := do(http.MethodPost, "/v1/merge?key=fresh", bad); code != http.StatusBadRequest {
+		t.Errorf("corrupted merge into fresh key: HTTP %d, want 400", code)
+	}
+	if code, _ := do(http.MethodPost, "/v1/merge?key=fresh", encodeSnapshot(name, parts[:1])); code != http.StatusConflict {
+		t.Errorf("wrong shard count into fresh key: HTTP %d, want 409", code)
+	}
+	code, body := do(http.MethodGet, "/v1/stats", nil)
+	if code != 200 {
+		t.Fatalf("stats: HTTP %d", code)
+	}
+	var st StatsResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Keys != 1 {
+		t.Errorf("failed merges leaked tenants: %d keys, want 1", st.Keys)
+	}
+	for _, ks := range st.Tenants {
+		if strings.Contains(ks.Key, "fresh") {
+			t.Errorf("tenant %q exists after failed merges", ks.Key)
+		}
+	}
+	// A valid merge still works and doubles the linear state.
+	if code, body := do(http.MethodPost, "/v1/merge?key=k", snap); code != 200 {
+		t.Fatalf("valid merge: HTTP %d: %s", code, body)
+	}
+	if after := estimate("k"); after != 4*before { // doubled counters → 4× F2
+		t.Errorf("estimate after self-merge = %v, want %v (4× — doubled linear counters)", after, 4*before)
+	}
+}
+
+// FuzzSnapshotDecode: the merge endpoint's outer wire format must never
+// panic on malformed input (the inner sketch codecs have their own fuzz
+// targets in internal/fp, internal/f0, internal/heavyhitters and
+// internal/entropy — together they cover every format reachable from
+// POST /v1/merge).
+func FuzzSnapshotDecode(f *testing.F) {
+	f.Add(encodeSnapshot("f2", [][]byte{{1, 2}, {3}}))
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		name, parts, err := decodeSnapshot(b)
+		if err != nil {
+			return
+		}
+		// A decoded envelope must be internally consistent and re-encode.
+		_ = encodeSnapshot(name, parts)
+	})
+}

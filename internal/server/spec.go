@@ -1,0 +1,236 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/engine"
+	"repro/internal/entropy"
+	"repro/internal/f0"
+	"repro/internal/fp"
+	"repro/internal/heavyhitters"
+	"repro/internal/robust"
+	"repro/internal/sketch"
+)
+
+// A spec is one sketch type the service can host: how to build a
+// per-shard estimator instance, how to recombine the shard estimates, and
+// (for the linear static sketches) how to serialize and merge shard state
+// for the snapshot/merge endpoints. Robust types have no codec — their
+// switching ensembles are not linear-mergeable, so /v1/snapshot and
+// /v1/merge answer 501 for them; everything else works identically.
+//
+// factory receives the server Config after defaults are applied; robust
+// types size each shard instance at δ/Shards so the union bound over the
+// shard ensemble restores the configured server-wide δ.
+type spec struct {
+	Name    string
+	combine engine.Combiner
+	factory func(cfg Config) sketch.Factory
+	marshal func(est sketch.Estimator) ([]byte, error)
+	prepare func(parts [][]byte) (merger, error)
+}
+
+// Mergeable reports whether the spec supports /v1/snapshot + /v1/merge.
+func (sp spec) Mergeable() bool { return sp.marshal != nil }
+
+func badType(sp string, est sketch.Estimator) error {
+	return fmt.Errorf("server: %s keyspace holds a %T, not the expected sketch (corrupted spec registry?)", sp, est)
+}
+
+// A merger is a fully decoded snapshot staged for merging, one part per
+// shard. Check is a non-mutating compatibility probe (it merges an empty
+// Fresh copy of the decoded part, which verifies dimensions and shared
+// randomness without changing any counter); Apply folds the part in. The
+// two-phase protocol makes POST /v1/merge atomic: every part is decoded
+// and checked against every shard before the first counter moves, so a
+// failed merge leaves no partial state for a client retry to double
+// count.
+type merger interface {
+	Check(i int, est sketch.Estimator) error
+	Apply(i int, est sketch.Estimator) error
+}
+
+// codecOps derives a spec's marshal/prepare pair from a sketch type's
+// binary codec and linear Merge, so each mergeable spec is one line
+// instead of a hand-written closure pair.
+func codecOps[T any, PT interface {
+	*T
+	sketch.Estimator
+	MarshalBinary() ([]byte, error)
+	UnmarshalBinary([]byte) error
+	Fresh() PT
+	Merge(PT) error
+}](name string) (func(sketch.Estimator) ([]byte, error), func([][]byte) (merger, error)) {
+	marshal := func(est sketch.Estimator) ([]byte, error) {
+		p, ok := est.(PT)
+		if !ok {
+			return nil, badType(name, est)
+		}
+		return p.MarshalBinary()
+	}
+	prepare := func(parts [][]byte) (merger, error) {
+		ms := make([]PT, len(parts))
+		for i, part := range parts {
+			var o T
+			if err := PT(&o).UnmarshalBinary(part); err != nil {
+				return nil, fmt.Errorf("snapshot shard %d: %w", i, err)
+			}
+			ms[i] = &o
+		}
+		return typedMerger[T, PT]{name: name, parts: ms}, nil
+	}
+	return marshal, prepare
+}
+
+type typedMerger[T any, PT interface {
+	*T
+	sketch.Estimator
+	Fresh() PT
+	Merge(PT) error
+}] struct {
+	name  string
+	parts []PT
+}
+
+func (m typedMerger[T, PT]) Check(i int, est sketch.Estimator) error {
+	p, ok := est.(PT)
+	if !ok {
+		return badType(m.name, est)
+	}
+	// Merging an empty same-randomness copy adds zero everywhere: it runs
+	// the full compatibility check and provably leaves est unchanged.
+	return p.Merge(m.parts[i].Fresh())
+}
+
+func (m typedMerger[T, PT]) Apply(i int, est sketch.Estimator) error {
+	p, ok := est.(PT)
+	if !ok {
+		return badType(m.name, est)
+	}
+	return p.Merge(m.parts[i])
+}
+
+// The marshal/prepare pairs of the static linear sketch types.
+var (
+	f2Marshal, f2Prepare   = codecOps[fp.F2Sketch]("f2")
+	kmvMarshal, kmvPrepare = codecOps[f0.KMV]("kmv")
+	csMarshal, csPrepare   = codecOps[heavyhitters.CountSketch]("countsketch")
+	ccMarshal, ccPrepare   = codecOps[entropy.CC]("cc")
+)
+
+// kmvK sizes a KMV sketch for relative error eps with failure probability
+// delta (Chebyshev over the averaged ±1/√k deviations, boosted by ln 1/δ).
+func kmvK(eps, delta float64) int {
+	k := int(math.Ceil(4 / (eps * eps) * math.Log(2/delta)))
+	if k < 16 {
+		k = 16
+	}
+	return k
+}
+
+// specs is the registry of hostable sketch types.
+var specs = map[string]spec{
+	// Static linear sketches: snapshot/merge supported.
+	"f2": {
+		Name:    "f2",
+		combine: engine.Sum, // F2 = Σ_i f_i² is additive over the shard partition
+		factory: func(cfg Config) sketch.Factory {
+			sizing := fp.SizeF2(cfg.Eps, cfg.Delta/float64(cfg.Shards))
+			return func(seed int64) sketch.Estimator {
+				return fp.NewF2(sizing, rand.New(rand.NewSource(seed)))
+			}
+		},
+		marshal: f2Marshal,
+		prepare: f2Prepare,
+	},
+	"kmv": {
+		Name:    "kmv",
+		combine: engine.Sum, // distinct counts of disjoint item sets add
+		factory: func(cfg Config) sketch.Factory {
+			k := kmvK(cfg.Eps, cfg.Delta/float64(cfg.Shards))
+			return func(seed int64) sketch.Estimator {
+				return f0.NewKMV(k, rand.New(rand.NewSource(seed)))
+			}
+		},
+		marshal: kmvMarshal,
+		prepare: kmvPrepare,
+	},
+	"countsketch": {
+		Name:    "countsketch",
+		combine: engine.Sum, // Estimate is the F2 moment, additive over shards
+		factory: func(cfg Config) sketch.Factory {
+			sizing := heavyhitters.SizeForPointQuery(cfg.Eps, cfg.Delta/float64(cfg.Shards))
+			return func(seed int64) sketch.Estimator {
+				return heavyhitters.NewCountSketch(sizing, rand.New(rand.NewSource(seed)))
+			}
+		},
+		marshal: csMarshal,
+		prepare: csPrepare,
+	},
+	"cc": {
+		Name:    "cc",
+		combine: engine.Entropy, // chain rule over the shard partition
+		factory: func(cfg Config) sketch.Factory {
+			sizing := entropy.SizeCC(cfg.Eps, cfg.Delta/float64(cfg.Shards))
+			return func(seed int64) sketch.Estimator {
+				return entropy.NewCC(sizing, rand.New(rand.NewSource(seed)))
+			}
+		},
+		marshal: ccMarshal,
+		prepare: ccPrepare,
+	},
+
+	// Adversarially robust estimators (the paper's transformations):
+	// estimates stay (1±ε)-correct under adaptive query/update
+	// interleaving — the regime of a shared network endpoint.
+	"robust-f2": {
+		Name:    "robust-f2",
+		combine: engine.Norm(2), // per-shard L2 norms → global L2 norm
+		factory: func(cfg Config) sketch.Factory {
+			return func(seed int64) sketch.Estimator {
+				return robust.NewFp(2, cfg.Eps, cfg.Delta/float64(cfg.Shards), cfg.N, seed)
+			}
+		},
+	},
+	"robust-f0": {
+		Name:    "robust-f0",
+		combine: engine.Sum,
+		factory: func(cfg Config) sketch.Factory {
+			return func(seed int64) sketch.Estimator {
+				return robust.NewF0(cfg.Eps, cfg.Delta/float64(cfg.Shards), cfg.N, seed)
+			}
+		},
+	},
+	"robust-hh": {
+		Name:    "robust-hh",
+		combine: engine.Norm(2), // Estimate is the robust L2 norm
+		factory: func(cfg Config) sketch.Factory {
+			return func(seed int64) sketch.Estimator {
+				return robust.NewHeavyHitters(cfg.Eps, cfg.Delta/float64(cfg.Shards), cfg.N, seed)
+			}
+		},
+	},
+	"robust-entropy": {
+		Name:    "robust-entropy",
+		combine: engine.Entropy,
+		factory: func(cfg Config) sketch.Factory {
+			return func(seed int64) sketch.Estimator {
+				return robust.NewEntropy(cfg.Eps, cfg.Delta/float64(cfg.Shards), 64, seed)
+			}
+		},
+	},
+}
+
+// specFor resolves a sketch type name; empty picks the server default.
+func specFor(name, deflt string) (spec, error) {
+	if name == "" {
+		name = deflt
+	}
+	sp, ok := specs[name]
+	if !ok {
+		return spec{}, fmt.Errorf("unknown sketch type %q (have: f2, kmv, countsketch, cc, robust-f2, robust-f0, robust-hh, robust-entropy)", name)
+	}
+	return sp, nil
+}
