@@ -347,6 +347,9 @@ func BenchmarkEngineIngestZipfSharded8(b *testing.B) {
 // stream update (batches of 512 amortize the HTTP round trip); compare
 // against the in-process engine benchmarks above for the wire tax.
 func benchSketchdIngest(b *testing.B, sketchType string) {
+	if testing.Short() {
+		b.Skip("loopback-HTTP load benchmark: binds a TCP listener and spins a real server; skipped under -short")
+	}
 	srv := server.New(server.Config{Shards: 4, Eps: 0.3, Delta: 0.05, N: 1 << 20, Seed: 1, DefaultSketch: sketchType})
 	hs := httptest.NewServer(srv.Handler())
 	defer hs.Close()

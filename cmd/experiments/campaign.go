@@ -1,0 +1,308 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"strings"
+
+	"repro/internal/adversary"
+	"repro/internal/client"
+	"repro/internal/engine"
+	"repro/internal/game"
+	"repro/internal/hash"
+	"repro/internal/server"
+	"repro/internal/sketch"
+)
+
+// The campaign subcommand sweeps adversary × target × sketch: every
+// adaptive strategy in internal/adversary plays the full
+// query→adapt→update game against every layer of the production stack —
+// bare estimator, sharded engine, and a sketchd tenant over loopback
+// HTTP — for every requested sketch type in the server registry, and the
+// outcomes land in a JSON report. The expected picture, which the nightly
+// CI run asserts on a fixed subset: adaptive attacks break the static
+// types and bounce off the robust ones, on every target.
+//
+// Usage: go run ./cmd/experiments campaign -sketches f2,robust-f2 -o report.json
+
+// campaignResult is one swept combination.
+type campaignResult struct {
+	Adversary string  `json:"adversary"`
+	Target    string  `json:"target"`
+	Sketch    string  `json:"sketch"`
+	Robust    bool    `json:"robust"`
+	Skipped   string  `json:"skipped,omitempty"`
+	Steps     int     `json:"steps,omitempty"`
+	Broken    bool    `json:"broken"`
+	BrokenAt  int     `json:"broken_at,omitempty"`
+	MaxRelErr float64 `json:"max_rel_err"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// campaignReport is the emitted JSON document.
+type campaignReport struct {
+	Eps     float64          `json:"eps"`
+	Steps   int              `json:"steps"`
+	Shards  int              `json:"shards"`
+	Results []campaignResult `json:"results"`
+}
+
+// hashLeaker is the surface the seed-leakage adversary needs from its
+// victim: KMV-style sketches expose their (leaked) hash function.
+type hashLeaker interface {
+	Hash() hash.Poly
+}
+
+// campaignTarget is one built system under test plus its teardown.
+type campaignTarget struct {
+	tgt game.Target
+	// leak returns the victim's hash function if the target can leak one
+	// (in-process and engine targets over KMV; nil over HTTP, where the
+	// network boundary hides the seed — exactly why the seed-leak threat
+	// model is about *local* state compromise).
+	leak  func() hashLeaker
+	close func()
+}
+
+func runCampaign(args []string) {
+	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
+	var (
+		adversaries = fs.String("adversaries", "ams,chaser,ramp,seedleak", "comma-separated adversary strategies")
+		targets     = fs.String("targets", "estimator,engine,http", "comma-separated target kinds")
+		sketches    = fs.String("sketches", "f2,kmv,countsketch,robust-f2,robust-f0,robust-hh", "comma-separated sketch types, or 'all' for the full registry (entropy types are slow)")
+		steps       = fs.Int("steps", 3000, "max adversary rounds per combination")
+		eps         = fs.Float64("eps", 0.3, "the 1±ε acceptance envelope (additive ε bits for entropy types)")
+		delta       = fs.Float64("delta", 0.05, "per-keyspace failure probability")
+		shards      = fs.Int("shards", 1, "engine/server shard count (estimator target always uses 1; >1 dilutes single-sketch attacks across independent shard sketches, an interesting sweep of its own)")
+		warmup      = fs.Int("warmup", 32, "rounds exempt from the check (rounding granularity on tiny truths)")
+		amsT        = fs.Int("ams-t", 64, "row count the AMS attack assumes of its victim")
+		seed        = fs.Int64("seed", 1, "root randomness seed")
+		out         = fs.String("o", "", "write the JSON report here (default stdout)")
+	)
+	_ = fs.Parse(args)
+
+	// Validate the sweep axes up front: a typo must exit loudly, not run a
+	// sweep of zero campaigns that CI would read as green.
+	knownAdversaries := map[string]bool{"ams": true, "chaser": true, "ramp": true, "seedleak": true}
+	knownTargets := map[string]bool{"estimator": true, "engine": true, "http": true}
+	advList := splitList(*adversaries)
+	targetList := splitList(*targets)
+	for _, a := range advList {
+		if !knownAdversaries[a] {
+			fmt.Fprintf(os.Stderr, "unknown adversary %q (have: ams, chaser, ramp, seedleak)\n", a)
+			os.Exit(2)
+		}
+	}
+	for _, tk := range targetList {
+		if !knownTargets[tk] {
+			fmt.Fprintf(os.Stderr, "unknown target kind %q (have: estimator, engine, http)\n", tk)
+			os.Exit(2)
+		}
+	}
+
+	infos := map[string]server.Info{}
+	var order []string
+	for _, info := range server.Types() {
+		infos[info.Name] = info
+		if *sketches == "all" {
+			order = append(order, info.Name) // Types() is already name-sorted
+		}
+	}
+	if *sketches != "all" {
+		for _, name := range splitList(*sketches) {
+			if _, ok := infos[name]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown sketch type %q\n", name)
+				os.Exit(2)
+			}
+			order = append(order, name)
+		}
+	}
+
+	report := campaignReport{Eps: *eps, Steps: *steps, Shards: *shards}
+	failed := 0
+	for _, sketchName := range order {
+		info := infos[sketchName]
+		for _, targetKind := range targetList {
+			for _, advName := range advList {
+				res := runCampaignCombo(comboConfig{
+					adv: advName, target: targetKind, info: info,
+					steps: *steps, eps: *eps, delta: *delta, shards: *shards,
+					warmup: *warmup, amsT: *amsT, seed: *seed,
+				})
+				report.Results = append(report.Results, res)
+				verdict := "held"
+				switch {
+				case res.Skipped != "":
+					verdict = "skipped (" + res.Skipped + ")"
+				case res.Error != "":
+					verdict = "error (" + res.Error + ")"
+					failed++
+				case res.Broken:
+					verdict = fmt.Sprintf("BROKEN at %d", res.BrokenAt)
+				}
+				fmt.Fprintf(os.Stderr, "  %-9s vs %-9s %-14s %s\n", advName, targetKind, sketchName, verdict)
+			}
+		}
+	}
+
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+	} else {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "report: %s (%d combinations)\n", *out, len(report.Results))
+	}
+	// A campaign that could not even run is a failure, not data: exit
+	// non-zero so the nightly sweep goes red instead of silently green.
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d of %d combinations aborted with errors\n", failed, len(report.Results))
+		os.Exit(1)
+	}
+}
+
+// splitList parses a comma-separated flag value, trimming whitespace.
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+type comboConfig struct {
+	adv, target string
+	info        server.Info
+	steps       int
+	eps, delta  float64
+	shards      int
+	warmup      int
+	amsT        int
+	seed        int64
+}
+
+// buildTarget constructs the system under test for one combination. Every
+// target kind hosts the exact estimator stack a sketchd tenant runs: the
+// factories and combiners come from the server's own spec registry.
+func buildTarget(c comboConfig) (campaignTarget, error) {
+	cfg := server.Config{Shards: c.shards, Eps: c.eps, Delta: c.delta, N: 1 << 20, Seed: c.seed, DefaultSketch: c.info.Name}
+	switch c.target {
+	case "estimator":
+		cfg.Shards = 1
+		ec, err := server.EngineConfig(c.info.Name, cfg, c.seed)
+		if err != nil {
+			return campaignTarget{}, err
+		}
+		est := ec.Factory(c.seed)
+		return campaignTarget{
+			tgt: game.NewEstimatorTarget(est),
+			leak: func() hashLeaker {
+				hl, _ := est.(hashLeaker)
+				return hl
+			},
+			close: func() {},
+		}, nil
+	case "engine":
+		ec, err := server.EngineConfig(c.info.Name, cfg, c.seed)
+		if err != nil {
+			return campaignTarget{}, err
+		}
+		eng := engine.New(ec)
+		return campaignTarget{
+			tgt: game.NewEngineTarget(eng),
+			leak: func() hashLeaker {
+				var hl hashLeaker
+				_ = eng.Visit(func(i int, est sketch.Estimator) error {
+					if i == 0 {
+						hl, _ = est.(hashLeaker)
+					}
+					return nil
+				})
+				return hl
+			},
+			close: eng.Close,
+		}, nil
+	case "http":
+		srv := server.New(cfg)
+		hs := httptest.NewServer(srv.Handler())
+		ctx := context.Background()
+		cl := client.New(hs.URL, hs.Client())
+		if err := cl.CreateKey(ctx, "campaign", c.info.Name); err != nil {
+			hs.Close()
+			return campaignTarget{}, err
+		}
+		return campaignTarget{
+			tgt:  client.NewGameTarget(ctx, cl, "campaign"),
+			leak: func() hashLeaker { return nil },
+			close: func() {
+				srv.Drain()
+				hs.Close()
+			},
+		}, nil
+	}
+	return campaignTarget{}, fmt.Errorf("unknown target kind %q (have: estimator, engine, http)", c.target)
+}
+
+// buildAdversary constructs the strategy, given the built target (the
+// seed-leak adversary needs to steal the victim's hash function first).
+func buildAdversary(c comboConfig, ct campaignTarget) (game.Adversary, string) {
+	switch c.adv {
+	case "ams":
+		return adversary.NewAMSAttack(c.amsT, 4, c.seed+7), ""
+	case "chaser":
+		return adversary.NewChaser(c.steps, c.seed+11), ""
+	case "ramp":
+		return adversary.NewRamp(c.steps), ""
+	case "seedleak":
+		hl := ct.leak()
+		if hl == nil {
+			return nil, "target does not leak a hash seed (KMV-backed, non-HTTP targets only)"
+		}
+		warm := c.steps / 2
+		return adversary.NewSeedLeak(hl.Hash(), warm, c.steps-warm), ""
+	}
+	return nil, fmt.Sprintf("unknown adversary %q", c.adv)
+}
+
+func runCampaignCombo(c comboConfig) campaignResult {
+	out := campaignResult{Adversary: c.adv, Target: c.target, Sketch: c.info.Name, Robust: c.info.Robust}
+	ct, err := buildTarget(c)
+	if err != nil {
+		out.Error = err.Error()
+		return out
+	}
+	defer ct.close()
+	adv, skip := buildAdversary(c, ct)
+	if skip != "" {
+		out.Skipped = skip
+		return out
+	}
+	check := game.RelCheck(c.eps)
+	if c.info.Additive {
+		check = game.AdditiveCheck(c.eps)
+	}
+	res, err := game.RunTarget(ct.tgt, adv, c.info.Truth, check, game.Config{
+		MaxSteps: c.steps, StopOnBreak: true, Warmup: c.warmup,
+	})
+	out.Steps = res.Steps
+	out.Broken = res.Broken
+	out.BrokenAt = res.BrokenAt
+	out.MaxRelErr = res.MaxRelErr
+	if err != nil {
+		out.Error = err.Error()
+	}
+	return out
+}

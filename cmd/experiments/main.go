@@ -15,6 +15,13 @@
 //	all        everything above
 //
 // Usage: go run ./cmd/experiments -exp t1
+//
+// The separate campaign subcommand sweeps every adversary strategy
+// against every layer of the production stack (bare estimator, sharded
+// engine, sketchd over loopback HTTP) for the requested sketch types and
+// emits a JSON report:
+//
+//	go run ./cmd/experiments campaign -sketches f2,robust-f2 -o report.json
 package main
 
 import (
@@ -44,6 +51,12 @@ var experiments = []struct {
 }
 
 func main() {
+	// The campaign subcommand (adversary × target × sketch sweep with a
+	// JSON report) has its own flag set: go run ./cmd/experiments campaign -h
+	if len(os.Args) > 1 && os.Args[1] == "campaign" {
+		runCampaign(os.Args[2:])
+		return
+	}
 	exp := flag.String("exp", "all", "experiment id (see -list)")
 	list := flag.Bool("list", false, "list experiments")
 	flag.Parse()

@@ -15,7 +15,13 @@
 //     plus the MedianAbs calibration constant of Indyk's estimator), an
 //     AES-based PRF, and the binary codec behind sketch marshaling.
 //   - internal/sketch — the Estimator/Factory interfaces every algorithm
-//     implements.
+//     implements, plus the type-erased Codec over the mergeable types'
+//     marshal/merge methods.
+//   - internal/sketchtest — the conformance kit: update/estimate tracking
+//     contract, fixed-seed determinism, declared duplicate-insensitivity,
+//     codec round-trips, and the merge laws (zero identity,
+//     associativity, linearity, seed-mismatch rejection). The server's
+//     registry conformance test runs every hostable type through it.
 //   - internal/f0, internal/fp, internal/heavyhitters, internal/entropy,
 //     internal/cascaded — the static (non-robust) sketches.
 //   - internal/core — the paper's generic robustifications: sketch
@@ -38,6 +44,14 @@
 //     service.
 //   - internal/stream, internal/game, internal/adversary — stream
 //     generators, the adaptive adversary game loop, and concrete attacks.
+//     The game's Target interface runs the same adversaries against a
+//     bare estimator, a sharded engine, or a sketchd tenant over HTTP
+//     (client.NewGameTarget); `go run ./cmd/experiments campaign` sweeps
+//     adversary × target × sketch and emits a JSON report, and
+//     TestAdaptiveAMSCampaignOverHTTP (attack_e2e_test.go) is the
+//     end-to-end regression: the adaptive AMS attack breaks a static f2
+//     tenant over loopback HTTP while the robust-f2 tenant on the same
+//     stream stays within ε.
 //
 // Verify the tree with the tier-1 command:
 //

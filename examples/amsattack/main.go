@@ -1,20 +1,30 @@
-// amsattack reproduces Theorem 9.1 interactively: Algorithm 3 of the paper
-// is run against the dense AMS sketch and the ratio estimate/truth is
-// printed as it collapses below 1/2; then the *same adversary* is run
-// against the sketch-switching robust F2 estimator, whose rounded outputs
-// starve the attack of its feedback signal.
+// amsattack reproduces Theorem 9.1 interactively through the game.Target
+// API: Algorithm 3 of the paper plays its query→adapt→update loop against
+// (1) the dense AMS sketch in process, where the ratio estimate/truth
+// collapses below 1/2; (2) the sketch-switching robust F2 estimator,
+// whose rounded outputs starve the attack of its feedback signal; and
+// (3) a static f2 tenant on a real sketchd server over loopback HTTP —
+// the production threat model, where every adversary round is a
+// POST /v1/update followed by a GET /v1/estimate.
 //
 // Run with: go run ./examples/amsattack
+// For the full adversary × target × sketch sweep:
+//
+//	go run ./cmd/experiments campaign -sketches f2,robust-f2 -o report.json
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"net/http/httptest"
 
 	"repro/internal/adversary"
+	"repro/internal/client"
 	"repro/internal/fp"
 	"repro/internal/game"
 	"repro/internal/robust"
+	"repro/internal/server"
 	"repro/internal/stream"
 )
 
@@ -23,11 +33,13 @@ const rows = 64
 func main() {
 	fmt.Printf("=== Algorithm 3 vs dense AMS sketch (t = %d rows) ===\n", rows)
 	sk := fp.NewDenseAMS(rows, 1<<16, rand.New(rand.NewSource(1)))
-	adv := adversary.NewAMSAttack(rows, 4, 2)
-	res := game.Run(sk, adv,
+	res, err := game.RunTarget(game.NewEstimatorTarget(sk), adversary.NewAMSAttack(rows, 4, 2),
 		func(f *stream.Freq) float64 { return f.Fp(2) },
 		func(est, truth float64) bool { return est >= truth/2 },
 		game.Config{MaxSteps: 400 * rows, Record: true, StopOnBreak: true})
+	if err != nil {
+		panic(err) // in-process targets cannot fail
+	}
 
 	for i := 0; i < len(res.Estimates); i += len(res.Estimates)/12 + 1 {
 		fmt.Printf("  update %5d: AMS=%9.1f  true F2=%9.1f  ratio=%.3f\n",
@@ -44,8 +56,8 @@ func main() {
 
 	fmt.Println("\n=== the same adversary vs robust F2 (sketch switching) ===")
 	alg := robust.NewFp(2, 0.25, 0.05, 1<<16, 3)
-	adv2 := adversary.NewAMSAttack(rows, 4, 2)
-	res2 := game.Run(alg, adv2, (*stream.Freq).L2,
+	res2, _ := game.RunTarget(game.NewEstimatorTarget(alg), adversary.NewAMSAttack(rows, 4, 2),
+		(*stream.Freq).L2,
 		game.RelCheck(0.5), game.Config{MaxSteps: 6000, Warmup: 10, Record: true})
 	for i := 0; i < len(res2.Estimates); i += len(res2.Estimates)/8 + 1 {
 		fmt.Printf("  update %5d: robust ‖f‖₂=%9.1f  true=%9.1f  ratio=%.3f\n",
@@ -57,5 +69,34 @@ func main() {
 	} else {
 		fmt.Printf("\n  robust estimator held for %d adversarial updates (max rel.err %.1f%%)\n",
 			res2.Steps, 100*res2.MaxRelErr)
+	}
+
+	fmt.Println("\n=== the same attack over loopback HTTP vs a sketchd f2 tenant ===")
+	srv := server.New(server.Config{Shards: 1, Eps: 0.5, Delta: 0.05, N: 1 << 16, Seed: 11})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	defer srv.Drain()
+	ctx := context.Background()
+	c := client.New(hs.URL, hs.Client())
+	if err := c.CreateKey(ctx, "victim", "f2"); err != nil {
+		panic(err)
+	}
+	sizing := fp.SizeF2(0.5, 0.05)
+	t := sizing.Rows * sizing.Width
+	res3, err := game.RunTarget(client.NewGameTarget(ctx, c, "victim"),
+		adversary.NewAMSAttack(t, 4, 5),
+		func(f *stream.Freq) float64 { return f.Fp(2) },
+		game.RelCheck(0.3),
+		game.Config{MaxSteps: 200 * t, Warmup: 16, StopOnBreak: true})
+	if err != nil {
+		fmt.Printf("  campaign aborted: %v\n", err)
+		return
+	}
+	if res3.Broken {
+		fmt.Printf("  f2 tenant driven outside 1±0.3 at round %d — every round a real\n", res3.BrokenAt)
+		fmt.Printf("  POST /v1/update + GET /v1/estimate; the network changes nothing.\n")
+		fmt.Println("  A robust-f2 tenant on the same stream holds (see TestAdaptiveAMSCampaignOverHTTP).")
+	} else {
+		fmt.Printf("  tenant survived %d rounds (rare; try another seed)\n", res3.Steps)
 	}
 }

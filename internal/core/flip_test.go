@@ -123,6 +123,94 @@ func TestTurnstileFlipExceedsInsertionOnlyBound(t *testing.T) {
 	}
 }
 
+// flipBounds tabulates every FlipBound* function as a (eps, n) → bound
+// closure, the shared shape of the monotonicity and coverage tests below.
+var flipBounds = []struct {
+	name  string
+	bound func(eps float64, n uint64) int
+}{
+	{"Monotone", func(eps float64, n uint64) int { return FlipBoundMonotone(eps, float64(n)) }},
+	{"Fp(p=0)", func(eps float64, n uint64) int { return FlipBoundFp(0, eps, n, 1) }},
+	{"Fp(p=2)", func(eps float64, n uint64) int { return FlipBoundFp(2, eps, n, 8) }},
+	{"Lp(p=1)", func(eps float64, n uint64) int { return FlipBoundLp(1, eps, n, 8) }},
+	{"Lp(p=2)", func(eps float64, n uint64) int { return FlipBoundLp(2, eps, n, 8) }},
+	{"EntropyExp", func(eps float64, n uint64) int { return FlipBoundEntropyExp(eps, n, 8) }},
+	{"BoundedDeletion(α=4)", func(eps float64, n uint64) int { return FlipBoundBoundedDeletion(2, 4, eps, n, 8) }},
+}
+
+// TestFlipBoundsMonotoneInInvEpsAndN: every theoretical flip bound is a
+// budget of (1+ε)-growth milestones, so it must be non-decreasing in 1/ε
+// (finer accuracy → more milestones) and non-decreasing in the domain
+// size n (larger reachable statistic → more milestones).
+func TestFlipBoundsMonotoneInInvEpsAndN(t *testing.T) {
+	epsGrid := []float64{0.8, 0.4, 0.2, 0.1, 0.05} // decreasing ε = increasing 1/ε
+	nGrid := []uint64{1 << 8, 1 << 12, 1 << 16, 1 << 24}
+	for _, tc := range flipBounds {
+		t.Run(tc.name, func(t *testing.T) {
+			prev := 0
+			for _, eps := range epsGrid {
+				b := tc.bound(eps, 1<<16)
+				if b < prev {
+					t.Errorf("bound decreased in 1/ε: %d at ε=%v after %d", b, eps, prev)
+				}
+				if b < 1 {
+					t.Errorf("bound %d at ε=%v is not positive", b, eps)
+				}
+				prev = b
+			}
+			prev = 0
+			for _, n := range nGrid {
+				b := tc.bound(0.2, n)
+				if b < prev {
+					t.Errorf("bound decreased in n: %d at n=%d after %d", b, n, prev)
+				}
+				prev = b
+			}
+		})
+	}
+}
+
+// TestFlipNumberOfMonotoneSequenceWithinBounds builds concrete monotone
+// sequences in the regime each bound covers — value range [1, T] with
+// T = n·M^p (or its norm/entropy analogue) — and checks the measured
+// FlipNumber never exceeds the corresponding bound, including on the
+// worst case for the bound: a sequence that climbs by exactly the (1+ε)
+// granularity the bound counts.
+func TestFlipNumberOfMonotoneSequenceWithinBounds(t *testing.T) {
+	// geometric returns the steepest ε-milestone climb through [1, top].
+	geometric := func(eps, top float64) []float64 {
+		seq := []float64{1}
+		for v := 1.0; v <= top; v *= 1 + eps {
+			seq = append(seq, v)
+		}
+		return append(seq, top)
+	}
+	const n, maxCount = uint64(1 << 10), 8.0
+	for _, eps := range []float64{0.1, 0.3, 0.6} {
+		cases := []struct {
+			name  string
+			top   float64
+			bound int
+		}{
+			{"Monotone", float64(n), FlipBoundMonotone(eps, float64(n))},
+			{"Fp(p=0)", float64(n), FlipBoundFp(0, eps, n, 1)},
+			{"Fp(p=2)", float64(n) * maxCount * maxCount, FlipBoundFp(2, eps, n, maxCount)},
+			{"Lp(p=1)", float64(n) * maxCount, FlipBoundLp(1, eps, n, maxCount)},
+			{"Lp(p=2)", math.Sqrt(float64(n) * maxCount * maxCount), FlipBoundLp(2, eps, n, maxCount)},
+			// 2^H ranges over [1, n] (it is at most the support size).
+			{"EntropyExp", float64(n), FlipBoundEntropyExp(eps, n, maxCount)},
+			{"BoundedDeletion(α=4)", float64(n) * maxCount * maxCount, FlipBoundBoundedDeletion(2, 4, eps, n, maxCount)},
+		}
+		for _, tc := range cases {
+			seq := geometric(eps, tc.top)
+			if emp := FlipNumber(seq, eps); emp > tc.bound {
+				t.Errorf("%s ε=%v: flip number %d of the geometric climb exceeds bound %d",
+					tc.name, eps, emp, tc.bound)
+			}
+		}
+	}
+}
+
 func TestFlipBoundMonotoneFormula(t *testing.T) {
 	// With T = (1+ε)^k exactly, the bound must be ≥ k (upward powers).
 	eps := 0.5

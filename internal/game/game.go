@@ -4,9 +4,18 @@
 // ingests it and publishes its response, and the Adversary observes the
 // response. The runner tracks exact ground truth alongside and reports
 // whether — and when — the algorithm was forced into an incorrect output.
+//
+// The algorithm's side of the game is the Target interface, with three
+// implementations: an in-process sketch.Estimator (the paper's setting),
+// a sharded engine.Engine, and a sketchd keyspace driven over HTTP via
+// internal/client — so the same adversaries attack the full production
+// stack, round-tripping each response through /v1/estimate before
+// choosing the next update.
 package game
 
 import (
+	"fmt"
+
 	"repro/internal/sketch"
 	"repro/internal/stream"
 )
@@ -87,8 +96,23 @@ type Config struct {
 }
 
 // Run plays alg against adv. truth extracts the tracked statistic from the
-// exact frequency vector; check decides acceptability per step.
+// exact frequency vector; check decides acceptability per step. It is
+// RunTarget specialized to the in-process estimator target, whose
+// operations cannot fail.
 func Run(alg sketch.Estimator, adv Adversary, truth func(*stream.Freq) float64, check Check, cfg Config) Result {
+	res, _ := RunTarget(NewEstimatorTarget(alg), adv, truth, check, cfg)
+	return res
+}
+
+// RunTarget plays any Target — a bare estimator, a sharded engine, or a
+// sketchd tenant over HTTP — against adv: each round the adversary (who
+// has seen every previous response) picks an update, the target ingests
+// it and publishes its estimate, and the runner judges the estimate
+// against exact ground truth tracked on its own side of the Target
+// interface (the target never sees it). A transport or lifecycle error
+// aborts the campaign, returning the rounds completed so far alongside
+// the error.
+func RunTarget(tgt Target, adv Adversary, truth func(*stream.Freq) float64, check Check, cfg Config) (Result, error) {
 	var res Result
 	f := stream.NewFreq()
 	last := 0.0
@@ -97,9 +121,14 @@ func Run(alg sketch.Estimator, adv Adversary, truth func(*stream.Freq) float64, 
 		if !ok {
 			break
 		}
-		alg.Update(u.Item, u.Delta)
+		if err := tgt.Update(u.Item, u.Delta); err != nil {
+			return res, fmt.Errorf("game: update at round %d: %w", step+1, err)
+		}
 		f.Apply(u)
-		est := alg.Estimate()
+		est, err := tgt.Estimate()
+		if err != nil {
+			return res, fmt.Errorf("game: estimate at round %d: %w", step+1, err)
+		}
 		tru := truth(f)
 		res.Steps++
 		if cfg.Record {
@@ -126,5 +155,5 @@ func Run(alg sketch.Estimator, adv Adversary, truth func(*stream.Freq) float64, 
 		}
 		last = est
 	}
-	return res
+	return res, nil
 }

@@ -2,6 +2,7 @@ package heavyhitters
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/codec"
 	"repro/internal/hash"
@@ -28,6 +29,9 @@ func (cs *CountSketch) MarshalBinary() ([]byte, error) {
 	for it := range cs.cands {
 		cands = append(cands, it)
 	}
+	// Canonical order: the candidate pool is a map, and ranging over it
+	// would make two encodings of identical state differ byte-for-byte.
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
 	w.U64s(cands)
 	return w.Bytes(), nil
 }

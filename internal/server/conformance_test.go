@@ -1,0 +1,48 @@
+package server
+
+import (
+	"testing"
+
+	"repro/internal/sketchtest"
+)
+
+// TestRegistryConformance runs every sketch type the service can host
+// through the full sketchtest battery: update/estimate tracking contract,
+// determinism under a fixed seed, duplicate-insensitivity where declared,
+// and — for the mergeable static types — codec round-trips plus the merge
+// laws the /v1/snapshot and /v1/merge endpoints depend on. Registering a
+// new type in specs is all it takes to put it under the battery.
+func TestRegistryConformance(t *testing.T) {
+	// Shards: 1 so factories size each instance at the full server-wide δ;
+	// the conformance streams are small, so a coarse ε keeps the robust
+	// ensembles quick to build.
+	cfg := Config{Shards: 1, Eps: 0.5, Delta: 0.05, N: 1 << 16, Seed: 1}.withDefaults()
+	// robust-entropy pays ~26ms per update (λ = 64 CC copies, each touching
+	// every counter with a fresh stable variate); a shorter stream keeps the
+	// battery meaningful without dominating the suite's wall clock.
+	updates := map[string]int{"robust-entropy": 64}
+	for name, sp := range specs {
+		sp := sp
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			// Accuracy tolerance: 1.5× the configured ε (2× additive, in
+			// bits), so the check verifies the estimate is in the right
+			// regime — a zero or wildly scaled estimate fails — without
+			// turning the δ failure probability into flakes.
+			eps := 1.5 * cfg.Eps
+			if sp.additive {
+				eps = 2 * cfg.Eps
+			}
+			sketchtest.Run(t, sketchtest.Harness{
+				Name:     name,
+				Factory:  sp.factory(cfg),
+				Codec:    sp.codec,
+				Truth:    sp.truth,
+				Eps:      eps,
+				Additive: sp.additive,
+				Updates:  updates[name],
+				Seed:     7,
+			})
+		})
+	}
+}

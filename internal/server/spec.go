@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"repro/internal/engine"
 	"repro/internal/entropy"
@@ -12,31 +13,43 @@ import (
 	"repro/internal/heavyhitters"
 	"repro/internal/robust"
 	"repro/internal/sketch"
+	"repro/internal/stream"
 )
 
 // A spec is one sketch type the service can host: how to build a
 // per-shard estimator instance, how to recombine the shard estimates, and
-// (for the linear static sketches) how to serialize and merge shard state
-// for the snapshot/merge endpoints. Robust types have no codec — their
-// switching ensembles are not linear-mergeable, so /v1/snapshot and
-// /v1/merge answer 501 for them; everything else works identically.
+// (for the linear static sketches) a sketch.Codec that serializes and
+// merges shard state for the snapshot/merge endpoints. Robust types have
+// no codec — their switching ensembles are not linear-mergeable, so
+// /v1/snapshot and /v1/merge answer 501 for them; everything else works
+// identically.
 //
 // factory receives the server Config after defaults are applied; robust
 // types size each shard instance at δ/Shards so the union bound over the
 // shard ensemble restores the configured server-wide δ.
+//
+// truth extracts the statistic the spec estimates from an exact frequency
+// vector, and additive says whether the spec's ε is an additive rather
+// than relative error (the entropy estimators, whose ε is in bits). The
+// conformance kit and the attack-campaign harness use both to judge
+// estimates against ground truth; robust marks the types whose estimates
+// must survive adaptive query/update interleaving.
 type spec struct {
-	Name    string
-	combine engine.Combiner
-	factory func(cfg Config) sketch.Factory
-	marshal func(est sketch.Estimator) ([]byte, error)
-	prepare func(parts [][]byte) (merger, error)
+	Name     string
+	robust   bool
+	additive bool
+	combine  engine.Combiner
+	factory  func(cfg Config) sketch.Factory
+	truth    func(f *stream.Freq) float64
+	codec    *sketch.Codec
 }
 
 // Mergeable reports whether the spec supports /v1/snapshot + /v1/merge.
-func (sp spec) Mergeable() bool { return sp.marshal != nil }
+func (sp spec) Mergeable() bool { return sp.codec != nil }
 
-func badType(sp string, est sketch.Estimator) error {
-	return fmt.Errorf("server: %s keyspace holds a %T, not the expected sketch (corrupted spec registry?)", sp, est)
+// marshal serializes one shard estimator through the spec's codec.
+func (sp spec) marshal(est sketch.Estimator) ([]byte, error) {
+	return sp.codec.Marshal(est)
 }
 
 // A merger is a fully decoded snapshot staged for merging, one part per
@@ -47,78 +60,37 @@ func badType(sp string, est sketch.Estimator) error {
 // and checked against every shard before the first counter moves, so a
 // failed merge leaves no partial state for a client retry to double
 // count.
-type merger interface {
-	Check(i int, est sketch.Estimator) error
-	Apply(i int, est sketch.Estimator) error
+type merger struct {
+	codec *sketch.Codec
+	parts []sketch.Estimator
 }
 
-// codecOps derives a spec's marshal/prepare pair from a sketch type's
-// binary codec and linear Merge, so each mergeable spec is one line
-// instead of a hand-written closure pair.
-func codecOps[T any, PT interface {
-	*T
-	sketch.Estimator
-	MarshalBinary() ([]byte, error)
-	UnmarshalBinary([]byte) error
-	Fresh() PT
-	Merge(PT) error
-}](name string) (func(sketch.Estimator) ([]byte, error), func([][]byte) (merger, error)) {
-	marshal := func(est sketch.Estimator) ([]byte, error) {
-		p, ok := est.(PT)
-		if !ok {
-			return nil, badType(name, est)
+// prepare decodes every snapshot part through the spec's codec.
+func (sp spec) prepare(parts [][]byte) (*merger, error) {
+	ms := make([]sketch.Estimator, len(parts))
+	for i, part := range parts {
+		o, err := sp.codec.Unmarshal(part)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot shard %d: %w", i, err)
 		}
-		return p.MarshalBinary()
+		ms[i] = o
 	}
-	prepare := func(parts [][]byte) (merger, error) {
-		ms := make([]PT, len(parts))
-		for i, part := range parts {
-			var o T
-			if err := PT(&o).UnmarshalBinary(part); err != nil {
-				return nil, fmt.Errorf("snapshot shard %d: %w", i, err)
-			}
-			ms[i] = &o
-		}
-		return typedMerger[T, PT]{name: name, parts: ms}, nil
-	}
-	return marshal, prepare
+	return &merger{codec: sp.codec, parts: ms}, nil
 }
 
-type typedMerger[T any, PT interface {
-	*T
-	sketch.Estimator
-	Fresh() PT
-	Merge(PT) error
-}] struct {
-	name  string
-	parts []PT
-}
-
-func (m typedMerger[T, PT]) Check(i int, est sketch.Estimator) error {
-	p, ok := est.(PT)
-	if !ok {
-		return badType(m.name, est)
-	}
+func (m *merger) Check(i int, est sketch.Estimator) error {
 	// Merging an empty same-randomness copy adds zero everywhere: it runs
 	// the full compatibility check and provably leaves est unchanged.
-	return p.Merge(m.parts[i].Fresh())
-}
-
-func (m typedMerger[T, PT]) Apply(i int, est sketch.Estimator) error {
-	p, ok := est.(PT)
-	if !ok {
-		return badType(m.name, est)
+	zero, err := m.codec.Fresh(m.parts[i])
+	if err != nil {
+		return err
 	}
-	return p.Merge(m.parts[i])
+	return m.codec.Merge(est, zero)
 }
 
-// The marshal/prepare pairs of the static linear sketch types.
-var (
-	f2Marshal, f2Prepare   = codecOps[fp.F2Sketch]("f2")
-	kmvMarshal, kmvPrepare = codecOps[f0.KMV]("kmv")
-	csMarshal, csPrepare   = codecOps[heavyhitters.CountSketch]("countsketch")
-	ccMarshal, ccPrepare   = codecOps[entropy.CC]("cc")
-)
+func (m *merger) Apply(i int, est sketch.Estimator) error {
+	return m.codec.Merge(est, m.parts[i])
+}
 
 // kmvK sizes a KMV sketch for relative error eps with failure probability
 // delta (Chebyshev over the averaged ±1/√k deviations, boosted by ln 1/δ).
@@ -130,7 +102,13 @@ func kmvK(eps, delta float64) int {
 	return k
 }
 
-// specs is the registry of hostable sketch types.
+func f2Truth(f *stream.Freq) float64 { return f.Fp(2) }
+
+// specs is the registry of hostable sketch types. A new mergeable type
+// needs exactly one codec line (sketch.CodecFor over its concrete type);
+// the server conformance test then runs the full sketchtest battery —
+// contract, determinism, codec round-trip, merge laws — against it
+// automatically.
 var specs = map[string]spec{
 	// Static linear sketches: snapshot/merge supported.
 	"f2": {
@@ -142,8 +120,8 @@ var specs = map[string]spec{
 				return fp.NewF2(sizing, rand.New(rand.NewSource(seed)))
 			}
 		},
-		marshal: f2Marshal,
-		prepare: f2Prepare,
+		truth: f2Truth,
+		codec: sketch.CodecFor[fp.F2Sketch]("f2"),
 	},
 	"kmv": {
 		Name:    "kmv",
@@ -154,8 +132,8 @@ var specs = map[string]spec{
 				return f0.NewKMV(k, rand.New(rand.NewSource(seed)))
 			}
 		},
-		marshal: kmvMarshal,
-		prepare: kmvPrepare,
+		truth: (*stream.Freq).F0,
+		codec: sketch.CodecFor[f0.KMV]("kmv"),
 	},
 	"countsketch": {
 		Name:    "countsketch",
@@ -166,20 +144,21 @@ var specs = map[string]spec{
 				return heavyhitters.NewCountSketch(sizing, rand.New(rand.NewSource(seed)))
 			}
 		},
-		marshal: csMarshal,
-		prepare: csPrepare,
+		truth: f2Truth,
+		codec: sketch.CodecFor[heavyhitters.CountSketch]("countsketch"),
 	},
 	"cc": {
-		Name:    "cc",
-		combine: engine.Entropy, // chain rule over the shard partition
+		Name:     "cc",
+		additive: true,           // ε is additive, in bits
+		combine:  engine.Entropy, // chain rule over the shard partition
 		factory: func(cfg Config) sketch.Factory {
 			sizing := entropy.SizeCC(cfg.Eps, cfg.Delta/float64(cfg.Shards))
 			return func(seed int64) sketch.Estimator {
 				return entropy.NewCC(sizing, rand.New(rand.NewSource(seed)))
 			}
 		},
-		marshal: ccMarshal,
-		prepare: ccPrepare,
+		truth: (*stream.Freq).Entropy,
+		codec: sketch.CodecFor[entropy.CC]("cc"),
 	},
 
 	// Adversarially robust estimators (the paper's transformations):
@@ -187,39 +166,48 @@ var specs = map[string]spec{
 	// interleaving — the regime of a shared network endpoint.
 	"robust-f2": {
 		Name:    "robust-f2",
+		robust:  true,
 		combine: engine.Norm(2), // per-shard L2 norms → global L2 norm
 		factory: func(cfg Config) sketch.Factory {
 			return func(seed int64) sketch.Estimator {
 				return robust.NewFp(2, cfg.Eps, cfg.Delta/float64(cfg.Shards), cfg.N, seed)
 			}
 		},
+		truth: (*stream.Freq).L2,
 	},
 	"robust-f0": {
 		Name:    "robust-f0",
+		robust:  true,
 		combine: engine.Sum,
 		factory: func(cfg Config) sketch.Factory {
 			return func(seed int64) sketch.Estimator {
 				return robust.NewF0(cfg.Eps, cfg.Delta/float64(cfg.Shards), cfg.N, seed)
 			}
 		},
+		truth: (*stream.Freq).F0,
 	},
 	"robust-hh": {
 		Name:    "robust-hh",
+		robust:  true,
 		combine: engine.Norm(2), // Estimate is the robust L2 norm
 		factory: func(cfg Config) sketch.Factory {
 			return func(seed int64) sketch.Estimator {
 				return robust.NewHeavyHitters(cfg.Eps, cfg.Delta/float64(cfg.Shards), cfg.N, seed)
 			}
 		},
+		truth: (*stream.Freq).L2,
 	},
 	"robust-entropy": {
-		Name:    "robust-entropy",
-		combine: engine.Entropy,
+		Name:     "robust-entropy",
+		robust:   true,
+		additive: true, // ε is additive, in bits
+		combine:  engine.Entropy,
 		factory: func(cfg Config) sketch.Factory {
 			return func(seed int64) sketch.Estimator {
 				return robust.NewEntropy(cfg.Eps, cfg.Delta/float64(cfg.Shards), 64, seed)
 			}
 		},
+		truth: (*stream.Freq).Entropy,
 	},
 }
 
@@ -233,4 +221,65 @@ func specFor(name, deflt string) (spec, error) {
 		return spec{}, fmt.Errorf("unknown sketch type %q (have: f2, kmv, countsketch, cc, robust-f2, robust-f0, robust-hh, robust-entropy)", name)
 	}
 	return sp, nil
+}
+
+// Info describes a hostable sketch type for harnesses outside the
+// package: the attack-campaign runner uses Truth/Additive to judge
+// estimates against exact ground truth and Robust to predict which types
+// must survive an adaptive adversary.
+type Info struct {
+	// Name is the registry key (?sketch= value).
+	Name string
+
+	// Robust marks the adversarially robust (switching / computation-paths)
+	// types.
+	Robust bool
+
+	// Mergeable reports /v1/snapshot + /v1/merge support.
+	Mergeable bool
+
+	// Additive says the type's ε is an additive error (entropy, in bits)
+	// rather than a relative one.
+	Additive bool
+
+	// Truth extracts the estimated statistic from an exact frequency
+	// vector.
+	Truth func(f *stream.Freq) float64
+}
+
+// Types lists every hostable sketch type, sorted by name.
+func Types() []Info {
+	out := make([]Info, 0, len(specs))
+	for _, sp := range specs {
+		out = append(out, Info{
+			Name:      sp.Name,
+			Robust:    sp.robust,
+			Mergeable: sp.Mergeable(),
+			Additive:  sp.additive,
+			Truth:     sp.truth,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// EngineConfig returns the engine configuration a server built from cfg
+// would give a tenant of the named sketch type, seeded with seed. It lets
+// out-of-process harnesses (the campaign runner, benchmarks) attack the
+// exact estimator stack a sketchd tenant runs — same factory, same
+// δ/Shards sizing, same combiner — without going through HTTP.
+func EngineConfig(name string, cfg Config, seed int64) (engine.Config, error) {
+	cfg = cfg.withDefaults()
+	sp, err := specFor(name, cfg.DefaultSketch)
+	if err != nil {
+		return engine.Config{}, err
+	}
+	return engine.Config{
+		Shards:  cfg.Shards,
+		Batch:   cfg.Batch,
+		Queue:   cfg.Queue,
+		Combine: sp.combine,
+		Factory: sp.factory(cfg),
+		Seed:    seed,
+	}, nil
 }
