@@ -22,13 +22,16 @@ import (
 //
 //   - drives the non-robust linear "f2" sketch outside 1±ε within a few
 //     hundred rounds, while
-//   - the robust "robust-f2" (sketch switching) tenant, fed the exact
+//   - one robust guard tenant per policy family — f2+ring (via the
+//     robust-f2 alias), f2+switching, and f2+paths, the cell that was
+//     unreachable from sketchd before the policy layer — fed the exact
 //     same adversarial stream with the same per-round query cadence,
 //     stays within ε of the true L2 norm for the entire campaign.
 //
-// Ground truth is tracked client-side only; neither server ever sees it.
+// Ground truth is tracked client-side only; none of the servers ever see
+// it.
 func TestAdaptiveAMSCampaignOverHTTP(t *testing.T) {
-	const eps = 0.3 // the 1±ε envelope both verdicts use
+	const eps = 0.3 // the 1±ε envelope all verdicts use
 
 	// Victim: single-shard f2 tenant, so the adversary faces exactly one
 	// static linear sketch — the paper's Theorem 9.1 setting.
@@ -38,9 +41,11 @@ func TestAdaptiveAMSCampaignOverHTTP(t *testing.T) {
 	defer victimSrv.Drain()
 	vc := client.New(victimHS.URL, victimHS.Client())
 
-	// Guard: the robust counterpart, sized at ε/2 so its guarantee covers
-	// the ε-check with margin.
-	guardSrv := server.New(server.Config{Shards: 1, Eps: eps / 2, Delta: 0.05, N: 1 << 16, Seed: 12})
+	// Guards: one robust counterpart per policy family, all on a second
+	// server sized at ε/2 so their guarantees cover the ε-check with
+	// margin. FlipBudget 256 gives the bounded-budget policies (switching,
+	// paths) ample headroom for the campaign's published-output changes.
+	guardSrv := server.New(server.Config{Shards: 1, Eps: eps / 2, Delta: 0.05, N: 1 << 16, Seed: 12, FlipBudget: 256})
 	guardHS := httptest.NewServer(guardSrv.Handler())
 	defer guardHS.Close()
 	defer guardSrv.Drain()
@@ -50,11 +55,21 @@ func TestAdaptiveAMSCampaignOverHTTP(t *testing.T) {
 	if err := vc.CreateKey(ctx, "victim", "f2"); err != nil {
 		t.Fatal(err)
 	}
-	if err := gc.CreateKey(ctx, "guard", "robust-f2"); err != nil {
-		t.Fatal(err)
+	guards := []struct {
+		key, sketch, policy string
+		tgt                 game.Target
+	}{
+		{key: "guard-ring", sketch: "robust-f2", policy: ""}, // the pre-matrix alias for f2+ring
+		{key: "guard-switching", sketch: "f2", policy: "switching"},
+		{key: "guard-paths", sketch: "f2", policy: "paths"},
+	}
+	for i := range guards {
+		if err := gc.CreateKeyPolicy(ctx, guards[i].key, guards[i].sketch, guards[i].policy); err != nil {
+			t.Fatal(err)
+		}
+		guards[i].tgt = client.NewGameTarget(ctx, gc, guards[i].key)
 	}
 	victim := client.NewGameTarget(ctx, vc, "victim")
-	guard := client.NewGameTarget(ctx, gc, "guard")
 
 	// The attack is tuned to the victim's sketch size (t counters), which
 	// a real adversary can read off the server's published ε.
@@ -76,13 +91,15 @@ func TestAdaptiveAMSCampaignOverHTTP(t *testing.T) {
 		if !ok {
 			break
 		}
-		// Both tenants ingest the same adversarial stream; only the victim's
-		// responses feed the adversary.
+		// Every tenant ingests the same adversarial stream; only the
+		// victim's responses feed the adversary.
 		if err := victim.Update(u.Item, u.Delta); err != nil {
 			t.Fatalf("victim update at round %d: %v", step+1, err)
 		}
-		if err := guard.Update(u.Item, u.Delta); err != nil {
-			t.Fatalf("guard update at round %d: %v", step+1, err)
+		for _, g := range guards {
+			if err := g.tgt.Update(u.Item, u.Delta); err != nil {
+				t.Fatalf("%s update at round %d: %v", g.key, step+1, err)
+			}
 		}
 		freq.Apply(u)
 
@@ -90,26 +107,44 @@ func TestAdaptiveAMSCampaignOverHTTP(t *testing.T) {
 		if err != nil {
 			t.Fatalf("victim estimate at round %d: %v", step+1, err)
 		}
-		gEst, err := guard.Estimate()
-		if err != nil {
-			t.Fatalf("guard estimate at round %d: %v", step+1, err)
-		}
-
-		// The robust tenant must hold at every single round of the campaign.
-		if step >= warmup && !check(gEst, freq.L2()) {
-			t.Fatalf("robust-f2 left 1±%.2f at round %d: estimate %.2f, true L2 %.2f",
-				eps, step+1, gEst, freq.L2())
+		// Every robust tenant must hold at every single round of the
+		// campaign, whichever transformation protects it.
+		for _, g := range guards {
+			gEst, err := g.tgt.Estimate()
+			if err != nil {
+				t.Fatalf("%s estimate at round %d: %v", g.key, step+1, err)
+			}
+			if step >= warmup && !check(gEst, freq.L2()) {
+				t.Fatalf("%s left 1±%.2f at round %d: estimate %.2f, true L2 %.2f",
+					g.key, eps, step+1, gEst, freq.L2())
+			}
 		}
 		if brokenAt == 0 && step >= warmup && !check(vEst, freq.Fp(2)) {
 			brokenAt = step + 1
 			brokenEst, brokenTruth = vEst, freq.Fp(2)
-			break // victim broken and guard held the whole stream: done
+			break // victim broken and every guard held the whole stream: done
 		}
 		last = vEst
 	}
 	if brokenAt == 0 {
 		t.Fatalf("adaptive AMS attack failed to drive the static f2 tenant outside 1±%.2f in %d rounds", eps, maxSteps)
 	}
-	t.Logf("f2 tenant broken over HTTP at round %d (estimate %.1f vs true F2 %.1f); robust-f2 held within %.2f throughout",
+
+	// The flip-budget telemetry the operators would watch: the bounded
+	// policies consumed switches without exhausting.
+	for _, g := range guards[1:] {
+		ks, err := gc.KeyStats(ctx, g.key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ks.Robustness == nil {
+			t.Fatalf("%s reports no robustness state", g.key)
+		}
+		if ks.Robustness.Exhausted {
+			t.Errorf("%s exhausted its flip budget mid-campaign (switches %d of %d) — raise FlipBudget",
+				g.key, ks.Robustness.Switches, ks.Robustness.Budget)
+		}
+	}
+	t.Logf("f2 tenant broken over HTTP at round %d (estimate %.1f vs true F2 %.1f); ring, switching and paths guards held within %.2f throughout",
 		brokenAt, brokenEst, brokenTruth, eps)
 }

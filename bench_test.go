@@ -387,6 +387,32 @@ func benchSketchdIngest(b *testing.B, sketchType string) {
 func BenchmarkSketchdIngestCountSketch(b *testing.B) { benchSketchdIngest(b, "countsketch") }
 func BenchmarkSketchdIngestRobustF2(b *testing.B)    { benchSketchdIngest(b, "robust-f2") }
 
+// benchPolicyIngest — robust-ingest throughput per policy: the per-update
+// cost of one policy-wrapped f2 shard estimator, built exactly as a
+// sketchd tenant builds it (same registry factory, same sizing). The
+// bytes metric is the working state, so one -bench run reads out the
+// space/throughput trade-off across the whole policy column: none (raw
+// static sketch) vs ring (Θ(ε⁻¹log ε⁻¹) copies) vs switching (λ copies)
+// vs paths (one δ₀-sized instance behind the rounding).
+func benchPolicyIngest(b *testing.B, policy string) {
+	cfg := server.Config{Shards: 1, Eps: 0.3, Delta: 0.05, N: 1 << 20, Seed: 1}
+	ec, err := server.EngineConfig("f2", policy, cfg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	est := ec.Factory(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est.Update(dist.SplitMix64(uint64(i)), 1)
+	}
+	b.ReportMetric(float64(est.SpaceBytes()), "bytes")
+}
+
+func BenchmarkPolicyIngestNone(b *testing.B)      { benchPolicyIngest(b, "none") }
+func BenchmarkPolicyIngestRing(b *testing.B)      { benchPolicyIngest(b, "ring") }
+func BenchmarkPolicyIngestSwitching(b *testing.B) { benchPolicyIngest(b, "switching") }
+func BenchmarkPolicyIngestPaths(b *testing.B)     { benchPolicyIngest(b, "paths") }
+
 // BenchmarkRobustF0Game — end-to-end adversarial game throughput: the
 // robust F0 estimator playing against the adaptive Chaser.
 func BenchmarkRobustF0Game(b *testing.B) {

@@ -18,37 +18,46 @@ import (
 	"repro/internal/sketch"
 )
 
-// The campaign subcommand sweeps adversary × target × sketch: every
-// adaptive strategy in internal/adversary plays the full
+// The campaign subcommand sweeps adversary × target × sketch × policy:
+// every adaptive strategy in internal/adversary plays the full
 // query→adapt→update game against every layer of the production stack —
 // bare estimator, sharded engine, and a sketchd tenant over loopback
-// HTTP — for every requested sketch type in the server registry, and the
-// outcomes land in a JSON report. The expected picture, which the nightly
-// CI run asserts on a fixed subset: adaptive attacks break the static
-// types and bounce off the robust ones, on every target.
+// HTTP — for every requested sketch × robustness-policy combination in
+// the server registry, and the outcomes land in a JSON report. The
+// expected picture, which the nightly CI run asserts on a fixed subset:
+// adaptive attacks break the policy-free static combinations and bounce
+// off the robust ones (switching, ring, paths alike), on every target —
+// and the report's space/error columns let switching and paths be
+// compared empirically under the same attack.
 //
-// Usage: go run ./cmd/experiments campaign -sketches f2,robust-f2 -o report.json
+// Usage: go run ./cmd/experiments campaign -sketches f2,kmv -policies none,ring,paths -o report.json
+//
+// Pre-matrix aliases (robust-f2, …) are accepted in -sketches and pin
+// their own policy, ignoring -policies.
 
 // campaignResult is one swept combination.
 type campaignResult struct {
-	Adversary string  `json:"adversary"`
-	Target    string  `json:"target"`
-	Sketch    string  `json:"sketch"`
-	Robust    bool    `json:"robust"`
-	Skipped   string  `json:"skipped,omitempty"`
-	Steps     int     `json:"steps,omitempty"`
-	Broken    bool    `json:"broken"`
-	BrokenAt  int     `json:"broken_at,omitempty"`
-	MaxRelErr float64 `json:"max_rel_err"`
-	Error     string  `json:"error,omitempty"`
+	Adversary  string  `json:"adversary"`
+	Target     string  `json:"target"`
+	Sketch     string  `json:"sketch"`
+	Policy     string  `json:"policy"`
+	Robust     bool    `json:"robust"`
+	Skipped    string  `json:"skipped,omitempty"`
+	Steps      int     `json:"steps,omitempty"`
+	Broken     bool    `json:"broken"`
+	BrokenAt   int     `json:"broken_at,omitempty"`
+	MaxRelErr  float64 `json:"max_rel_err"`
+	SpaceBytes int     `json:"space_bytes,omitempty"`
+	Error      string  `json:"error,omitempty"`
 }
 
 // campaignReport is the emitted JSON document.
 type campaignReport struct {
-	Eps     float64          `json:"eps"`
-	Steps   int              `json:"steps"`
-	Shards  int              `json:"shards"`
-	Results []campaignResult `json:"results"`
+	Eps      float64          `json:"eps"`
+	Steps    int              `json:"steps"`
+	Shards   int              `json:"shards"`
+	Policies []string         `json:"policies"`
+	Results  []campaignResult `json:"results"`
 }
 
 // hashLeaker is the surface the seed-leakage adversary needs from its
@@ -64,8 +73,61 @@ type campaignTarget struct {
 	// (in-process and engine targets over KMV; nil over HTTP, where the
 	// network boundary hides the seed — exactly why the seed-leak threat
 	// model is about *local* state compromise).
-	leak  func() hashLeaker
+	leak func() hashLeaker
+	// space reports the system's working-state bytes, recorded in the
+	// report so switching and paths can be compared on space under the
+	// same attack.
+	space func() int
 	close func()
+}
+
+// campaignCombo is one (sketch, policy) cell of the sweep grid.
+type campaignCombo struct {
+	sketch, policy string
+	info           server.Info
+}
+
+// resolveCombos expands the -sketches and -policies flags into the swept
+// (sketch, policy) cells: aliases pin their own policy, base names cross
+// with the policy list, and "all" expands to the registry (skipping
+// combinations the policy layer rejects, e.g. cc×ring — entropy is not
+// monotone). An explicitly requested invalid combination exits loudly.
+func resolveCombos(sketches, policies string) ([]campaignCombo, []string) {
+	policyList := splitList(policies)
+	if policies == "all" {
+		policyList = server.Policies()
+	}
+	var names []string
+	if sketches == "all" {
+		for _, info := range server.Types() { // already name-sorted
+			names = append(names, info.Name)
+		}
+	} else {
+		names = splitList(sketches)
+	}
+	var combos []campaignCombo
+	for _, name := range names {
+		if info, err := server.InfoFor(name, ""); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(2)
+		} else if info.Name != name || info.Policy != "none" {
+			// An alias: one pinned cell, the policy grid does not apply.
+			combos = append(combos, campaignCombo{sketch: name, policy: "", info: info})
+			continue
+		}
+		for _, pol := range policyList {
+			info, err := server.InfoFor(name, pol)
+			if err != nil {
+				if sketches == "all" || policies == "all" {
+					continue // invalid cell of an auto-expanded grid
+				}
+				fmt.Fprintf(os.Stderr, "%v\n", err)
+				os.Exit(2)
+			}
+			combos = append(combos, campaignCombo{sketch: name, policy: pol, info: info})
+		}
+	}
+	return combos, policyList
 }
 
 func runCampaign(args []string) {
@@ -73,7 +135,8 @@ func runCampaign(args []string) {
 	var (
 		adversaries = fs.String("adversaries", "ams,chaser,ramp,seedleak", "comma-separated adversary strategies")
 		targets     = fs.String("targets", "estimator,engine,http", "comma-separated target kinds")
-		sketches    = fs.String("sketches", "f2,kmv,countsketch,robust-f2,robust-f0,robust-hh", "comma-separated sketch types, or 'all' for the full registry (entropy types are slow)")
+		sketches    = fs.String("sketches", "f2,kmv,countsketch,robust-f2,robust-f0,robust-hh", "comma-separated sketch types (base names or robust-* aliases), or 'all' for the full registry (entropy types are slow)")
+		policies    = fs.String("policies", "none", "comma-separated robustness policies crossed with every base sketch in -sketches (aliases pin their own), or 'all'")
 		steps       = fs.Int("steps", 3000, "max adversary rounds per combination")
 		eps         = fs.Float64("eps", 0.3, "the 1±ε acceptance envelope (additive ε bits for entropy types)")
 		delta       = fs.Float64("delta", 0.05, "per-keyspace failure probability")
@@ -103,33 +166,15 @@ func runCampaign(args []string) {
 			os.Exit(2)
 		}
 	}
+	combos, policyList := resolveCombos(*sketches, *policies)
 
-	infos := map[string]server.Info{}
-	var order []string
-	for _, info := range server.Types() {
-		infos[info.Name] = info
-		if *sketches == "all" {
-			order = append(order, info.Name) // Types() is already name-sorted
-		}
-	}
-	if *sketches != "all" {
-		for _, name := range splitList(*sketches) {
-			if _, ok := infos[name]; !ok {
-				fmt.Fprintf(os.Stderr, "unknown sketch type %q\n", name)
-				os.Exit(2)
-			}
-			order = append(order, name)
-		}
-	}
-
-	report := campaignReport{Eps: *eps, Steps: *steps, Shards: *shards}
+	report := campaignReport{Eps: *eps, Steps: *steps, Shards: *shards, Policies: policyList}
 	failed := 0
-	for _, sketchName := range order {
-		info := infos[sketchName]
+	for _, combo := range combos {
 		for _, targetKind := range targetList {
 			for _, advName := range advList {
 				res := runCampaignCombo(comboConfig{
-					adv: advName, target: targetKind, info: info,
+					adv: advName, target: targetKind, combo: combo,
 					steps: *steps, eps: *eps, delta: *delta, shards: *shards,
 					warmup: *warmup, amsT: *amsT, seed: *seed,
 				})
@@ -144,7 +189,8 @@ func runCampaign(args []string) {
 				case res.Broken:
 					verdict = fmt.Sprintf("BROKEN at %d", res.BrokenAt)
 				}
-				fmt.Fprintf(os.Stderr, "  %-9s vs %-9s %-14s %s\n", advName, targetKind, sketchName, verdict)
+				fmt.Fprintf(os.Stderr, "  %-9s vs %-9s %-12s %-10s %s\n",
+					advName, targetKind, res.Sketch, res.Policy, verdict)
 			}
 		}
 	}
@@ -185,7 +231,7 @@ func splitList(s string) []string {
 
 type comboConfig struct {
 	adv, target string
-	info        server.Info
+	combo       campaignCombo
 	steps       int
 	eps, delta  float64
 	shards      int
@@ -196,13 +242,17 @@ type comboConfig struct {
 
 // buildTarget constructs the system under test for one combination. Every
 // target kind hosts the exact estimator stack a sketchd tenant runs: the
-// factories and combiners come from the server's own spec registry.
+// factories and combiners come from the server's own spec registry,
+// composed with the requested robustness policy.
 func buildTarget(c comboConfig) (campaignTarget, error) {
-	cfg := server.Config{Shards: c.shards, Eps: c.eps, Delta: c.delta, N: 1 << 20, Seed: c.seed, DefaultSketch: c.info.Name}
+	cfg := server.Config{
+		Shards: c.shards, Eps: c.eps, Delta: c.delta, N: 1 << 20, Seed: c.seed,
+		DefaultSketch: c.combo.sketch, DefaultPolicy: c.combo.policy,
+	}
 	switch c.target {
 	case "estimator":
 		cfg.Shards = 1
-		ec, err := server.EngineConfig(c.info.Name, cfg, c.seed)
+		ec, err := server.EngineConfig(c.combo.sketch, c.combo.policy, cfg, c.seed)
 		if err != nil {
 			return campaignTarget{}, err
 		}
@@ -213,10 +263,11 @@ func buildTarget(c comboConfig) (campaignTarget, error) {
 				hl, _ := est.(hashLeaker)
 				return hl
 			},
+			space: est.SpaceBytes,
 			close: func() {},
 		}, nil
 	case "engine":
-		ec, err := server.EngineConfig(c.info.Name, cfg, c.seed)
+		ec, err := server.EngineConfig(c.combo.sketch, c.combo.policy, cfg, c.seed)
 		if err != nil {
 			return campaignTarget{}, err
 		}
@@ -233,6 +284,7 @@ func buildTarget(c comboConfig) (campaignTarget, error) {
 				})
 				return hl
 			},
+			space: eng.SpaceBytes,
 			close: eng.Close,
 		}, nil
 	case "http":
@@ -240,13 +292,20 @@ func buildTarget(c comboConfig) (campaignTarget, error) {
 		hs := httptest.NewServer(srv.Handler())
 		ctx := context.Background()
 		cl := client.New(hs.URL, hs.Client())
-		if err := cl.CreateKey(ctx, "campaign", c.info.Name); err != nil {
+		if err := cl.CreateKeyPolicy(ctx, "campaign", c.combo.sketch, c.combo.policy); err != nil {
 			hs.Close()
 			return campaignTarget{}, err
 		}
 		return campaignTarget{
 			tgt:  client.NewGameTarget(ctx, cl, "campaign"),
 			leak: func() hashLeaker { return nil },
+			space: func() int {
+				ks, err := cl.KeyStats(ctx, "campaign")
+				if err != nil {
+					return 0
+				}
+				return ks.SpaceBytes
+			},
 			close: func() {
 				srv.Drain()
 				hs.Close()
@@ -278,7 +337,10 @@ func buildAdversary(c comboConfig, ct campaignTarget) (game.Adversary, string) {
 }
 
 func runCampaignCombo(c comboConfig) campaignResult {
-	out := campaignResult{Adversary: c.adv, Target: c.target, Sketch: c.info.Name, Robust: c.info.Robust}
+	out := campaignResult{
+		Adversary: c.adv, Target: c.target,
+		Sketch: c.combo.info.Name, Policy: c.combo.info.Policy, Robust: c.combo.info.Robust,
+	}
 	ct, err := buildTarget(c)
 	if err != nil {
 		out.Error = err.Error()
@@ -291,16 +353,19 @@ func runCampaignCombo(c comboConfig) campaignResult {
 		return out
 	}
 	check := game.RelCheck(c.eps)
-	if c.info.Additive {
+	if c.combo.info.Additive {
 		check = game.AdditiveCheck(c.eps)
 	}
-	res, err := game.RunTarget(ct.tgt, adv, c.info.Truth, check, game.Config{
+	res, err := game.RunTarget(ct.tgt, adv, c.combo.info.Truth, check, game.Config{
 		MaxSteps: c.steps, StopOnBreak: true, Warmup: c.warmup,
 	})
 	out.Steps = res.Steps
 	out.Broken = res.Broken
 	out.BrokenAt = res.BrokenAt
 	out.MaxRelErr = res.MaxRelErr
+	if ct.space != nil {
+		out.SpaceBytes = ct.space()
+	}
 	if err != nil {
 		out.Error = err.Error()
 	}

@@ -18,10 +18,10 @@
 //
 // The separate campaign subcommand sweeps every adversary strategy
 // against every layer of the production stack (bare estimator, sharded
-// engine, sketchd over loopback HTTP) for the requested sketch types and
-// emits a JSON report:
+// engine, sketchd over loopback HTTP) for the requested sketch ×
+// robustness-policy combinations and emits a JSON report:
 //
-//	go run ./cmd/experiments campaign -sketches f2,robust-f2 -o report.json
+//	go run ./cmd/experiments campaign -sketches f2,kmv -policies none,ring,paths -o report.json
 package main
 
 import (

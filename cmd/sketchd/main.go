@@ -38,7 +38,9 @@ func main() {
 		delta   = flag.Float64("delta", 0.05, "per-keyspace failure probability δ (split δ/shards per shard instance)")
 		n       = flag.Uint64("n", 1<<32, "universe size bound for the robust constructors")
 		seed    = flag.Int64("seed", 1, "root randomness seed (servers exchanging snapshots must share it)")
-		sketch  = flag.String("sketch", "robust-f2", "default sketch type for new keyspaces (f2, kmv, countsketch, cc, robust-f2, robust-f0, robust-hh, robust-entropy)")
+		sketch  = flag.String("sketch", "robust-f2", "default sketch type for new keyspaces (base types f2, kmv, countsketch, cc, or a robust-* alias)")
+		policy  = flag.String("policy", "none", "default robustness policy for keyspaces created with a base sketch type (none, switching, ring, paths; robust-* aliases pin their own)")
+		budget  = flag.Int("flip-budget", 64, "flip budget λ for the switching and paths policies (published-output changes the robustness guarantee covers; /v1/stats reports consumption)")
 		drainT  = flag.Duration("drain-timeout", 10*time.Second, "maximum time to wait for in-flight requests on shutdown")
 	)
 	flag.Parse()
@@ -53,6 +55,8 @@ func main() {
 		N:             *n,
 		Seed:          *seed,
 		DefaultSketch: *sketch,
+		DefaultPolicy: *policy,
+		FlipBudget:    *budget,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -61,8 +65,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	log.Printf("sketchd listening on %s (default sketch %s, ε=%g δ=%g, %d shards/key, quota %d keys)",
-		*addr, *sketch, *eps, *delta, *shards, *maxKeys)
+	log.Printf("sketchd listening on %s (default sketch %s, default policy %s, ε=%g δ=%g, %d shards/key, quota %d keys)",
+		*addr, *sketch, *policy, *eps, *delta, *shards, *maxKeys)
 
 	select {
 	case err := <-errc:

@@ -27,8 +27,15 @@
 //   - internal/core — the paper's generic robustifications: sketch
 //     switching (§4), computation paths (§4), ε-rounding and flip-number
 //     machinery (§3).
-//   - internal/robust — the assembled robust estimators, one constructor
-//     per theorem.
+//   - internal/robust — the robustness policy layer and the assembled
+//     robust estimators. robust.Policy names a transformation (none,
+//     switching, ring, paths) and composes with any robust.Problem (the
+//     per-statistic sizing: inner factory, ε₀ divisor, flip bound, value
+//     range) through one constructor, Policy.Wrap — the full sketch ×
+//     policy matrix from four problem descriptors. The per-theorem
+//     constructors (NewFp, NewF0, NewEntropy, …) are thin instances of
+//     it, and every wrapper reports its flip-budget consumption through
+//     sketch.RobustnessReporter.
 //   - internal/engine — a sharded, batched, concurrent ingest pipeline
 //     that hash-routes updates to per-shard estimator instances (static
 //     or robust), coalesces duplicates per batch, and recombines the
@@ -39,19 +46,21 @@
 //     network sketch service (cmd/sketchd): batched JSON ingest, blocking
 //     and lock-free reads, binary snapshot/merge between same-seed
 //     servers, per-keyspace engines created on demand under a quota, and
-//     graceful drain. The robust estimators make the shared endpoint safe
-//     to query adaptively — the paper's threat model, realized as a
-//     service.
+//     graceful drain. Tenants are sketch × policy combinations
+//     (?sketch=f2&policy=paths; the old robust-* names resolve as
+//     aliases), /v1/stats reports each robust tenant's flip-budget state,
+//     and the robust policies make the shared endpoint safe to query
+//     adaptively — the paper's threat model, realized as a service.
 //   - internal/stream, internal/game, internal/adversary — stream
 //     generators, the adaptive adversary game loop, and concrete attacks.
 //     The game's Target interface runs the same adversaries against a
 //     bare estimator, a sharded engine, or a sketchd tenant over HTTP
 //     (client.NewGameTarget); `go run ./cmd/experiments campaign` sweeps
-//     adversary × target × sketch and emits a JSON report, and
+//     adversary × target × sketch × policy and emits a JSON report, and
 //     TestAdaptiveAMSCampaignOverHTTP (attack_e2e_test.go) is the
 //     end-to-end regression: the adaptive AMS attack breaks a static f2
-//     tenant over loopback HTTP while the robust-f2 tenant on the same
-//     stream stays within ε.
+//     tenant over loopback HTTP while ring, switching and paths guard
+//     tenants on the same stream stay within ε.
 //
 // Verify the tree with the tier-1 command:
 //

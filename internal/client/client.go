@@ -113,11 +113,24 @@ func (c *Client) do(ctx context.Context, method, path string, q url.Values, body
 func keyQuery(key string) url.Values { return url.Values{"key": {key}} }
 
 // CreateKey creates keyspace key with the given sketch type ("" for the
-// server default). Idempotent when the types agree.
+// server default). Idempotent when the types agree. For a robust
+// combination beyond the server default policy, use CreateKeyPolicy.
 func (c *Client) CreateKey(ctx context.Context, key, sketch string) error {
+	return c.CreateKeyPolicy(ctx, key, sketch, "")
+}
+
+// CreateKeyPolicy creates keyspace key as a sketch × policy combination
+// (e.g. "f2", "paths"). Empty sketch picks the server default type; empty
+// policy picks the sketch's pinned policy (for aliases like robust-f2) or
+// the server default policy. Idempotent when the resolved combinations
+// agree; a mismatch fails with 409.
+func (c *Client) CreateKeyPolicy(ctx context.Context, key, sketch, policy string) error {
 	q := keyQuery(key)
 	if sketch != "" {
 		q.Set("sketch", sketch)
+	}
+	if policy != "" {
+		q.Set("policy", policy)
 	}
 	return c.do(ctx, http.MethodPost, "/v1/keys", q, nil, "", nil, nil)
 }
@@ -186,4 +199,21 @@ func (c *Client) Stats(ctx context.Context) (*server.StatsResponse, error) {
 		return nil, err
 	}
 	return &resp, nil
+}
+
+// KeyStats returns the stats entry for one keyspace, including the
+// robustness-budget state of robust tenants (Robustness.Remaining /
+// Exhausted), so operators can see a tenant approaching flip-budget
+// exhaustion before its estimates degrade.
+func (c *Client) KeyStats(ctx context.Context, key string) (*server.KeyStats, error) {
+	st, err := c.Stats(ctx)
+	if err != nil {
+		return nil, err
+	}
+	for i := range st.Tenants {
+		if st.Tenants[i].Key == key {
+			return &st.Tenants[i], nil
+		}
+	}
+	return nil, fmt.Errorf("sketchd: unknown key %q", key)
 }

@@ -19,8 +19,9 @@ import (
 // the quantity routinely exceeds float64's exponent range as a raw
 // probability, so sizings in this repository accept it in log form.
 type Paths struct {
-	inner sketch.Estimator
-	r     *Rounder
+	inner  sketch.Estimator
+	r      *Rounder
+	budget int
 }
 
 // NewPaths wraps inner (already instantiated at the Lemma 3.8 failure
@@ -40,6 +41,23 @@ func (p *Paths) Estimate() float64 { return p.r.Current() }
 
 // Changes returns how many distinct values the output has taken.
 func (p *Paths) Changes() int { return p.r.Changes() }
+
+// SetFlipBudget records the flip number λ the inner instance's δ₀ was
+// union-bounded over, enabling budget introspection: once the output has
+// changed more than λ times the Lemma 3.8 guarantee no longer covers the
+// stream. Zero (the default) means the budget was not communicated.
+func (p *Paths) SetFlipBudget(lambda int) { p.budget = lambda }
+
+// Robustness implements sketch.RobustnessReporter. With no recorded flip
+// budget the budget reports as unbounded.
+func (p *Paths) Robustness() sketch.Robustness {
+	r := sketch.Robustness{Policy: "paths", Copies: 1, Switches: p.Changes(), Budget: -1}
+	if p.budget > 0 {
+		r.Budget = p.budget
+		r.Exhausted = p.Changes() > p.budget
+	}
+	return r
+}
 
 // SpaceBytes charges the inner instance plus the held output.
 func (p *Paths) SpaceBytes() int { return p.inner.SpaceBytes() + 16 }

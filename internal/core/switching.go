@@ -113,6 +113,24 @@ func (s *Switcher) Exhausted() bool { return s.exhausted }
 // Copies returns the number of maintained instances.
 func (s *Switcher) Copies() int { return len(s.instances) }
 
+// Robustness implements sketch.RobustnessReporter: ring mode reports an
+// unbounded budget (instances are recycled), dense mode reports the copy
+// count as the flip budget it was sized for.
+func (s *Switcher) Robustness() sketch.Robustness {
+	r := sketch.Robustness{
+		Policy:    "switching",
+		Copies:    len(s.instances),
+		Switches:  s.switches,
+		Budget:    len(s.instances),
+		Exhausted: s.exhausted,
+	}
+	if s.ring {
+		r.Policy = "ring"
+		r.Budget = -1
+	}
+	return r
+}
+
 // SpaceBytes sums the instances' space.
 func (s *Switcher) SpaceBytes() int {
 	total := 16 // published output + bookkeeping

@@ -112,6 +112,17 @@ type shard struct {
 	pubEstimate atomic.Uint64 // math.Float64bits
 	pubMass     atomic.Int64
 	pubSpace    atomic.Int64
+
+	// Published robustness state (sketch.RobustnessReporter estimators
+	// only), refreshed alongside the snapshots above so budget telemetry
+	// reads stay lock-free and never perturb ingest. Copies, switches and
+	// budget pack into one word each; pubRobust is 0 until the estimator
+	// reports, 1 bare, 3 when also exhausted.
+	pubRobust   atomic.Int32
+	pubPolicy   atomic.Pointer[string]
+	pubCopies   atomic.Int64
+	pubSwitches atomic.Int64
+	pubBudget   atomic.Int64
 }
 
 // Engine is a sharded concurrent ingest pipeline. It implements
@@ -262,6 +273,18 @@ func (s *shard) publish() {
 	}
 	s.pubMass.Store(mass)
 	s.pubSpace.Store(int64(s.est.SpaceBytes()))
+	if rr, ok := s.est.(sketch.RobustnessReporter); ok {
+		r := rr.Robustness()
+		s.pubPolicy.Store(&r.Policy)
+		s.pubCopies.Store(int64(r.Copies))
+		s.pubSwitches.Store(int64(r.Switches))
+		s.pubBudget.Store(int64(r.Budget))
+		flags := int32(1)
+		if r.Exhausted {
+			flags |= 2
+		}
+		s.pubRobust.Store(flags)
+	}
 }
 
 // shardOf routes an item to its shard; the salted mix keeps routing
@@ -422,6 +445,44 @@ func (e *Engine) SpaceBytes() int {
 
 // Shards returns the shard count.
 func (e *Engine) Shards() int { return len(e.shards) }
+
+// Robustness aggregates the robustness-budget state of the shard
+// estimators (sketch.RobustnessReporter): copies, consumed switches and
+// flip budgets sum across shards, Exhausted is true if any shard's budget
+// overran, and an unbounded budget anywhere (ring mode) makes the whole
+// engine's budget unbounded. ok is false when the shard estimators are
+// static (non-reporting), which is how callers distinguish a robust
+// tenant from a plain one. Like Peek, it reads the shards' last published
+// snapshots without flushing or blocking ingest — a monitoring scraper
+// polling it never stalls producers — so it may lag the ingested stream
+// by at most RefreshEvery updates per shard; call Flush first for an
+// exact happened-before reading.
+func (e *Engine) Robustness() (agg sketch.Robustness, ok bool) {
+	found := false
+	unbounded := false
+	for _, s := range e.shards {
+		flags := s.pubRobust.Load()
+		if flags == 0 {
+			continue
+		}
+		found = true
+		if p := s.pubPolicy.Load(); p != nil {
+			agg.Policy = *p
+		}
+		agg.Copies += int(s.pubCopies.Load())
+		agg.Switches += int(s.pubSwitches.Load())
+		agg.Exhausted = agg.Exhausted || flags&2 != 0
+		if b := int(s.pubBudget.Load()); b < 0 {
+			unbounded = true
+		} else {
+			agg.Budget += b
+		}
+	}
+	if unbounded {
+		agg.Budget = -1
+	}
+	return agg, found
+}
 
 // Close flushes every pending update, stops the shard workers and waits
 // for them to exit. The engine stays queryable after Close (Estimate and

@@ -35,11 +35,18 @@ type CCSizing struct {
 // SizeCC returns dimensions for an additive-ε (in bits) estimate with
 // probability 1−δ; pass δ/m for strong tracking over m steps.
 func SizeCC(eps, delta float64) CCSizing {
+	return SizeCCLn(eps, math.Log(1/delta))
+}
+
+// SizeCCLn is SizeCC with the failure probability in log form,
+// δ = exp(−lnInvDelta) — the form the computation-paths sizings need. It
+// is the single source of the CC sizing constants; SizeCC delegates here.
+func SizeCCLn(eps, lnInvDelta float64) CCSizing {
 	if eps <= 0 {
 		panic("entropy: need eps > 0")
 	}
 	epsNat := eps * math.Ln2 // internal arithmetic is in nats
-	groups := 2*int(math.Ceil(0.6*math.Log2(1/delta)))/2*2 + 1
+	groups := 2*int(math.Ceil(0.6*math.Log2E*lnInvDelta))/2*2 + 1
 	if groups < 3 {
 		groups = 3
 	}

@@ -187,12 +187,20 @@ type TrackingParams struct {
 // steps. This replaces the optimal tracking algorithm of [6] as documented
 // in DESIGN.md (substitution 1).
 func TrackingSizing(eps, delta float64, n uint64) TrackingParams {
+	return TrackingSizingLn(eps, math.Log(1/delta), n)
+}
+
+// TrackingSizingLn is TrackingSizing with the failure probability in log
+// form, δ = exp(−lnInvDelta) — the form the computation-paths sizings
+// need. It is the single source of the tracking-KMV sizing constants;
+// TrackingSizing delegates here.
+func TrackingSizingLn(eps, lnInvDelta float64, n uint64) TrackingParams {
 	if eps <= 0 || eps >= 1 {
 		panic("f0: need 0 < eps < 1")
 	}
 	k := int(math.Ceil(4/(eps*eps))) + 1
 	milestones := math.Log(float64(n)+2)/math.Log1p(eps/3) + 1
-	reps := 2*int(math.Ceil(0.35*math.Log2(milestones/delta))) + 1
+	reps := 2*int(math.Ceil(0.35*(math.Log2(milestones)+math.Log2E*lnInvDelta))) + 1
 	if reps < 3 {
 		reps = 3
 	}

@@ -30,10 +30,18 @@ type F2Sizing struct {
 // point in the stream; for (ε, δ)-strong tracking over m steps pass
 // δ/m (the union-bound reduction of the paper's footnote 1).
 func SizeF2(eps, delta float64) F2Sizing {
+	return SizeF2Ln(eps, math.Log(1/delta))
+}
+
+// SizeF2Ln is SizeF2 with the failure probability in log form,
+// δ = exp(−lnInvDelta) — the form the computation-paths sizings need,
+// whose δ₀ routinely lies below float64's smallest positive value. It is
+// the single source of the F2 sizing constants; SizeF2 delegates here.
+func SizeF2Ln(eps, lnInvDelta float64) F2Sizing {
 	if eps <= 0 || eps >= 1 {
 		panic("fp: need 0 < eps < 1")
 	}
-	rows := int(math.Ceil(0.6 * math.Log2(1/delta)))
+	rows := int(math.Ceil(0.6 * math.Log2E * lnInvDelta))
 	if rows < 3 {
 		rows = 3
 	}

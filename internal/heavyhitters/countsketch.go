@@ -39,10 +39,18 @@ type Sizing struct {
 // every point query with probability 1−δ (union-bound δ over the queries
 // you intend to make; Lemma 6.4 uses δ/n).
 func SizeForPointQuery(eps, delta float64) Sizing {
+	return SizeForPointQueryLn(eps, math.Log(1/delta))
+}
+
+// SizeForPointQueryLn is SizeForPointQuery with the failure probability
+// in log form, δ = exp(−lnInvDelta) — the form the computation-paths
+// sizings need. It is the single source of the CountSketch sizing
+// constants; SizeForPointQuery delegates here.
+func SizeForPointQueryLn(eps, lnInvDelta float64) Sizing {
 	if eps <= 0 || eps >= 1 {
 		panic("heavyhitters: need 0 < eps < 1")
 	}
-	rows := 2*int(math.Ceil(0.75*math.Log2(1/delta)))/2*2 + 1
+	rows := 2*int(math.Ceil(0.75*math.Log2E*lnInvDelta))/2*2 + 1
 	if rows < 3 {
 		rows = 3
 	}

@@ -2,10 +2,8 @@ package robust
 
 import (
 	"math"
-	"math/rand"
 
 	"repro/internal/core"
-	"repro/internal/entropy"
 	"repro/internal/sketch"
 )
 
@@ -22,7 +20,7 @@ import (
 // paper's own choice for this problem, and the reason its space bound
 // carries the full λ = Õ(ε⁻²·log³ n) factor.
 type Entropy struct {
-	sw *core.Switcher
+	est sketch.Estimator // policy-wrapped; publishes bits via EntropyProblem
 }
 
 // EntropyLambda returns the worst-case flip budget of Proposition 7.2 for
@@ -38,34 +36,35 @@ func EntropyLambda(epsBits float64, n uint64, maxCount float64) int {
 // epsBits (in bits) and failure probability δ on streams whose 2^H flip
 // number is at most lambda.
 func NewEntropy(epsBits, delta float64, lambda int, seed int64) *Entropy {
-	epsMul := epsBits * math.Ln2
 	// Inner accuracy ε/3 (the paper's proof constant is ε/20; the coarser
 	// setting keeps the λ-copy ensemble runnable and the integration tests
-	// validate the end-to-end additive error empirically).
-	sizing := entropy.SizeCC(epsBits/3, delta/float64(lambda))
-	factory := func(s int64) sketch.Estimator {
-		return exp2Adapter{entropy.NewCC(sizing, rand.New(rand.NewSource(s)))}
+	// validate the end-to-end additive error empirically). The
+	// construction is the dense-switching instance of the generic policy
+	// layer over EntropyProblem (whose EpsScale handles the bits → nats
+	// conversion), with the caller's flip budget.
+	est, err := Policy{Kind: Switching, Budget: lambda}.Wrap(epsBits, delta, 1<<32, seed, EntropyProblem())
+	if err != nil {
+		panic("robust: " + err.Error())
 	}
-	return &Entropy{sw: core.NewSwitcher(epsMul, lambda, false, seed, factory)}
+	return &Entropy{est: est}
 }
 
 // Update implements sketch.Estimator.
-func (e *Entropy) Update(item uint64, delta int64) { e.sw.Update(item, delta) }
+func (e *Entropy) Update(item uint64, delta int64) { e.est.Update(item, delta) }
 
 // Estimate returns the entropy estimate in bits.
-func (e *Entropy) Estimate() float64 {
-	g := e.sw.Estimate()
-	if g <= 1 {
-		return 0
-	}
-	return math.Log2(g)
+func (e *Entropy) Estimate() float64 { return e.est.Estimate() }
+
+// Robustness implements sketch.RobustnessReporter.
+func (e *Entropy) Robustness() sketch.Robustness {
+	return e.est.(sketch.RobustnessReporter).Robustness()
 }
 
 // Exhausted reports whether the stream's flip number exceeded the budget.
-func (e *Entropy) Exhausted() bool { return e.sw.Exhausted() }
+func (e *Entropy) Exhausted() bool { return e.Robustness().Exhausted }
 
 // Switches returns the number of published-output changes.
-func (e *Entropy) Switches() int { return e.sw.Switches() }
+func (e *Entropy) Switches() int { return e.Robustness().Switches }
 
 // SpaceBytes sums the switcher's instances.
-func (e *Entropy) SpaceBytes() int { return e.sw.SpaceBytes() }
+func (e *Entropy) SpaceBytes() int { return e.est.SpaceBytes() }

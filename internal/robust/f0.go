@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/f0"
-	"repro/internal/sketch"
 )
 
 // NewF0 returns the adversarially robust distinct-elements estimator of
@@ -16,14 +15,15 @@ import (
 // output is a (1±ε)-approximation of ‖f^(t)‖₀ at every step of any
 // adaptively chosen insertion-only stream over [n].
 func NewF0(eps, delta float64, n uint64, seed int64) *core.Switcher {
-	copies := core.RingCopies(eps)
-	innerDelta := delta / float64(copies)
 	// Inner accuracy ε/5 (the paper's proof constant is ε/20; see the
 	// DESIGN.md note on constants — the integration tests validate the
-	// end-to-end ε guarantee empirically).
-	return core.NewSwitcher(eps, copies, true, seed, func(s int64) sketch.Estimator {
-		return f0.NewTracking(eps/5, innerDelta, n, s)
-	})
+	// end-to-end ε guarantee empirically). The construction is the ring
+	// instance of the generic policy layer over F0Problem.
+	est, err := Policy{Kind: Ring}.Wrap(eps, delta, n, seed, F0Problem())
+	if err != nil {
+		panic("robust: " + err.Error())
+	}
+	return est.(*core.Switcher)
 }
 
 // F0FastLnInvDelta returns ln(1/δ₀) for the computation-paths reduction

@@ -6,52 +6,20 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fp"
-	"repro/internal/sketch"
 )
-
-// indykTrackingK sizes the counter count of an Indyk sketch for
-// (ε, δ)-tracking on insertion-only streams via the milestone union bound
-// (the statistic is monotone, so correctness at the O(ε⁻¹ log T)
-// milestones where it grows by (1+ε) pins it everywhere up to constants —
-// the heuristic stand-in for [7]'s chaining argument documented in
-// DESIGN.md, substitution 2).
-func indykTrackingK(eps, delta float64, n uint64) int {
-	milestones := math.Log(float64(n)+4)/math.Log1p(eps) + 2
-	boost := 0.3 * math.Log2(milestones/delta)
-	if boost < 1 {
-		boost = 1
-	}
-	k := int(math.Ceil(3 / (eps * eps) * boost))
-	if k < 16 {
-		k = 16
-	}
-	return k
-}
 
 // NewFp returns the adversarially robust Lp-norm estimator of Theorem 1.4
 // for p ∈ (0, 2]: ring sketch switching over strong-tracking p-stable
 // sketches (for p = 2, the faster bucketed AMS sketch). With probability
 // 1−δ it publishes (1±ε)·‖f^(t)‖_p at every step of any adaptively chosen
-// insertion-only stream.
+// insertion-only stream. It is the ring instance of the generic policy
+// layer: Policy{Kind: Ring}.Wrap over LpProblem(p).
 func NewFp(p, eps, delta float64, n uint64, seed int64) *core.Switcher {
-	copies := core.RingCopies(eps)
-	innerDelta := delta / float64(copies)
-	eps0 := eps / 6
-	var factory sketch.Factory
-	if p == 2 {
-		// Milestone union bound, as in indykTrackingK.
-		milestones := math.Log(float64(n)+4)/math.Log1p(eps0) + 2
-		sizing := fp.SizeF2(eps0, innerDelta/milestones)
-		factory = func(s int64) sketch.Estimator {
-			return l2Adapter{fp.NewF2(sizing, rand.New(rand.NewSource(s)))}
-		}
-	} else {
-		k := indykTrackingK(eps0, innerDelta, n)
-		factory = func(s int64) sketch.Estimator {
-			return fp.NewIndyk(p, k, rand.New(rand.NewSource(s)))
-		}
+	est, err := Policy{Kind: Ring}.Wrap(eps, delta, n, seed, LpProblem(p))
+	if err != nil {
+		panic("robust: " + err.Error())
 	}
-	return core.NewSwitcher(eps, copies, true, seed, factory)
+	return est.(*core.Switcher)
 }
 
 // FpPathsLnInvDelta returns ln(1/δ₀) for the computation-paths reduction

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/heavyhitters"
+	"repro/internal/sketch"
 )
 
 // HeavyHitters is the adversarially robust L2 heavy hitters (and ε-point
@@ -104,6 +105,15 @@ func (hh *HeavyHitters) Set() []uint64 {
 	out := hh.frozen.HeavyHitters(0.75 * hh.eps * hh.lastR)
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// Robustness implements sketch.RobustnessReporter: the ring policy with
+// the norm tracker's and the CountSketch ring's instances combined, and
+// the published-refresh count as the consumed switches.
+func (hh *HeavyHitters) Robustness() sketch.Robustness {
+	r := hh.norm.Robustness()
+	r.Copies += len(hh.ring)
+	return r
 }
 
 // SpaceBytes charges the norm tracker, the ring, and the frozen snapshot.

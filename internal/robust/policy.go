@@ -1,0 +1,446 @@
+package robust
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/entropy"
+	"repro/internal/f0"
+	"repro/internal/fp"
+	"repro/internal/heavyhitters"
+	"repro/internal/sketch"
+)
+
+// Kind names one of the paper's robustness transformations. The zero
+// value is None (no wrapper: the static algorithm itself).
+type Kind uint8
+
+const (
+	// None hosts the static algorithm with no robustness wrapper — the
+	// oblivious-adversary baseline every attack experiment compares
+	// against.
+	None Kind = iota
+
+	// Switching is dense sketch switching (Algorithm 1): λ independent
+	// instances, each abandoned after its value is used once. Space
+	// multiplies by the flip number λ; δ divides by λ. Use when λ is
+	// moderate or the statistic is not monotone (entropy).
+	Switching
+
+	// Ring is sketch switching with the restart optimization of
+	// Theorem 4.1: Θ(ε⁻¹·log ε⁻¹) instances recycled modularly, valid
+	// only for monotone statistics on insertion-only streams. The default
+	// transformation for Fp and F0 (Theorems 1.1 / 1.4).
+	Ring
+
+	// Paths is the computation-paths reduction (Lemma 3.8 / Theorem 1.5):
+	// one instance sized at δ₀ = δ / (C(m,λ)·S^λ), published through
+	// ε/2-rounding. Preferable to switching in the very-small-δ regime —
+	// space grows with ln(1/δ₀) ≈ λ·log m instead of multiplying by λ
+	// copies.
+	Paths
+)
+
+var kindNames = map[Kind]string{None: "none", Switching: "switching", Ring: "ring", Paths: "paths"}
+
+// String returns the kind's registry name (none, switching, ring, paths).
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Kinds lists every policy kind name, sorted for error messages.
+func Kinds() []string {
+	out := make([]string, 0, len(kindNames))
+	for _, s := range kindNames {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParseKind resolves a policy kind name.
+func ParseKind(s string) (Kind, error) {
+	for k, name := range kindNames {
+		if name == s {
+			return k, nil
+		}
+	}
+	return None, fmt.Errorf("unknown robustness policy %q (have: %s)", s, strings.Join(Kinds(), ", "))
+}
+
+// Policy is a named, parameterized robustness transformation. Wrap
+// composes it with any Problem, so the full sketch × policy matrix is
+// reachable from a single constructor instead of one bespoke constructor
+// per (problem, transformation) pair.
+type Policy struct {
+	// Kind selects the transformation.
+	Kind Kind
+
+	// Budget overrides the worst-case flip bound λ used for the dense
+	// switching copy count and the paths union bound. The honest bounds
+	// are impractically large at laptop scale for some problems (entropy's
+	// Õ(ε⁻²·log³n) in particular); a domain-informed budget keeps the
+	// ensemble runnable, and Robustness().Exhausted surfaces overruns.
+	// Zero means the problem's worst-case bound.
+	Budget int
+
+	// StreamLen is the stream length m entering the paths C(m, λ) term;
+	// zero defaults to the universe size n passed to Wrap.
+	StreamLen uint64
+
+	// MaxCount bounds ‖f‖∞ for the flip bounds; zero defaults to 1
+	// (distinct-item streams).
+	MaxCount float64
+
+	// KCap caps the inner sketch's total counter count so the paths
+	// sizing (whose ln(1/δ₀) routinely reaches thousands of median
+	// repetitions) stays runnable: the accuracy dimension (width,
+	// Θ(ε₀⁻²)) is kept and the δ-boosting repetition dimension shrinks to
+	// fit, flooring at its minimum. Zero means the honest sizing.
+	KCap int
+}
+
+// ParsePolicy resolves a policy name to a Policy with default parameters.
+func ParsePolicy(s string) (Policy, error) {
+	k, err := ParseKind(s)
+	return Policy{Kind: k}, err
+}
+
+// String returns the policy's kind name.
+func (pol Policy) String() string { return pol.Kind.String() }
+
+// Problem packages the per-problem sizing a policy needs: how to build a
+// statically correct inner instance at a given accuracy and (log-form)
+// failure probability, the statistic's flip-number bound, and its value
+// range. Everything else — copy counts, δ budgets, rounding, union
+// bounds — is the policy's job, which is what makes the transformations
+// generic (the paper's central claim).
+type Problem struct {
+	// Name labels errors.
+	Name string
+
+	// Monotone marks statistics that only grow on insertion-only streams
+	// (all Fp, F0). Ring mode is only sound for these: a restarted
+	// instance estimates a stream suffix, which for a monotone statistic
+	// misses at most an ε/100 mass fraction by reuse time (Theorem 4.1)
+	// but can be arbitrarily wrong otherwise (entropy).
+	Monotone bool
+
+	// EpsScale converts the caller's ε into the multiplicative domain the
+	// rounding machinery works in, applied by Wrap before anything else.
+	// Zero means 1 (already multiplicative). Entropy sets ln 2: its ε is
+	// additive bits, and an additive-ε guarantee on H = log₂ g is a
+	// multiplicative (1 ± ε·ln 2) guarantee on g = 2^H.
+	EpsScale float64
+
+	// Eps0Div divides the (scaled) target ε to get the inner instances'
+	// accuracy ε₀ (the paper's proof constants are ε/20; the repository's
+	// coarser divisors are validated empirically — see DESIGN.md).
+	Eps0Div float64
+
+	// Inner builds a statically correct instance with accuracy eps0 and
+	// failure probability exp(−lnInvDelta) over universe [n], seeded with
+	// seed. The failure probability arrives in log form because the paths
+	// sizing exceeds float64's exponent range as a raw probability. kCap,
+	// when positive, caps the instance's total counter count (see
+	// Policy.KCap).
+	Inner func(eps0, lnInvDelta float64, n uint64, kCap int, seed int64) sketch.Estimator
+
+	// FlipBound bounds the flip number λ_{eps}(g) on insertion-only
+	// streams over [n] with counts ≤ maxCount.
+	FlipBound func(eps float64, n uint64, maxCount float64) int
+
+	// MaxValue bounds the statistic (the T of the rounded-value count in
+	// the paths union bound).
+	MaxValue func(n uint64, maxCount float64) float64
+
+	// Publish optionally transforms the wrapper's rounded output into the
+	// published estimate (entropy publishes log₂ of the tracked 2^H).
+	Publish func(float64) float64
+
+	// NewRing optionally replaces the generic ring construction with a
+	// problem-specific one (heavy hitters couples the norm ring to a
+	// frozen CountSketch ring, Theorem 6.5).
+	NewRing func(eps, delta float64, n uint64, seed int64) sketch.Estimator
+}
+
+// Check reports whether the policy can soundly wrap the problem, without
+// building anything. Wrap performs the same validation.
+func (pol Policy) Check(prob Problem) error {
+	if prob.Inner == nil {
+		return fmt.Errorf("robust: problem %q has no inner factory", prob.Name)
+	}
+	switch pol.Kind {
+	case None, Switching, Paths:
+		return nil
+	case Ring:
+		if !prob.Monotone && prob.NewRing == nil {
+			return fmt.Errorf("robust: policy ring requires a monotone statistic (%s is not; restarted instances would track a suffix) — use switching or paths", prob.Name)
+		}
+		return nil
+	}
+	return fmt.Errorf("robust: unknown policy kind %d", pol.Kind)
+}
+
+// Wrap composes the policy with the problem: it returns an estimator that
+// is (1±eps)-correct (additively for problems whose Publish changes the
+// scale) with probability 1−delta on any adaptively chosen insertion-only
+// stream over [n] — by the static guarantee alone for None, and by the
+// corresponding robustness theorem otherwise. The result implements
+// sketch.RobustnessReporter for every kind except None.
+func (pol Policy) Wrap(eps, delta float64, n uint64, seed int64, prob Problem) (sketch.Estimator, error) {
+	if prob.EpsScale > 0 {
+		eps *= prob.EpsScale
+	}
+	if eps <= 0 || eps >= 1 {
+		return nil, fmt.Errorf("robust: policy %s needs 0 < eps < 1 (after the problem's domain scaling), got %g", pol, eps)
+	}
+	if delta <= 0 || delta >= 1 {
+		return nil, fmt.Errorf("robust: policy %s needs 0 < delta < 1, got %g", pol, delta)
+	}
+	if err := pol.Check(prob); err != nil {
+		return nil, err
+	}
+	maxCount := pol.MaxCount
+	if maxCount <= 0 {
+		maxCount = 1
+	}
+	div := prob.Eps0Div
+	if div < 1 {
+		div = 1
+	}
+	eps0 := eps / div
+
+	budget := func(flipEps float64) int {
+		if pol.Budget > 0 {
+			return pol.Budget
+		}
+		return prob.FlipBound(flipEps, n, maxCount)
+	}
+
+	switch pol.Kind {
+	case None:
+		// The static algorithm at the full (eps, delta) target: the
+		// oblivious baseline, no rounding, no ensemble.
+		return pol.publish(prob, prob.Inner(eps, math.Log(1/delta), n, pol.KCap, seed)), nil
+
+	case Ring:
+		if prob.NewRing != nil {
+			return prob.NewRing(eps, delta, n, seed), nil
+		}
+		copies := core.RingCopies(eps)
+		lnInv := math.Log(float64(copies) / delta)
+		factory := func(s int64) sketch.Estimator {
+			return prob.Inner(eps0, lnInv, n, pol.KCap, s)
+		}
+		return pol.publish(prob, core.NewSwitcher(eps, copies, true, seed, factory)), nil
+
+	case Switching:
+		lambda := budget(eps / 8)
+		lnInv := math.Log(float64(lambda) / delta)
+		factory := func(s int64) sketch.Estimator {
+			return prob.Inner(eps0, lnInv, n, pol.KCap, s)
+		}
+		return pol.publish(prob, core.NewSwitcher(eps, lambda, false, seed, factory)), nil
+
+	case Paths:
+		lambda := budget(eps / 20)
+		m := pol.StreamLen
+		if m == 0 {
+			m = n
+		}
+		lnInvDelta0 := core.PathsLnInvDelta(m, lambda, eps, prob.MaxValue(n, maxCount), math.Log(1/delta))
+		p := core.NewPaths(eps, prob.Inner(eps0, lnInvDelta0, n, pol.KCap, seed))
+		p.SetFlipBudget(lambda)
+		return pol.publish(prob, p), nil
+	}
+	return nil, fmt.Errorf("robust: unknown policy kind %d", pol.Kind)
+}
+
+// publish applies the problem's output transform, preserving robustness
+// introspection.
+func (pol Policy) publish(prob Problem, est sketch.Estimator) sketch.Estimator {
+	if prob.Publish == nil {
+		return est
+	}
+	return publishAdapter{inner: est, f: prob.Publish}
+}
+
+// publishAdapter transforms the wrapped estimator's output while
+// forwarding updates, space, and robustness state.
+type publishAdapter struct {
+	inner sketch.Estimator
+	f     func(float64) float64
+}
+
+func (a publishAdapter) Update(item uint64, delta int64) { a.inner.Update(item, delta) }
+func (a publishAdapter) Estimate() float64               { return a.f(a.inner.Estimate()) }
+func (a publishAdapter) SpaceBytes() int                 { return a.inner.SpaceBytes() }
+
+func (a publishAdapter) Robustness() sketch.Robustness {
+	if rr, ok := a.inner.(sketch.RobustnessReporter); ok {
+		return rr.Robustness()
+	}
+	return sketch.Robustness{}
+}
+
+// oddReps shapes a median-repetition count: capped so reps·perRep stays
+// within kCap counters (when kCap > 0), floored at 3, and forced odd.
+func oddReps(reps, perRep, kCap int) int {
+	if kCap > 0 && perRep > 0 && reps > kCap/perRep {
+		reps = kCap / perRep
+	}
+	if reps < 3 {
+		reps = 3
+	}
+	if reps%2 == 0 {
+		reps++
+	}
+	return reps
+}
+
+// LpProblem describes the Lp norm ‖f‖_p for p ∈ (0, 2]: bucketed AMS
+// inner sketches for p = 2 (fast, O(rows) per update), Indyk p-stable
+// sketches otherwise. The norm has norm (not moment) semantics, matching
+// Theorem 1.4; KCap caps the AMS row count / Indyk counter count.
+func LpProblem(p float64) Problem {
+	if p <= 0 || p > 2 {
+		panic("robust: LpProblem needs 0 < p <= 2")
+	}
+	return Problem{
+		Name:     fmt.Sprintf("l%g-norm", p),
+		Monotone: true,
+		Eps0Div:  6,
+		Inner: func(eps0, lnInvDelta float64, n uint64, kCap int, seed int64) sketch.Estimator {
+			// Milestone union bound for (ε₀, δ)-tracking: correctness at
+			// the O(ε₀⁻¹·log T) milestones where the monotone norm grows
+			// by (1+ε₀) pins it everywhere (DESIGN.md, substitution 2).
+			milestones := math.Log(float64(n)+4)/math.Log1p(eps0) + 2
+			lnInv := lnInvDelta + math.Log(milestones)
+			if p == 2 {
+				s := fp.SizeF2Ln(eps0, lnInv)
+				s.Rows = oddReps(s.Rows, s.Width, kCap)
+				return l2Adapter{fp.NewF2(s, rand.New(rand.NewSource(seed)))}
+			}
+			boost := 0.3 * lnInv * math.Log2E
+			if boost < 1 {
+				boost = 1
+			}
+			k := int(math.Ceil(3 / (eps0 * eps0) * boost))
+			if k < 16 {
+				k = 16
+			}
+			if kCap > 0 && k > kCap {
+				k = kCap
+			}
+			return fp.NewIndyk(p, k, rand.New(rand.NewSource(seed)))
+		},
+		FlipBound: func(eps float64, n uint64, maxCount float64) int {
+			return core.FlipBoundLp(p, eps, n, maxCount)
+		},
+		MaxValue: func(n uint64, maxCount float64) float64 {
+			return math.Pow(float64(n)*math.Pow(maxCount, p), 1/p)
+		},
+	}
+}
+
+// F0Problem describes the distinct-elements count ‖f‖₀: median-of-KMV
+// strong-tracking inner instances (Theorem 1.1's static side). KCap caps
+// the median repetition count.
+func F0Problem() Problem {
+	return Problem{
+		Name:     "f0",
+		Monotone: true,
+		Eps0Div:  5,
+		Inner: func(eps0, lnInvDelta float64, n uint64, kCap int, seed int64) sketch.Estimator {
+			tp := f0.TrackingSizingLn(eps0, lnInvDelta, n)
+			reps := oddReps(tp.Reps, tp.K, kCap)
+			return f0.NewMedian(reps, seed, func(s int64) sketch.Estimator {
+				return f0.NewKMV(tp.K, rand.New(rand.NewSource(s)))
+			})
+		},
+		FlipBound: func(eps float64, n uint64, maxCount float64) int {
+			return core.FlipBoundFp(0, eps, n, maxCount)
+		},
+		MaxValue: func(n uint64, maxCount float64) float64 { return float64(n) },
+	}
+}
+
+// EntropyProblem describes g = 2^H (whose flip number Proposition 7.2
+// bounds) with Clifford–Cosma inner sketches; the published estimate is
+// log₂ of the wrapper's output, and Wrap's eps is the additive error in
+// bits — EpsScale = ln 2 converts it to the multiplicative (1 ± ε·ln 2)
+// guarantee the rounding machinery provides. Not monotone (entropy falls
+// when a heavy item concentrates), so ring mode is rejected; dense
+// switching is the paper's own choice (Theorem 1.10) and paths is
+// reachable through the same flip bound. KCap caps the CC median group
+// count.
+func EntropyProblem() Problem {
+	return Problem{
+		Name:     "entropy",
+		Monotone: false,
+		EpsScale: math.Ln2,
+		Eps0Div:  3,
+		Inner: func(eps0, lnInvDelta float64, n uint64, kCap int, seed int64) sketch.Estimator {
+			// eps0 is multiplicative (nats) here; SizeCC's ε is additive
+			// bits, hence the /ln2.
+			s := entropy.SizeCCLn(eps0/math.Ln2, lnInvDelta)
+			s.Groups = oddReps(s.Groups, s.Per, kCap)
+			return exp2Adapter{entropy.NewCC(s, rand.New(rand.NewSource(seed)))}
+		},
+		FlipBound: func(eps float64, n uint64, maxCount float64) int {
+			return core.FlipBoundEntropyExp(eps, n, maxCount)
+		},
+		// 2^H is at most the number of distinct items.
+		MaxValue: func(n uint64, maxCount float64) float64 { return float64(n) },
+		Publish: func(g float64) float64 {
+			if g <= 1 {
+				return 0
+			}
+			return math.Log2(g)
+		},
+	}
+}
+
+// HHL2Problem describes the L2 norm tracked through CountSketch inner
+// instances. Its ring construction is the coupled norm-ring +
+// frozen-CountSketch-ring structure of Theorem 6.5 (robust point queries
+// included); switching and paths wrap the CountSketch's norm estimate
+// generically. KCap caps the CountSketch row count.
+func HHL2Problem() Problem {
+	return Problem{
+		Name:     "hh-l2",
+		Monotone: true,
+		Eps0Div:  4,
+		Inner: func(eps0, lnInvDelta float64, n uint64, kCap int, seed int64) sketch.Estimator {
+			milestones := math.Log(float64(n)+4)/math.Log1p(eps0) + 2
+			s := heavyhitters.SizeForPointQueryLn(eps0, lnInvDelta+math.Log(milestones))
+			s.Rows = oddReps(s.Rows, s.Width, kCap)
+			return csL2Adapter{heavyhitters.NewCountSketch(s, rand.New(rand.NewSource(seed)))}
+		},
+		FlipBound: func(eps float64, n uint64, maxCount float64) int {
+			return core.FlipBoundLp(2, eps, n, maxCount)
+		},
+		MaxValue: func(n uint64, maxCount float64) float64 {
+			return math.Sqrt(float64(n)) * maxCount
+		},
+		NewRing: func(eps, delta float64, n uint64, seed int64) sketch.Estimator {
+			return NewHeavyHitters(eps, delta, n, seed)
+		},
+	}
+}
+
+// csL2Adapter publishes ‖f‖₂ from a CountSketch (whose Estimate is the F2
+// moment), giving the heavy hitters problem norm semantics.
+type csL2Adapter struct {
+	*heavyhitters.CountSketch
+}
+
+func (a csL2Adapter) Estimate() float64 { return a.L2() }

@@ -1,7 +1,19 @@
 // Package robust assembles the adversarially robust streaming algorithms
 // of the paper from the static sketches (internal/f0, internal/fp,
 // internal/heavyhitters, internal/entropy) and the generic transformations
-// of internal/core:
+// of internal/core.
+//
+// The composition surface is the policy layer: a Policy names a
+// transformation (None, Switching, Ring, Paths) and Policy.Wrap applies
+// it to any Problem — a per-statistic bundle of inner-sketch factory,
+// ε₀ divisor, flip bound and value range (LpProblem, F0Problem,
+// EntropyProblem, HHL2Problem). This makes the paper's central claim
+// literal: the transformations are generic, so the full sketch × policy
+// matrix is reachable from one constructor, and wrappers expose their
+// flip-budget consumption through sketch.RobustnessReporter.
+//
+// The per-theorem constructors are thin instances of the policy layer
+// (or specialized paths sizings where a theorem fixes its own δ₀):
 //
 //	NewF0                 Theorem 1.1 / 5.1  (sketch switching, ring)
 //	NewF0Fast             Theorem 1.2 / 5.4  (computation paths over Algorithm 2)

@@ -9,9 +9,11 @@ package server
 //	GET  /v1/peek      lock-free snapshot estimate, never blocks ingest
 //	GET  /v1/snapshot  binary sketch state (application/octet-stream)
 //	POST /v1/merge     merges a snapshot (possibly from another server)
-//	POST /v1/keys      creates a keyspace explicitly (?sketch= chooses type)
+//	POST /v1/keys      creates a keyspace explicitly (?sketch= chooses the
+//	                   base type, ?policy= the robustness policy)
 //	DELETE /v1/keys    tears a keyspace down, freeing its quota slot
-//	GET  /v1/stats     server-wide stats and per-keyspace listing
+//	GET  /v1/stats     server-wide stats and per-keyspace listing,
+//	                   including flip-budget state for robust keyspaces
 //
 // Item identifiers are uint64; non-Go clients talking JSON should keep
 // them below 2^53 or pre-hash to that range.
@@ -43,8 +45,39 @@ type EstimateResponse struct {
 type KeyStats struct {
 	Key        string `json:"key"`
 	Sketch     string `json:"sketch"`
+	Policy     string `json:"policy"`
 	Shards     int    `json:"shards"`
 	SpaceBytes int    `json:"space_bytes"`
+
+	// Robustness is the aggregated robustness-budget state of the
+	// keyspace's shard estimators; nil for static (policy none) tenants.
+	Robustness *RobustnessStats `json:"robustness,omitempty"`
+}
+
+// RobustnessStats is the flip-budget state of a robust keyspace, summed
+// over its engine shards. Operators should watch Remaining (and
+// Exhausted) on dense-switching and paths tenants: once the stream's flip
+// number overruns the configured budget the robustness guarantee no
+// longer covers it, so estimates may degrade under adaptive traffic.
+type RobustnessStats struct {
+	// Policy is the transformation in effect: switching, ring, or paths.
+	Policy string `json:"policy"`
+
+	// Copies is the total number of maintained static instances.
+	Copies int `json:"copies"`
+
+	// Switches is the number of published-output changes consumed.
+	Switches int `json:"switches"`
+
+	// Budget is the total flip budget; -1 means unbounded (ring mode
+	// recycles instances and never exhausts).
+	Budget int `json:"budget"`
+
+	// Remaining is Budget − Switches floored at 0, or -1 when unbounded.
+	Remaining int `json:"remaining"`
+
+	// Exhausted reports that some shard overran its flip budget.
+	Exhausted bool `json:"exhausted"`
 }
 
 // StatsResponse is the body of GET /v1/stats.

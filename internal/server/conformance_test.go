@@ -1,48 +1,152 @@
 package server
 
 import (
+	"strings"
 	"testing"
 
+	"repro/internal/robust"
 	"repro/internal/sketchtest"
 )
 
-// TestRegistryConformance runs every sketch type the service can host
-// through the full sketchtest battery: update/estimate tracking contract,
-// determinism under a fixed seed, duplicate-insensitivity where declared,
-// and — for the mergeable static types — codec round-trips plus the merge
-// laws the /v1/snapshot and /v1/merge endpoints depend on. Registering a
-// new type in specs is all it takes to put it under the battery.
+// TestRegistryConformance runs every sketch × policy combination the
+// service can host through the full sketchtest battery: update/estimate
+// tracking contract, determinism under a fixed seed,
+// duplicate-insensitivity where declared, and — for the mergeable static
+// combinations — codec round-trips plus the merge laws the /v1/snapshot
+// and /v1/merge endpoints depend on. Registering a new base type in bases
+// is all it takes to put its entire policy column under the battery.
 func TestRegistryConformance(t *testing.T) {
 	// Shards: 1 so factories size each instance at the full server-wide δ;
 	// the conformance streams are small, so a coarse ε keeps the robust
-	// ensembles quick to build.
-	cfg := Config{Shards: 1, Eps: 0.5, Delta: 0.05, N: 1 << 16, Seed: 1}.withDefaults()
-	// robust-entropy pays ~26ms per update (λ = 64 CC copies, each touching
-	// every counter with a fresh stable variate); a shorter stream keeps the
-	// battery meaningful without dominating the suite's wall clock.
-	updates := map[string]int{"robust-entropy": 64}
-	for name, sp := range specs {
-		sp := sp
-		t.Run(name, func(t *testing.T) {
-			t.Parallel()
-			// Accuracy tolerance: 1.5× the configured ε (2× additive, in
-			// bits), so the check verifies the estimate is in the right
-			// regime — a zero or wildly scaled estimate fails — without
-			// turning the δ failure probability into flakes.
-			eps := 1.5 * cfg.Eps
-			if sp.additive {
-				eps = 2 * cfg.Eps
+	// ensembles quick to build. FlipBudget 24 keeps the dense-switching
+	// ensembles small at test scale.
+	cfg := Config{Shards: 1, Eps: 0.5, Delta: 0.05, N: 1 << 16, Seed: 1, FlipBudget: 24}.withDefaults()
+	// The entropy combinations pay for every counter on every update (CC
+	// sketches draw a fresh stable variate per counter); shorter streams
+	// keep the battery meaningful without dominating the suite's wall
+	// clock.
+	updates := map[string]int{"cc": 64}
+	for _, name := range sketchNames() {
+		if _, isAlias := aliases[name]; isAlias {
+			continue // aliases resolve onto cells tested below
+		}
+		for _, policy := range Policies() {
+			sp, err := resolve(name, policy, cfg)
+			if err != nil {
+				// The only invalid cells are ring over non-monotone
+				// statistics; anything else is a registry regression.
+				if policy == "ring" && strings.Contains(err.Error(), "monotone") {
+					continue
+				}
+				t.Errorf("resolve(%s, %s): %v", name, policy, err)
+				continue
 			}
-			sketchtest.Run(t, sketchtest.Harness{
-				Name:     name,
-				Factory:  sp.factory(cfg),
-				Codec:    sp.codec,
-				Truth:    sp.truth,
-				Eps:      eps,
-				Additive: sp.additive,
-				Updates:  updates[name],
-				Seed:     7,
+			t.Run(sp.Display(), func(t *testing.T) {
+				t.Parallel()
+				// Accuracy tolerance: 1.5× the configured ε (2× additive, in
+				// bits), so the check verifies the estimate is in the right
+				// regime — a zero or wildly scaled estimate fails — without
+				// turning the δ failure probability into flakes.
+				eps := 1.5 * cfg.Eps
+				if sp.additive {
+					eps = 2 * cfg.Eps
+				}
+				sketchtest.Run(t, sketchtest.Harness{
+					Name:     sp.Display(),
+					Factory:  sp.factory(cfg),
+					Codec:    sp.codec,
+					Truth:    sp.truth,
+					Eps:      eps,
+					Additive: sp.additive,
+					Updates:  updates[sp.Name],
+					Seed:     7,
+				})
 			})
-		})
+		}
+	}
+}
+
+// TestAliasesResolve pins the pre-matrix robust type names onto their
+// sketch × policy cells — the migration contract for existing deployments
+// and saved client configurations.
+func TestAliasesResolve(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	want := map[string][2]string{
+		"robust-f2":      {"f2", "ring"},
+		"robust-f0":      {"kmv", "ring"},
+		"robust-hh":      {"countsketch", "ring"},
+		"robust-entropy": {"cc", "switching"},
+	}
+	for alias, cell := range want {
+		sp, err := resolve(alias, "", cfg)
+		if err != nil {
+			t.Fatalf("resolve(%s): %v", alias, err)
+		}
+		if sp.Name != cell[0] || sp.Policy != cell[1] {
+			t.Errorf("alias %s resolved to %s+%s, want %s+%s", alias, sp.Name, sp.Policy, cell[0], cell[1])
+		}
+		if !sp.robust {
+			t.Errorf("alias %s did not resolve to a robust spec", alias)
+		}
+		// The pinned policy tolerates an explicitly matching request and
+		// rejects a conflicting one.
+		if _, err := resolve(alias, cell[1], cfg); err != nil {
+			t.Errorf("resolve(%s, %s): %v", alias, cell[1], err)
+		}
+		if _, err := resolve(alias, "paths", cfg); alias != "robust-entropy" && err == nil {
+			t.Errorf("resolve(%s, paths) should conflict with the pinned policy", alias)
+		}
+	}
+}
+
+// TestRobustEntropyAliasMatchesConstructor pins the alias to the
+// per-theorem constructor update for update: a robust-entropy tenant must
+// host exactly robust.NewEntropy(cfg.Eps, δ, FlipBudget, seed) — in
+// particular the additive-bits ε must reach the policy layer in the same
+// domain (EpsScale ln 2), which a coarse accuracy tolerance would not
+// catch.
+func TestRobustEntropyAliasMatchesConstructor(t *testing.T) {
+	cfg := Config{Shards: 1, Eps: 0.5, Delta: 0.05, N: 1 << 16, Seed: 1, FlipBudget: 24}.withDefaults()
+	sp, err := resolve("robust-entropy", "", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaSpec := sp.factory(cfg)(9)
+	viaCtor := robust.NewEntropy(cfg.Eps, cfg.Delta, cfg.FlipBudget, 9)
+	for i := 0; i < 96; i++ {
+		item := uint64(i % 12)
+		viaSpec.Update(item, 1)
+		viaCtor.Update(item, 1)
+		if a, b := viaSpec.Estimate(), viaCtor.Estimate(); a != b {
+			t.Fatalf("robust-entropy spec and NewEntropy diverged at update %d: %v vs %v", i+1, a, b)
+		}
+	}
+	if viaSpec.SpaceBytes() != viaCtor.SpaceBytes() {
+		t.Errorf("space differs: spec %d vs constructor %d (inner sizing domain mismatch?)",
+			viaSpec.SpaceBytes(), viaCtor.SpaceBytes())
+	}
+}
+
+// TestUnknownSketchErrorListsRegistry: the "(have: ...)" list must be
+// derived from the registry keys at runtime, so it can never go stale as
+// types are added.
+func TestUnknownSketchErrorListsRegistry(t *testing.T) {
+	_, err := resolve("no-such-sketch", "", Config{}.withDefaults())
+	if err == nil {
+		t.Fatal("expected an error for an unknown sketch type")
+	}
+	for _, name := range sketchNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("unknown-sketch error %q does not mention registry key %q", err, name)
+		}
+	}
+	if _, err := resolve("f2", "no-such-policy", Config{}.withDefaults()); err == nil {
+		t.Fatal("expected an error for an unknown policy")
+	} else {
+		for _, p := range robust.Kinds() {
+			if !strings.Contains(err.Error(), p) {
+				t.Errorf("unknown-policy error %q does not mention policy %q", err, p)
+			}
+		}
 	}
 }

@@ -1,0 +1,192 @@
+package server_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/server"
+	"repro/internal/stream"
+)
+
+// TestPolicyMatrixOverHTTP exercises the sketch × policy matrix through
+// the real HTTP API: tenants for every robust policy over f2 — including
+// policy=paths, which was unreachable from sketchd before the policy
+// layer — ingest one stream, every estimate lands within the acceptance
+// envelope of the true L2 norm, and /v1/stats reports each tenant's
+// policy and flip-budget state.
+func TestPolicyMatrixOverHTTP(t *testing.T) {
+	const eps = 0.25
+	cfg := server.Config{Shards: 2, Eps: eps, Delta: 0.05, N: 1 << 16, Seed: 21, MaxKeys: 8, FlipBudget: 128}
+	_, c := boot(t, cfg)
+	ctx := context.Background()
+
+	policies := []string{"none", "switching", "ring", "paths"}
+	for _, pol := range policies {
+		if err := c.CreateKeyPolicy(ctx, "f2-"+pol, "f2", pol); err != nil {
+			t.Fatalf("create f2+%s: %v", pol, err)
+		}
+	}
+
+	gen := stream.NewZipf(1<<10, 12000, 1.2, 3)
+	truth := stream.NewFreq()
+	batch := make([]client.Update, 0, 512)
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		for _, pol := range policies {
+			if err := c.Update(ctx, "f2-"+pol, batch); err != nil {
+				t.Fatal(err)
+			}
+		}
+		batch = batch[:0]
+	}
+	for {
+		u, ok := gen.Next()
+		if !ok {
+			break
+		}
+		truth.Apply(u)
+		batch = append(batch, client.Update{Item: u.Item, Delta: u.Delta})
+		if len(batch) == cap(batch) {
+			flush()
+		}
+	}
+	flush()
+
+	for _, pol := range policies {
+		got, err := c.Estimate(ctx, "f2-"+pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The static tenant estimates the F2 moment, the robust ones the
+		// L2 norm (the policy layer's norm semantics).
+		want := truth.L2()
+		if pol == "none" {
+			want = truth.Fp(2)
+		}
+		// 1.5× ε tolerance: verify the regime without δ flakes.
+		if re := relErr(got, want); re > 1.5*eps {
+			t.Errorf("f2+%s estimate %v vs truth %v: rel err %.3f", pol, got, want, re)
+		}
+	}
+
+	// Stats expose the policy dimension and the flip budget.
+	for _, pol := range policies {
+		ks, err := c.KeyStats(ctx, "f2-"+pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ks.Sketch != "f2" || ks.Policy != pol {
+			t.Errorf("stats for f2+%s report %s+%s", pol, ks.Sketch, ks.Policy)
+		}
+		if pol == "none" {
+			if ks.Robustness != nil {
+				t.Errorf("static tenant reports robustness %+v", ks.Robustness)
+			}
+			continue
+		}
+		r := ks.Robustness
+		if r == nil {
+			t.Fatalf("robust tenant f2+%s reports no robustness state", pol)
+		}
+		if r.Policy != pol {
+			t.Errorf("f2+%s robustness names policy %q", pol, r.Policy)
+		}
+		if r.Copies == 0 || r.Switches == 0 {
+			t.Errorf("f2+%s robustness has zero copies or switches after ingest: %+v", pol, r)
+		}
+		switch pol {
+		case "ring":
+			if r.Budget != -1 || r.Remaining != -1 || r.Exhausted {
+				t.Errorf("ring budget should be unbounded: %+v", r)
+			}
+		case "switching", "paths":
+			// 2 shards × FlipBudget each.
+			if r.Budget != 2*cfg.FlipBudget {
+				t.Errorf("f2+%s budget %d, want %d", pol, r.Budget, 2*cfg.FlipBudget)
+			}
+			if r.Remaining != r.Budget-r.Switches || r.Exhausted {
+				t.Errorf("f2+%s budget accounting off: %+v", pol, r)
+			}
+		}
+	}
+
+	// Robust tenants refuse snapshots (their ensembles are not
+	// linear-mergeable); the static tenant still serves them.
+	if _, err := c.Snapshot(ctx, "f2-paths"); client.StatusCode(err) != 501 {
+		t.Errorf("snapshot of a paths tenant: %v, want 501", err)
+	}
+	if _, err := c.Snapshot(ctx, "f2-none"); err != nil {
+		t.Errorf("snapshot of the static tenant: %v", err)
+	}
+}
+
+// TestPolicyAliasesAndConflictsOverHTTP pins the migration contract over
+// the wire: pre-matrix names resolve to their sketch × policy cells and
+// are interchangeable with the explicit form, conflicting redefinitions
+// fail with 409, invalid cells and unknown policies fail with an
+// explanatory 400.
+func TestPolicyAliasesAndConflictsOverHTTP(t *testing.T) {
+	cfg := server.Config{Shards: 1, Eps: 0.4, Delta: 0.05, N: 1 << 16, Seed: 5, MaxKeys: 8}
+	_, c := boot(t, cfg)
+	ctx := context.Background()
+
+	// Alias and explicit form are the same tenant.
+	if err := c.CreateKey(ctx, "legacy", "robust-f2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateKeyPolicy(ctx, "legacy", "f2", "ring"); err != nil {
+		t.Fatalf("explicit f2+ring should match the robust-f2 tenant: %v", err)
+	}
+	ks, err := c.KeyStats(ctx, "legacy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks.Sketch != "f2" || ks.Policy != "ring" || ks.Robustness == nil {
+		t.Errorf("robust-f2 tenant reports %s+%s (robustness %v)", ks.Sketch, ks.Policy, ks.Robustness)
+	}
+
+	// A conflicting policy on an existing tenant is a 409.
+	if err := c.CreateKeyPolicy(ctx, "legacy", "f2", "paths"); client.StatusCode(err) != 409 {
+		t.Errorf("conflicting policy: %v, want 409", err)
+	}
+	// An alias combined with a contradicting policy is a 400.
+	if err := c.CreateKeyPolicy(ctx, "x", "robust-f2", "paths"); client.StatusCode(err) != 400 {
+		t.Errorf("alias+conflicting policy: %v, want 400", err)
+	}
+	// Ring over entropy is invalid (non-monotone statistic).
+	if err := c.CreateKeyPolicy(ctx, "x", "cc", "ring"); client.StatusCode(err) != 400 {
+		t.Errorf("cc+ring: %v, want 400", err)
+	}
+	// Unknown names fail with the runtime-derived registry listing.
+	err = c.CreateKey(ctx, "x", "no-such")
+	if client.StatusCode(err) != 400 {
+		t.Fatalf("unknown sketch: %v, want 400", err)
+	}
+	for _, name := range []string{"f2", "kmv", "countsketch", "cc", "robust-f2", "robust-entropy"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("unknown-sketch error %q does not list %q", err, name)
+		}
+	}
+	if err := c.CreateKeyPolicy(ctx, "x", "f2", "no-such"); client.StatusCode(err) != 400 {
+		t.Errorf("unknown policy: %v, want 400", err)
+	}
+
+	// The previously-unreachable cell: an entropy tenant under paths.
+	if err := c.CreateKeyPolicy(ctx, "ent", "cc", "paths"); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 64; i++ {
+		if err := c.Add(ctx, "ent", i%8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ks, err := c.KeyStats(ctx, "ent"); err != nil {
+		t.Fatal(err)
+	} else if ks.Robustness == nil || ks.Robustness.Policy != "paths" {
+		t.Errorf("cc+paths tenant robustness = %+v", ks.Robustness)
+	}
+}

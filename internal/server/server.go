@@ -9,11 +9,14 @@
 // transfer (GET /v1/snapshot, POST /v1/merge) for the linear static
 // sketches, which lets a fleet of sketchd instances ingest independently
 // and fold their state together — the distributed-aggregation pattern
-// that motivates mergeable sketches. The adversarially robust types
-// (robust-f2, robust-f0, robust-hh, robust-entropy) keep their estimates
-// trustworthy even when clients adaptively react to what the endpoint
-// returns, which is exactly the threat model of a shared network service;
-// see the paper and internal/robust.
+// that motivates mergeable sketches. Tenants are created as sketch ×
+// policy combinations (?sketch=f2&policy=paths): any base sketch in the
+// registry composed with any robustness policy of internal/robust (none,
+// switching, ring, paths), plus the pre-matrix aliases robust-f2,
+// robust-f0, robust-hh and robust-entropy. The robust combinations keep
+// their estimates trustworthy even when clients adaptively react to what
+// the endpoint returns, which is exactly the threat model of a shared
+// network service; see the paper and internal/robust.
 package server
 
 import (
@@ -61,8 +64,31 @@ type Config struct {
 	Seed int64
 
 	// DefaultSketch is the sketch type used when a keyspace is created
-	// without an explicit ?sketch= parameter. Defaults to "robust-f2".
+	// without an explicit ?sketch= parameter. Defaults to "robust-f2"
+	// (the alias for f2+ring).
 	DefaultSketch string
+
+	// DefaultPolicy is the robustness policy applied when a keyspace is
+	// created with a base sketch type but no explicit ?policy= parameter
+	// (aliases like robust-f2 pin their own policy). Defaults to "none":
+	// a bare ?sketch=f2 keeps hosting the static linear sketch.
+	DefaultPolicy string
+
+	// FlipBudget is the flip number λ handed to the dense-switching and
+	// computation-paths policies: the number of published-output changes
+	// the robustness guarantee covers (dense switching maintains λ
+	// instances; paths union-bounds δ₀ over λ flips). The paper's
+	// worst-case bounds — Õ(ε⁻²·log³n) for robust-entropy's 2^H
+	// (Proposition 7.2) in particular — are impractically large for a
+	// server, so this is the domain-informed budget of Theorem 4.3's S_λ
+	// class; /v1/stats reports Exhausted when a stream overruns it.
+	// Defaults to 64 (the value previously hardcoded for robust-entropy).
+	FlipBudget int
+
+	// PathsKCap caps the repetition dimension of a computation-paths
+	// inner sketch, whose honest ln(1/δ₀) sizing reaches thousands of
+	// repetitions; see robust.Policy.KCap. Defaults to 4096.
+	PathsKCap int
 }
 
 func (cfg Config) withDefaults() Config {
@@ -89,6 +115,15 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.DefaultSketch == "" {
 		cfg.DefaultSketch = "robust-f2"
+	}
+	if cfg.DefaultPolicy == "" {
+		cfg.DefaultPolicy = "none"
+	}
+	if cfg.FlipBudget <= 0 {
+		cfg.FlipBudget = 64
+	}
+	if cfg.PathsKCap <= 0 {
+		cfg.PathsKCap = 4096
 	}
 	return cfg
 }
@@ -139,30 +174,54 @@ func (s *Server) lookup(key string) *tenant {
 	return s.tenants[key]
 }
 
+// specMatches checks an explicit (sketch, policy) request against an
+// existing tenant: the request must resolve to the tenant's own
+// combination (aliases resolve before comparing, so robust-f2 matches a
+// tenant created as f2+ring).
+func (s *Server) specMatches(t *tenant, sketchName, policyName string) error {
+	if sketchName == "" && policyName == "" {
+		return nil
+	}
+	sp, err := s.resolveSpec(sketchName, policyName)
+	if err != nil {
+		return err
+	}
+	if sp.Name != t.spec.Name || sp.Policy != t.spec.Policy {
+		return fmt.Errorf("%w: key %q already holds a %s sketch, not %s", errConflict, t.key, t.spec.Display(), sp.Display())
+	}
+	return nil
+}
+
+// resolveSpec resolves a (sketch, policy) request against the server
+// configuration.
+func (s *Server) resolveSpec(sketchName, policyName string) (spec, error) {
+	return resolve(sketchName, policyName, s.cfg)
+}
+
 // getOrCreate returns the tenant for key, creating it (with the given or
-// default sketch type) under the quota if absent.
-func (s *Server) getOrCreate(key, sketchName string) (*tenant, error) {
+// default sketch × policy combination) under the quota if absent.
+func (s *Server) getOrCreate(key, sketchName, policyName string) (*tenant, error) {
 	if key == "" {
 		return nil, errors.New("missing ?key= parameter")
 	}
 	if t := s.lookup(key); t != nil {
-		if sketchName != "" && sketchName != t.spec.Name {
-			return nil, fmt.Errorf("%w: key %q already holds a %q sketch, not %q", errConflict, key, t.spec.Name, sketchName)
+		if err := s.specMatches(t, sketchName, policyName); err != nil {
+			return nil, err
 		}
 		return t, nil
 	}
 	if s.draining.Load() {
 		return nil, errDraining
 	}
-	sp, err := specFor(sketchName, s.cfg.DefaultSketch)
+	sp, err := s.resolveSpec(sketchName, policyName)
 	if err != nil {
 		return nil, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if t := s.tenants[key]; t != nil { // lost the creation race
-		if sketchName != "" && sketchName != t.spec.Name {
-			return nil, fmt.Errorf("%w: key %q already holds a %q sketch, not %q", errConflict, key, t.spec.Name, sketchName)
+		if err := s.specMatches(t, sketchName, policyName); err != nil {
+			return nil, err
 		}
 		return t, nil
 	}
@@ -268,7 +327,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := r.URL.Query()
-	t, err := s.getOrCreate(q.Get("key"), q.Get("sketch"))
+	t, err := s.getOrCreate(q.Get("key"), q.Get("sketch"), q.Get("policy"))
 	if err != nil {
 		fail(w, http.StatusBadRequest, err)
 		return
@@ -370,8 +429,9 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 	}
 	// Validate everything the snapshot alone can tell us before touching
 	// the tenant map: a failed merge must not consume a quota slot or
-	// leave an engine behind.
-	sp, err := specFor(name, name)
+	// leave an engine behind. Snapshots only exist for policy-free linear
+	// sketches, so the name resolves with policy pinned to none.
+	sp, err := s.resolveSpec(name, "none")
 	if err != nil {
 		fail(w, http.StatusBadRequest, err)
 		return
@@ -391,7 +451,7 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusBadRequest, err)
 		return
 	}
-	t, err := s.getOrCreate(r.URL.Query().Get("key"), name)
+	t, err := s.getOrCreate(r.URL.Query().Get("key"), name, "none")
 	if err != nil {
 		fail(w, http.StatusBadRequest, err)
 		return
@@ -430,12 +490,12 @@ func (s *Server) handleKeys(w http.ResponseWriter, r *http.Request) {
 	key := q.Get("key")
 	switch r.Method {
 	case http.MethodPost:
-		t, err := s.getOrCreate(key, q.Get("sketch"))
+		t, err := s.getOrCreate(key, q.Get("sketch"), q.Get("policy"))
 		if err != nil {
 			fail(w, http.StatusBadRequest, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, KeyStats{Key: t.key, Sketch: t.spec.Name, Shards: t.eng.Shards(), SpaceBytes: t.eng.SpaceBytes()})
+		writeJSON(w, http.StatusOK, t.stats())
 	case http.MethodDelete:
 		s.mu.Lock()
 		t := s.tenants[key]
@@ -446,21 +506,46 @@ func (s *Server) handleKeys(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		t.eng.Close() // flushes, stops the shard workers, frees the quota slot
-		writeJSON(w, http.StatusOK, KeyStats{Key: t.key, Sketch: t.spec.Name, Shards: t.eng.Shards()})
+		writeJSON(w, http.StatusOK, KeyStats{Key: t.key, Sketch: t.spec.Name, Policy: t.spec.Policy, Shards: t.eng.Shards()})
 	}
+}
+
+// stats builds the keyspace's listing entry, including the aggregated
+// robustness-budget state for robust tenants (nil for static ones).
+func (t *tenant) stats() KeyStats {
+	ks := KeyStats{
+		Key: t.key, Sketch: t.spec.Name, Policy: t.spec.Policy,
+		Shards: t.eng.Shards(), SpaceBytes: t.eng.SpaceBytes(),
+	}
+	if r, ok := t.eng.Robustness(); ok {
+		ks.Robustness = &RobustnessStats{
+			Policy:    r.Policy,
+			Copies:    r.Copies,
+			Switches:  r.Switches,
+			Budget:    r.Budget,
+			Remaining: r.Remaining(),
+			Exhausted: r.Exhausted,
+		}
+	}
+	return ks
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if !methodIs(w, r, http.MethodGet) {
 		return
 	}
+	// Snapshot the tenant map first, then gather per-tenant stats without
+	// the lock: Robustness visits shard workers, which must not block
+	// concurrent keyspace creation or deletion.
 	s.mu.RLock()
 	resp := StatsResponse{Keys: len(s.tenants), MaxKeys: s.cfg.MaxKeys, Draining: s.draining.Load()}
+	ts := make([]*tenant, 0, len(s.tenants))
 	for _, t := range s.tenants {
-		resp.Tenants = append(resp.Tenants, KeyStats{
-			Key: t.key, Sketch: t.spec.Name, Shards: t.eng.Shards(), SpaceBytes: t.eng.SpaceBytes(),
-		})
+		ts = append(ts, t)
 	}
 	s.mu.RUnlock()
+	for _, t := range ts {
+		resp.Tenants = append(resp.Tenants, t.stats())
+	}
 	writeJSON(w, http.StatusOK, resp)
 }

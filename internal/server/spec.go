@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strings"
 
 	"repro/internal/engine"
 	"repro/internal/entropy"
@@ -16,26 +17,33 @@ import (
 	"repro/internal/stream"
 )
 
-// A spec is one sketch type the service can host: how to build a
+// A spec is one hostable (sketch, policy) combination: how to build a
 // per-shard estimator instance, how to recombine the shard estimates, and
-// (for the linear static sketches) a sketch.Codec that serializes and
-// merges shard state for the snapshot/merge endpoints. Robust types have
-// no codec — their switching ensembles are not linear-mergeable, so
-// /v1/snapshot and /v1/merge answer 501 for them; everything else works
-// identically.
+// (for the policy-free linear sketches) a sketch.Codec that serializes
+// and merges shard state for the snapshot/merge endpoints. Robust
+// combinations have no codec — switching ensembles and rounded paths
+// wrappers are not linear-mergeable, so /v1/snapshot and /v1/merge answer
+// 501 for them; everything else works identically.
+//
+// Specs are not hand-written: resolve derives them from the base-sketch
+// registry (bases) crossed with the robustness policies of
+// internal/robust, so every sketch × policy cell the paper's generic
+// transformations allow is creatable over HTTP from the same four static
+// registrations.
 //
 // factory receives the server Config after defaults are applied; robust
-// types size each shard instance at δ/Shards so the union bound over the
-// shard ensemble restores the configured server-wide δ.
+// combinations size each shard instance at δ/Shards so the union bound
+// over the shard ensemble restores the configured server-wide δ.
 //
 // truth extracts the statistic the spec estimates from an exact frequency
 // vector, and additive says whether the spec's ε is an additive rather
 // than relative error (the entropy estimators, whose ε is in bits). The
 // conformance kit and the attack-campaign harness use both to judge
-// estimates against ground truth; robust marks the types whose estimates
-// must survive adaptive query/update interleaving.
+// estimates against ground truth; robust marks the combinations whose
+// estimates must survive adaptive query/update interleaving.
 type spec struct {
-	Name     string
+	Name     string // base sketch name (registry key)
+	Policy   string // robustness policy name ("none" for the static sketch)
 	robust   bool
 	additive bool
 	combine  engine.Combiner
@@ -46,6 +54,9 @@ type spec struct {
 
 // Mergeable reports whether the spec supports /v1/snapshot + /v1/merge.
 func (sp spec) Mergeable() bool { return sp.codec != nil }
+
+// Display is the spec's human-readable identity, e.g. "f2+paths".
+func (sp spec) Display() string { return sp.Name + "+" + sp.Policy }
 
 // marshal serializes one shard estimator through the spec's codec.
 func (sp spec) marshal(est sketch.Estimator) ([]byte, error) {
@@ -104,142 +115,220 @@ func kmvK(eps, delta float64) int {
 
 func f2Truth(f *stream.Freq) float64 { return f.Fp(2) }
 
-// specs is the registry of hostable sketch types. A new mergeable type
-// needs exactly one codec line (sketch.CodecFor over its concrete type);
-// the server conformance test then runs the full sketchtest battery —
-// contract, determinism, codec round-trip, merge laws — against it
-// automatically.
-var specs = map[string]spec{
-	// Static linear sketches: snapshot/merge supported.
+// A base is one registered static sketch plus everything needed to derive
+// its robust policy combinations: the robust.Problem carrying the
+// per-problem sizing math, and the combiner/truth/additive metadata of
+// the robustified statistic (which can differ from the static spec's —
+// robustified f2 publishes the L2 norm, the static sketch the F2 moment).
+type base struct {
+	static spec
+	// problem feeds the robust policies (internal/robust Policy.Wrap).
+	problem robust.Problem
+	// robustCombine / robustTruth / robustAdditive describe the statistic
+	// the policy-wrapped estimator publishes.
+	robustCombine  engine.Combiner
+	robustTruth    func(f *stream.Freq) float64
+	robustAdditive bool
+}
+
+// bases is the registry of hostable base sketch types. A new mergeable
+// type needs exactly one codec line (sketch.CodecFor over its concrete
+// type) and, to become robustifiable, one robust.Problem; the policy
+// layer then derives its switching / ring / paths combinations and the
+// server conformance test runs the full sketchtest battery against every
+// cell automatically.
+var bases = map[string]base{
 	"f2": {
-		Name:    "f2",
-		combine: engine.Sum, // F2 = Σ_i f_i² is additive over the shard partition
-		factory: func(cfg Config) sketch.Factory {
-			sizing := fp.SizeF2(cfg.Eps, cfg.Delta/float64(cfg.Shards))
-			return func(seed int64) sketch.Estimator {
-				return fp.NewF2(sizing, rand.New(rand.NewSource(seed)))
-			}
+		static: spec{
+			Name:    "f2",
+			Policy:  "none",
+			combine: engine.Sum, // F2 = Σ_i f_i² is additive over the shard partition
+			factory: func(cfg Config) sketch.Factory {
+				sizing := fp.SizeF2(cfg.Eps, cfg.Delta/float64(cfg.Shards))
+				return func(seed int64) sketch.Estimator {
+					return fp.NewF2(sizing, rand.New(rand.NewSource(seed)))
+				}
+			},
+			truth: f2Truth,
+			codec: sketch.CodecFor[fp.F2Sketch]("f2"),
 		},
-		truth: f2Truth,
-		codec: sketch.CodecFor[fp.F2Sketch]("f2"),
+		problem:       robust.LpProblem(2),
+		robustCombine: engine.Norm(2), // per-shard L2 norms → global L2 norm
+		robustTruth:   (*stream.Freq).L2,
 	},
 	"kmv": {
-		Name:    "kmv",
-		combine: engine.Sum, // distinct counts of disjoint item sets add
-		factory: func(cfg Config) sketch.Factory {
-			k := kmvK(cfg.Eps, cfg.Delta/float64(cfg.Shards))
-			return func(seed int64) sketch.Estimator {
-				return f0.NewKMV(k, rand.New(rand.NewSource(seed)))
-			}
+		static: spec{
+			Name:    "kmv",
+			Policy:  "none",
+			combine: engine.Sum, // distinct counts of disjoint item sets add
+			factory: func(cfg Config) sketch.Factory {
+				k := kmvK(cfg.Eps, cfg.Delta/float64(cfg.Shards))
+				return func(seed int64) sketch.Estimator {
+					return f0.NewKMV(k, rand.New(rand.NewSource(seed)))
+				}
+			},
+			truth: (*stream.Freq).F0,
+			codec: sketch.CodecFor[f0.KMV]("kmv"),
 		},
-		truth: (*stream.Freq).F0,
-		codec: sketch.CodecFor[f0.KMV]("kmv"),
+		problem:       robust.F0Problem(),
+		robustCombine: engine.Sum,
+		robustTruth:   (*stream.Freq).F0,
 	},
 	"countsketch": {
-		Name:    "countsketch",
-		combine: engine.Sum, // Estimate is the F2 moment, additive over shards
-		factory: func(cfg Config) sketch.Factory {
-			sizing := heavyhitters.SizeForPointQuery(cfg.Eps, cfg.Delta/float64(cfg.Shards))
-			return func(seed int64) sketch.Estimator {
-				return heavyhitters.NewCountSketch(sizing, rand.New(rand.NewSource(seed)))
-			}
+		static: spec{
+			Name:    "countsketch",
+			Policy:  "none",
+			combine: engine.Sum, // Estimate is the F2 moment, additive over shards
+			factory: func(cfg Config) sketch.Factory {
+				sizing := heavyhitters.SizeForPointQuery(cfg.Eps, cfg.Delta/float64(cfg.Shards))
+				return func(seed int64) sketch.Estimator {
+					return heavyhitters.NewCountSketch(sizing, rand.New(rand.NewSource(seed)))
+				}
+			},
+			truth: f2Truth,
+			codec: sketch.CodecFor[heavyhitters.CountSketch]("countsketch"),
 		},
-		truth: f2Truth,
-		codec: sketch.CodecFor[heavyhitters.CountSketch]("countsketch"),
+		problem:       robust.HHL2Problem(),
+		robustCombine: engine.Norm(2), // robustified estimate is the L2 norm
+		robustTruth:   (*stream.Freq).L2,
 	},
 	"cc": {
-		Name:     "cc",
-		additive: true,           // ε is additive, in bits
-		combine:  engine.Entropy, // chain rule over the shard partition
-		factory: func(cfg Config) sketch.Factory {
-			sizing := entropy.SizeCC(cfg.Eps, cfg.Delta/float64(cfg.Shards))
-			return func(seed int64) sketch.Estimator {
-				return entropy.NewCC(sizing, rand.New(rand.NewSource(seed)))
-			}
+		static: spec{
+			Name:     "cc",
+			Policy:   "none",
+			additive: true,           // ε is additive, in bits
+			combine:  engine.Entropy, // chain rule over the shard partition
+			factory: func(cfg Config) sketch.Factory {
+				sizing := entropy.SizeCC(cfg.Eps, cfg.Delta/float64(cfg.Shards))
+				return func(seed int64) sketch.Estimator {
+					return entropy.NewCC(sizing, rand.New(rand.NewSource(seed)))
+				}
+			},
+			truth: (*stream.Freq).Entropy,
+			codec: sketch.CodecFor[entropy.CC]("cc"),
 		},
-		truth: (*stream.Freq).Entropy,
-		codec: sketch.CodecFor[entropy.CC]("cc"),
-	},
-
-	// Adversarially robust estimators (the paper's transformations):
-	// estimates stay (1±ε)-correct under adaptive query/update
-	// interleaving — the regime of a shared network endpoint.
-	"robust-f2": {
-		Name:    "robust-f2",
-		robust:  true,
-		combine: engine.Norm(2), // per-shard L2 norms → global L2 norm
-		factory: func(cfg Config) sketch.Factory {
-			return func(seed int64) sketch.Estimator {
-				return robust.NewFp(2, cfg.Eps, cfg.Delta/float64(cfg.Shards), cfg.N, seed)
-			}
-		},
-		truth: (*stream.Freq).L2,
-	},
-	"robust-f0": {
-		Name:    "robust-f0",
-		robust:  true,
-		combine: engine.Sum,
-		factory: func(cfg Config) sketch.Factory {
-			return func(seed int64) sketch.Estimator {
-				return robust.NewF0(cfg.Eps, cfg.Delta/float64(cfg.Shards), cfg.N, seed)
-			}
-		},
-		truth: (*stream.Freq).F0,
-	},
-	"robust-hh": {
-		Name:    "robust-hh",
-		robust:  true,
-		combine: engine.Norm(2), // Estimate is the robust L2 norm
-		factory: func(cfg Config) sketch.Factory {
-			return func(seed int64) sketch.Estimator {
-				return robust.NewHeavyHitters(cfg.Eps, cfg.Delta/float64(cfg.Shards), cfg.N, seed)
-			}
-		},
-		truth: (*stream.Freq).L2,
-	},
-	"robust-entropy": {
-		Name:     "robust-entropy",
-		robust:   true,
-		additive: true, // ε is additive, in bits
-		combine:  engine.Entropy,
-		factory: func(cfg Config) sketch.Factory {
-			return func(seed int64) sketch.Estimator {
-				return robust.NewEntropy(cfg.Eps, cfg.Delta/float64(cfg.Shards), 64, seed)
-			}
-		},
-		truth: (*stream.Freq).Entropy,
+		problem:        robust.EntropyProblem(),
+		robustCombine:  engine.Entropy,
+		robustTruth:    (*stream.Freq).Entropy,
+		robustAdditive: true,
 	},
 }
 
-// specFor resolves a sketch type name; empty picks the server default.
-func specFor(name, deflt string) (spec, error) {
+// aliases maps the pre-matrix robust type names onto their sketch ×
+// policy cells. They keep working everywhere a sketch name is accepted
+// (tenant creation, campaign sweeps, -sketch defaults); an alias pins its
+// policy, so combining one with a conflicting explicit ?policy= is an
+// error rather than a silent override.
+var aliases = map[string]struct{ sketch, policy string }{
+	"robust-f2":      {"f2", "ring"},
+	"robust-f0":      {"kmv", "ring"},
+	"robust-hh":      {"countsketch", "ring"},
+	"robust-entropy": {"cc", "switching"},
+}
+
+// sketchNames lists every acceptable sketch name — base registry keys
+// plus aliases — sorted, for error messages. Deriving it at runtime keeps
+// the "(have: ...)" list correct as registrations change.
+func sketchNames() []string {
+	out := make([]string, 0, len(bases)+len(aliases))
+	for name := range bases {
+		out = append(out, name)
+	}
+	for name := range aliases {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Policies lists every robustness policy name a tenant can request.
+func Policies() []string { return robust.Kinds() }
+
+// resolve maps a (sketch, policy) request onto a hostable spec. Empty
+// name picks the server default sketch; empty policy picks the alias's
+// pinned policy, then the server default, then "none".
+func resolve(name, policyName string, cfg Config) (spec, error) {
 	if name == "" {
-		name = deflt
+		name = cfg.DefaultSketch
 	}
-	sp, ok := specs[name]
+	if a, ok := aliases[name]; ok {
+		if policyName != "" && policyName != a.policy {
+			return spec{}, fmt.Errorf("sketch type %q is an alias for %s+%s and cannot be combined with policy %q — request sketch=%s&policy=%s instead",
+				name, a.sketch, a.policy, policyName, a.sketch, policyName)
+		}
+		name, policyName = a.sketch, a.policy
+	}
+	b, ok := bases[name]
 	if !ok {
-		return spec{}, fmt.Errorf("unknown sketch type %q (have: f2, kmv, countsketch, cc, robust-f2, robust-f0, robust-hh, robust-entropy)", name)
+		return spec{}, fmt.Errorf("unknown sketch type %q (have: %s)", name, strings.Join(sketchNames(), ", "))
 	}
-	return sp, nil
+	if policyName == "" {
+		policyName = cfg.DefaultPolicy
+	}
+	if policyName == "" {
+		policyName = "none"
+	}
+	pol, err := robust.ParsePolicy(policyName)
+	if err != nil {
+		return spec{}, err
+	}
+	if pol.Kind == robust.None {
+		return b.static, nil
+	}
+	pol.Budget = cfg.FlipBudget
+	if pol.Kind == robust.Paths {
+		// Only the paths sizing needs the cap: its honest ln(1/δ₀)
+		// reaches thousands of repetitions, while the switching and ring
+		// ensembles run at moderate per-copy δ.
+		pol.KCap = cfg.PathsKCap
+	}
+	if err := pol.Check(b.problem); err != nil {
+		return spec{}, err
+	}
+	prob := b.problem
+	return spec{
+		Name:     name,
+		Policy:   policyName,
+		robust:   true,
+		additive: b.robustAdditive,
+		combine:  b.robustCombine,
+		truth:    b.robustTruth,
+		factory: func(cfg Config) sketch.Factory {
+			shardDelta := cfg.Delta / float64(cfg.Shards)
+			return func(seed int64) sketch.Estimator {
+				est, err := pol.Wrap(cfg.Eps, shardDelta, cfg.N, seed, prob)
+				if err != nil {
+					// resolve validated the combination; a failure here is a
+					// programming error, not a request error.
+					panic("server: " + err.Error())
+				}
+				return est
+			}
+		},
+	}, nil
 }
 
-// Info describes a hostable sketch type for harnesses outside the
-// package: the attack-campaign runner uses Truth/Additive to judge
-// estimates against exact ground truth and Robust to predict which types
-// must survive an adaptive adversary.
+// Info describes a hostable sketch × policy combination for harnesses
+// outside the package: the attack-campaign runner uses Truth/Additive to
+// judge estimates against exact ground truth and Robust to predict which
+// combinations must survive an adaptive adversary.
 type Info struct {
-	// Name is the registry key (?sketch= value).
+	// Name is the base sketch registry key (?sketch= value).
 	Name string
 
-	// Robust marks the adversarially robust (switching / computation-paths)
-	// types.
+	// Policy is the robustness policy (?policy= value): none, switching,
+	// ring, or paths.
+	Policy string
+
+	// Robust marks the adversarially robust combinations (every policy
+	// except none).
 	Robust bool
 
 	// Mergeable reports /v1/snapshot + /v1/merge support.
 	Mergeable bool
 
-	// Additive says the type's ε is an additive error (entropy, in bits)
-	// rather than a relative one.
+	// Additive says the combination's ε is an additive error (entropy, in
+	// bits) rather than a relative one.
 	Additive bool
 
 	// Truth extracts the estimated statistic from an exact frequency
@@ -247,30 +336,48 @@ type Info struct {
 	Truth func(f *stream.Freq) float64
 }
 
-// Types lists every hostable sketch type, sorted by name.
+func infoOf(sp spec) Info {
+	return Info{
+		Name:      sp.Name,
+		Policy:    sp.Policy,
+		Robust:    sp.robust,
+		Mergeable: sp.Mergeable(),
+		Additive:  sp.additive,
+		Truth:     sp.truth,
+	}
+}
+
+// InfoFor resolves one sketch × policy combination (aliases accepted),
+// using default server parameters for validation.
+func InfoFor(name, policy string) (Info, error) {
+	sp, err := resolve(name, policy, Config{}.withDefaults())
+	if err != nil {
+		return Info{}, err
+	}
+	return infoOf(sp), nil
+}
+
+// Types lists every base sketch type (policy none), sorted by name. Cross
+// with Policies() — or call InfoFor per cell — for the full hostable
+// matrix.
 func Types() []Info {
-	out := make([]Info, 0, len(specs))
-	for _, sp := range specs {
-		out = append(out, Info{
-			Name:      sp.Name,
-			Robust:    sp.robust,
-			Mergeable: sp.Mergeable(),
-			Additive:  sp.additive,
-			Truth:     sp.truth,
-		})
+	out := make([]Info, 0, len(bases))
+	for _, b := range bases {
+		out = append(out, infoOf(b.static))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
 // EngineConfig returns the engine configuration a server built from cfg
-// would give a tenant of the named sketch type, seeded with seed. It lets
-// out-of-process harnesses (the campaign runner, benchmarks) attack the
-// exact estimator stack a sketchd tenant runs — same factory, same
-// δ/Shards sizing, same combiner — without going through HTTP.
-func EngineConfig(name string, cfg Config, seed int64) (engine.Config, error) {
+// would give a tenant of the named sketch × policy combination, seeded
+// with seed. It lets out-of-process harnesses (the campaign runner,
+// benchmarks) attack the exact estimator stack a sketchd tenant runs —
+// same factory, same δ/Shards sizing, same combiner — without going
+// through HTTP.
+func EngineConfig(name, policy string, cfg Config, seed int64) (engine.Config, error) {
 	cfg = cfg.withDefaults()
-	sp, err := specFor(name, cfg.DefaultSketch)
+	sp, err := resolve(name, policy, cfg)
 	if err != nil {
 		return engine.Config{}, err
 	}
