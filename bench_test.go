@@ -396,7 +396,7 @@ func BenchmarkSketchdIngestRobustF2(b *testing.B)    { benchSketchdIngest(b, "ro
 // vs paths (one δ₀-sized instance behind the rounding).
 func benchPolicyIngest(b *testing.B, policy string) {
 	cfg := server.Config{Shards: 1, Eps: 0.3, Delta: 0.05, N: 1 << 20, Seed: 1}
-	ec, err := server.EngineConfig("f2", policy, cfg, 1)
+	ec, err := server.EngineConfig(server.TenantSpec{Sketch: "f2", Policy: policy}, cfg, 1)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -412,6 +412,41 @@ func BenchmarkPolicyIngestNone(b *testing.B)      { benchPolicyIngest(b, "none")
 func BenchmarkPolicyIngestRing(b *testing.B)      { benchPolicyIngest(b, "ring") }
 func BenchmarkPolicyIngestSwitching(b *testing.B) { benchPolicyIngest(b, "switching") }
 func BenchmarkPolicyIngestPaths(b *testing.B)     { benchPolicyIngest(b, "paths") }
+
+// benchTopKQuery — structured-query read cost: a countsketch tenant's
+// engine (built exactly as sketchd builds it, per-tenant spec included)
+// answers top-10 queries over a pre-ingested Zipf stream. Each iteration
+// is one TopK call: a flush barrier plus a per-shard candidate-pool rank
+// and a cross-shard merge — the server-side cost of one POST /v2/query
+// topk, minus the wire.
+func benchTopKQuery(b *testing.B, policy string) {
+	cfg := server.Config{Seed: 1}
+	ec, err := server.EngineConfig(server.TenantSpec{
+		Sketch: "countsketch", Policy: policy, Eps: 0.2, Delta: 0.05, N: 1 << 20, Shards: 4,
+	}, cfg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := engine.New(ec)
+	defer eng.Close()
+	gen := stream.NewZipf(1<<14, 200000, 1.2, 7)
+	for {
+		u, ok := gen.Next()
+		if !ok {
+			break
+		}
+		eng.Update(u.Item, u.Delta)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.TopK(10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTopKQuery(b *testing.B)       { benchTopKQuery(b, "none") }
+func BenchmarkTopKQueryRobust(b *testing.B) { benchTopKQuery(b, "ring") }
 
 // BenchmarkRobustF0Game — end-to-end adversarial game throughput: the
 // robust F0 estimator playing against the adaptive Chaser.

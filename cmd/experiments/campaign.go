@@ -249,10 +249,11 @@ func buildTarget(c comboConfig) (campaignTarget, error) {
 		Shards: c.shards, Eps: c.eps, Delta: c.delta, N: 1 << 20, Seed: c.seed,
 		DefaultSketch: c.combo.sketch, DefaultPolicy: c.combo.policy,
 	}
+	ts := server.TenantSpec{Sketch: c.combo.sketch, Policy: c.combo.policy}
 	switch c.target {
 	case "estimator":
 		cfg.Shards = 1
-		ec, err := server.EngineConfig(c.combo.sketch, c.combo.policy, cfg, c.seed)
+		ec, err := server.EngineConfig(ts, cfg, c.seed)
 		if err != nil {
 			return campaignTarget{}, err
 		}
@@ -267,7 +268,7 @@ func buildTarget(c comboConfig) (campaignTarget, error) {
 			close: func() {},
 		}, nil
 	case "engine":
-		ec, err := server.EngineConfig(c.combo.sketch, c.combo.policy, cfg, c.seed)
+		ec, err := server.EngineConfig(ts, cfg, c.seed)
 		if err != nil {
 			return campaignTarget{}, err
 		}
@@ -292,7 +293,10 @@ func buildTarget(c comboConfig) (campaignTarget, error) {
 		hs := httptest.NewServer(srv.Handler())
 		ctx := context.Background()
 		cl := client.New(hs.URL, hs.Client())
-		if err := cl.CreateKeyPolicy(ctx, "campaign", c.combo.sketch, c.combo.policy); err != nil {
+		// The v2 declarative surface: the tenant's spec carries its own
+		// sketch × policy cell, so the sweep no longer leans on the
+		// server-wide defaults to shape the keyspace.
+		if _, err := cl.CreateTenant(ctx, "campaign", ts); err != nil {
 			hs.Close()
 			return campaignTarget{}, err
 		}

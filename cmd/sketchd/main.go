@@ -1,8 +1,12 @@
 // Command sketchd serves the repository's streaming estimators as a
-// multi-tenant network service: batched JSON ingest, blocking and
-// lock-free estimate reads, and binary snapshot/merge state transfer
-// between instances. See internal/server for the API and README.md for a
-// walkthrough.
+// multi-tenant network service: declarative per-tenant keyspaces
+// (POST /v2/keys with a TenantSpec — each tenant sized from its own ε, δ,
+// n, shards and flip budget), batched JSON ingest, structured queries
+// (POST /v2/query: estimate | point | topk answers with ε-derived error
+// bounds), blocking and lock-free estimate reads, and binary
+// snapshot/merge state transfer between instances. The flags below are
+// the server defaults and caps a TenantSpec falls back to; see
+// internal/server for the API and README.md for a walkthrough.
 //
 // Usage:
 //
@@ -34,8 +38,8 @@ func main() {
 		shards  = flag.Int("shards", 4, "engine shards per keyspace")
 		batch   = flag.Int("batch", 256, "engine batch size")
 		queue   = flag.Int("queue", 8, "engine queue depth (batches per shard)")
-		eps     = flag.Float64("eps", 0.2, "per-keyspace accuracy target ε")
-		delta   = flag.Float64("delta", 0.05, "per-keyspace failure probability δ (split δ/shards per shard instance)")
+		eps     = flag.Float64("eps", 0.2, "default per-keyspace accuracy target ε (overridable per tenant via TenantSpec)")
+		delta   = flag.Float64("delta", 0.05, "default per-keyspace failure probability δ (split δ/shards per shard instance; overridable per tenant)")
 		n       = flag.Uint64("n", 1<<32, "universe size bound for the robust constructors")
 		seed    = flag.Int64("seed", 1, "root randomness seed (servers exchanging snapshots must share it)")
 		sketch  = flag.String("sketch", "robust-f2", "default sketch type for new keyspaces (base types f2, kmv, countsketch, cc, or a robust-* alias)")

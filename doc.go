@@ -43,24 +43,37 @@
 //     the entropy chain rule). It implements sketch.Estimator, so it
 //     drops into any harness in the repository.
 //   - internal/server, internal/client — sketchd, the multi-tenant
-//     network sketch service (cmd/sketchd): batched JSON ingest, blocking
-//     and lock-free reads, binary snapshot/merge between same-seed
-//     servers, per-keyspace engines created on demand under a quota, and
-//     graceful drain. Tenants are sketch × policy combinations
-//     (?sketch=f2&policy=paths; the old robust-* names resolve as
-//     aliases), /v1/stats reports each robust tenant's flip-budget state,
-//     and the robust policies make the shared endpoint safe to query
+//     network sketch service (cmd/sketchd): declarative tenants (POST
+//     /v2/keys with a TenantSpec — each tenant a sketch × policy
+//     combination sized from its own ε, δ, n, shards and flip budget,
+//     with the server Config demoted to defaults and caps; the old
+//     robust-* names resolve as aliases and the ?sketch=/?policy= v1
+//     form stays as a thin alias), structured queries (POST /v2/query:
+//     estimate | point | topk batches answered with ε-derived error
+//     bounds and flip-budget state — the Section 6 point-query and heavy
+//     hitters machinery over HTTP, frozen-ring-backed for
+//     countsketch+ring), batched JSON ingest with string-or-number
+//     uint64 item ids, blocking and lock-free reads, binary
+//     snapshot/merge between seed-compatible tenants, per-keyspace
+//     engines created on demand under a quota, and graceful drain
+//     (client.RetryTail resends only the unapplied tail of a straddled
+//     batch). The robust policies make the shared endpoint safe to query
 //     adaptively — the paper's threat model, realized as a service.
 //   - internal/stream, internal/game, internal/adversary — stream
 //     generators, the adaptive adversary game loop, and concrete attacks.
 //     The game's Target interface runs the same adversaries against a
 //     bare estimator, a sharded engine, or a sketchd tenant over HTTP
 //     (client.NewGameTarget); `go run ./cmd/experiments campaign` sweeps
-//     adversary × target × sketch × policy and emits a JSON report, and
-//     TestAdaptiveAMSCampaignOverHTTP (attack_e2e_test.go) is the
-//     end-to-end regression: the adaptive AMS attack breaks a static f2
-//     tenant over loopback HTTP while ring, switching and paths guard
-//     tenants on the same stream stay within ε.
+//     adversary × target × sketch × policy (tenants declared over the v2
+//     surface) and emits a JSON report. TestAdaptiveAMSCampaignOverHTTP
+//     (attack_e2e_test.go) is the end-to-end regression: the adaptive
+//     AMS attack breaks a static f2 tenant over loopback HTTP while
+//     ring, switching and paths guard tenants on the same stream stay
+//     within ε; TestAdaptivePointQueryCampaignOverHTTP
+//     (pointquery_e2e_test.go) is its point-query counterpart — a greedy
+//     collision finder breaks a static countsketch tenant's point
+//     queries via its own answers while the Theorem 6.5 frozen-ring
+//     tenant holds ε·‖f‖₂.
 //
 // Verify the tree with the tier-1 command:
 //

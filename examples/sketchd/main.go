@@ -1,9 +1,10 @@
 // Example sketchd: the full service workflow in one process — boot two
-// sketchd instances on loopback listeners, ingest a Zipf stream through
-// the Go client into multi-tenant keyspaces (an adversarially robust L2
-// tracker and a mergeable CountSketch), read estimates and lock-free
-// peeks, ship a binary snapshot from one server into the other, and
-// finish with a graceful drain.
+// sketchd instances on loopback listeners, declare multi-tenant keyspaces
+// with per-tenant TenantSpecs over the v2 API (an adversarially robust L2
+// tracker sized at its own ε, and a mergeable CountSketch), ingest a Zipf
+// stream through the Go client, read estimates, structured point and
+// top-k answers with their ε-derived error bounds, ship a binary snapshot
+// from one server into the other, and finish with a graceful drain.
 //
 //	go run ./examples/sketchd
 package main
@@ -36,23 +37,33 @@ func boot(cfg server.Config) (*client.Client, *server.Server, func()) {
 
 func main() {
 	ctx := context.Background()
-	// Two servers sharing -seed and -shards: snapshot-compatible.
+	// Two servers sharing -seed: tenants created with identical specs are
+	// snapshot-compatible across them.
 	cfg := server.Config{Shards: 2, Eps: 0.2, Delta: 0.05, N: 1 << 20, Seed: 42, MaxKeys: 8}
 	cEdge, _, stopEdge := boot(cfg)
 	cAgg, aggSrv, stopAgg := boot(cfg)
 	defer stopEdge()
 	defer stopAgg()
 
-	// Tenants on the edge server: a robust L2-norm tracker (safe to query
-	// adaptively — the paper's whole point) and a mergeable CountSketch.
-	for key, sketch := range map[string]string{
-		"norms":     "robust-f2",
-		"hot-items": "countsketch",
-	} {
-		if err := cEdge.CreateKey(ctx, key, sketch); err != nil {
-			log.Fatal(err)
-		}
+	// Declarative tenants on the edge server, each sized from its own
+	// spec: a robust L2-norm tracker at a tighter ε than the server
+	// default (safe to query adaptively — the paper's whole point) and a
+	// mergeable CountSketch answering point and top-k queries.
+	norms, err := cEdge.CreateTenant(ctx, "norms", client.TenantSpec{
+		Sketch: "f2", Policy: "ring", Eps: 0.1,
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
+	hot, err := cEdge.CreateTenant(ctx, "hot-items", client.TenantSpec{
+		Sketch: "countsketch", Eps: 0.15,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("declared %s+%s (ε=%g) and %s+%s (ε=%g, point queries: %v)\n",
+		norms.Sketch, norms.Policy, norms.Spec.Eps,
+		hot.Sketch, hot.Policy, hot.Spec.Eps, hot.PointQueries)
 
 	// Ingest one Zipf stream into both keyspaces, batched.
 	truth := stream.NewFreq()
@@ -82,17 +93,37 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	peek, _ := cEdge.Peek(ctx, "norms")
-	fmt.Printf("robust-f2   estimate %.1f  peek %.1f  truth ‖f‖₂ = %.1f\n", est, peek, truth.L2())
+	fmt.Printf("f2+ring     estimate %.1f  truth ‖f‖₂ = %.1f\n", est, truth.L2())
 
-	estHH, err := cEdge.Estimate(ctx, "hot-items")
+	// Structured queries: the Section 6 heavy hitters machinery over
+	// HTTP. One batch answers the moment estimate, a point query, and the
+	// top-5 candidate set coherently (same flushed stream prefix), each
+	// answer carrying the tenant's ε-derived error bound.
+	top, err := cEdge.TopK(ctx, "hot-items", 5)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("countsketch estimate %.3g  truth F₂ = %.3g\n", estHH, truth.Fp(2))
+	fmt.Println("top-5 heavy hitters (countsketch candidates vs exact):")
+	for _, iw := range top {
+		fmt.Printf("  item %6d  estimated %7.0f  true %7d\n", uint64(iw.Item), iw.Weight, truth.Count(uint64(iw.Item)))
+	}
+	if len(top) > 0 {
+		v, bound, err := cEdge.QueryPoint(ctx, "hot-items", uint64(top[0].Item))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("point query f[%d] = %.0f ± %.0f (ε·‖f‖₂)\n", uint64(top[0].Item), v, bound)
+	}
 
 	// Snapshot the mergeable keyspace and fold it into the aggregator —
 	// the distributed pattern: edges ingest locally, snapshots merge up.
+	// The destination tenant needs the same spec (seed and shards
+	// included) for its shard randomness to line up.
+	if _, err := cAgg.CreateTenant(ctx, "hot-items", client.TenantSpec{
+		Sketch: "countsketch", Eps: 0.15,
+	}); err != nil {
+		log.Fatal(err)
+	}
 	snap, err := cEdge.Snapshot(ctx, "hot-items")
 	if err != nil {
 		log.Fatal(err)
@@ -108,8 +139,9 @@ func main() {
 		fmt.Printf("snapshot of robust keyspace refused: %v\n", err)
 	}
 
-	// Graceful drain: writes turn into retryable 503s, reads still serve
-	// the fully flushed state.
+	// Graceful drain: writes turn into retryable 503s (client.RetryTail
+	// resends only the unapplied tail of a straddled batch), reads still
+	// serve the fully flushed state.
 	aggSrv.Drain()
 	if err := cAgg.Add(ctx, "hot-items", 1); err != nil {
 		fmt.Printf("update after drain refused: %v\n", err)

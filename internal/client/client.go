@@ -20,6 +20,21 @@ import (
 // Update mirrors the wire type: f[Item] += Delta.
 type Update = server.UpdateItem
 
+// TenantSpec mirrors the declarative tenant description of POST /v2/keys:
+// the sketch × policy combination plus the tenant's own (ε, δ, n, shards,
+// batch, flip budget, seed). See server.TenantSpec for field semantics.
+type TenantSpec = server.TenantSpec
+
+// Query and Answer mirror the typed query surface of POST /v2/query.
+type (
+	Query  = server.Query
+	Answer = server.Answer
+)
+
+// ItemWeight is one candidate heavy item with its estimated frequency in
+// a topk answer.
+type ItemWeight = server.ItemWeight
+
 // Client talks to one sketchd instance.
 type Client struct {
 	base string
@@ -114,16 +129,18 @@ func keyQuery(key string) url.Values { return url.Values{"key": {key}} }
 
 // CreateKey creates keyspace key with the given sketch type ("" for the
 // server default). Idempotent when the types agree. For a robust
-// combination beyond the server default policy, use CreateKeyPolicy.
+// combination beyond the server default policy, use CreateKeyPolicy; for
+// per-tenant accuracy and sizing, use CreateTenant.
 func (c *Client) CreateKey(ctx context.Context, key, sketch string) error {
 	return c.CreateKeyPolicy(ctx, key, sketch, "")
 }
 
 // CreateKeyPolicy creates keyspace key as a sketch × policy combination
-// (e.g. "f2", "paths"). Empty sketch picks the server default type; empty
-// policy picks the sketch's pinned policy (for aliases like robust-f2) or
-// the server default policy. Idempotent when the resolved combinations
-// agree; a mismatch fails with 409.
+// (e.g. "f2", "paths") with server-default sizing — the v1 query-param
+// form, kept as a thin alias for CreateTenant. Empty sketch picks the
+// server default type; empty policy picks the sketch's pinned policy (for
+// aliases like robust-f2) or the server default policy. Idempotent when
+// the resolved combinations agree; a mismatch fails with 409.
 func (c *Client) CreateKeyPolicy(ctx context.Context, key, sketch, policy string) error {
 	q := keyQuery(key)
 	if sketch != "" {
@@ -133,6 +150,69 @@ func (c *Client) CreateKeyPolicy(ctx context.Context, key, sketch, policy string
 		q.Set("policy", policy)
 	}
 	return c.do(ctx, http.MethodPost, "/v1/keys", q, nil, "", nil, nil)
+}
+
+// CreateTenant declares keyspace key from a TenantSpec (POST /v2/keys):
+// sketch, policy, and the tenant's own ε, δ, n, shards, batch, flip
+// budget and seed, with unset fields falling back to the server defaults.
+// It returns the tenant's KeyStats echoing the fully resolved spec (seed
+// withheld by the server). Idempotent when every explicitly set field
+// agrees with the existing tenant; a disagreement fails with 409.
+func (c *Client) CreateTenant(ctx context.Context, key string, spec TenantSpec) (*server.KeyStats, error) {
+	body, err := json.Marshal(server.CreateTenantRequest{Key: key, Spec: spec})
+	if err != nil {
+		return nil, err
+	}
+	var ks server.KeyStats
+	if err := c.do(ctx, http.MethodPost, "/v2/keys", nil, body, "application/json", &ks, nil); err != nil {
+		return nil, err
+	}
+	return &ks, nil
+}
+
+// Query sends a batch of typed queries (POST /v2/query) against keyspace
+// key and returns the full response: one typed answer per query in
+// request order, each carrying the tenant's ε-derived error bound, plus
+// the tenant's flip-budget state. Every answer in a batch reflects the
+// same flushed stream prefix.
+func (c *Client) Query(ctx context.Context, key string, queries []Query) (*server.QueryResponse, error) {
+	body, err := json.Marshal(server.QueryRequest{Key: key, Queries: queries})
+	if err != nil {
+		return nil, err
+	}
+	var resp server.QueryResponse
+	if err := c.do(ctx, http.MethodPost, "/v2/query", nil, body, "application/json", &resp, nil); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// QueryPoint returns the point estimate of f[item] for keyspace key,
+// together with the absolute error bound ε·‖f‖₂ implied by the tenant's
+// resolved ε (point-querying tenants only — the countsketch column).
+func (c *Client) QueryPoint(ctx context.Context, key string, item uint64) (value, bound float64, err error) {
+	resp, err := c.Query(ctx, key, []Query{{Kind: server.QueryPoint, Item: server.U64(item)}})
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(resp.Answers) != 1 {
+		return 0, 0, fmt.Errorf("sketchd: %d answers to a 1-query batch", len(resp.Answers))
+	}
+	return resp.Answers[0].Value, resp.Answers[0].ErrorBound, nil
+}
+
+// TopK returns the k largest-magnitude candidate heavy items of keyspace
+// key with their estimated frequencies, largest |weight| first
+// (point-querying tenants only).
+func (c *Client) TopK(ctx context.Context, key string, k int) ([]ItemWeight, error) {
+	resp, err := c.Query(ctx, key, []Query{{Kind: server.QueryTopK, K: k}})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Answers) != 1 {
+		return nil, fmt.Errorf("sketchd: %d answers to a 1-query batch", len(resp.Answers))
+	}
+	return resp.Answers[0].Items, nil
 }
 
 // DeleteKey tears keyspace key down, freeing its quota slot.
@@ -151,6 +231,43 @@ func (c *Client) Update(ctx context.Context, key string, updates []Update) error
 		return err
 	}
 	return c.do(ctx, http.MethodPost, "/v1/update", keyQuery(key), body, "application/json", nil, nil)
+}
+
+// RetryTail resends the suffix of a partially applied batch after Update
+// failed: the server's partial-failure protocol (an update batch that
+// straddled a drain) reports how many updates of the batch were applied
+// before the failure, and those are already in the server's state — a
+// full re-send would double count them. RetryTail slices the batch at
+// AcceptedCount(err) and re-sends only the unapplied tail, once; callers
+// wanting more attempts loop, feeding each failure back in:
+//
+//	err := c.Update(ctx, key, batch)
+//	for err != nil && client.StatusCode(err) == 503 {
+//		time.Sleep(backoff)
+//		batch, err = c.RetryTail(ctx, key, batch, err)
+//	}
+//
+// It returns the batch this attempt sent and the attempt's outcome —
+// (nil, nil) once everything has been applied. The invariant the loop
+// relies on: the returned error (if any) came from sending the returned
+// batch, so its AcceptedCount indexes into that batch and the pair feeds
+// straight back into the next RetryTail call. A nil err re-sends nothing
+// and reports success.
+func (c *Client) RetryTail(ctx context.Context, key string, updates []Update, err error) ([]Update, error) {
+	if err == nil {
+		return nil, nil
+	}
+	tail := updates
+	if n := AcceptedCount(err); n > 0 {
+		if n >= len(updates) {
+			return nil, nil // every update landed before the failure surfaced
+		}
+		tail = updates[n:]
+	}
+	if retryErr := c.Update(ctx, key, tail); retryErr != nil {
+		return tail, retryErr
+	}
+	return nil, nil
 }
 
 // Add is Update with delta 1 for each item.

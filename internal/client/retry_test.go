@@ -1,0 +1,166 @@
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/server"
+)
+
+// drainingUpdateServer simulates the server-side partial-batch protocol:
+// the first failAfter requests apply only a prefix of each batch and
+// answer 503 with the applied count (exactly what a drain straddling the
+// batch produces), after which batches are accepted whole. Every applied
+// update is recorded, so the test can detect double counting — the bug
+// RetryTail exists to prevent.
+type drainingUpdateServer struct {
+	failures int // remaining requests to fail
+	prefix   int // updates applied before each failure
+	applied  []client.Update
+	requests int
+}
+
+func (d *drainingUpdateServer) handler(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/v1/update" {
+		http.NotFound(w, r)
+		return
+	}
+	d.requests++
+	var req server.UpdateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if d.failures > 0 {
+		d.failures--
+		n := d.prefix
+		if n > len(req.Updates) {
+			n = len(req.Updates)
+		}
+		d.applied = append(d.applied, req.Updates[:n]...)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(server.ErrorResponse{
+			Error:    fmt.Sprintf("server is draining (accepted %d of %d updates)", n, len(req.Updates)),
+			Accepted: n,
+		})
+		return
+	}
+	d.applied = append(d.applied, req.Updates...)
+	_ = json.NewEncoder(w).Encode(server.UpdateResponse{Accepted: len(req.Updates)})
+}
+
+// TestRetryTailResendsOnlyUnappliedSuffix: after a partial batch failure,
+// RetryTail must resend exactly the unapplied tail — the applied prefix
+// is in the drained state, and re-sending it would double count.
+func TestRetryTailResendsOnlyUnappliedSuffix(t *testing.T) {
+	d := &drainingUpdateServer{failures: 1, prefix: 60}
+	hs := httptest.NewServer(http.HandlerFunc(d.handler))
+	defer hs.Close()
+	c := client.New(hs.URL, hs.Client())
+	ctx := context.Background()
+
+	var batch []client.Update
+	for i := uint64(0); i < 100; i++ {
+		batch = append(batch, client.Update{Item: i, Delta: 1})
+	}
+	err := c.Update(ctx, "k", batch)
+	if client.StatusCode(err) != 503 {
+		t.Fatalf("first update: err = %v, want HTTP 503", err)
+	}
+	if got := client.AcceptedCount(err); got != 60 {
+		t.Fatalf("AcceptedCount = %d, want 60", got)
+	}
+
+	tail, err := c.RetryTail(ctx, "k", batch, err)
+	if err != nil {
+		t.Fatalf("RetryTail: %v", err)
+	}
+	if tail != nil {
+		t.Fatalf("RetryTail reported success but returned a tail of %d updates", len(tail))
+	}
+	if d.requests != 2 {
+		t.Fatalf("RetryTail issued %d requests, want exactly 1 resend", d.requests-1)
+	}
+	// Every update applied exactly once, in order: no loss, no double
+	// counting.
+	if len(d.applied) != len(batch) {
+		t.Fatalf("server applied %d updates, want %d", len(d.applied), len(batch))
+	}
+	for i, u := range d.applied {
+		if u.Item != uint64(i) {
+			t.Fatalf("update %d applied as item %d: prefix re-sent or tail dropped", i, u.Item)
+		}
+	}
+}
+
+// TestRetryTailAcrossRepeatedFailures: the loop pattern from the docs —
+// each retry that fails again reports its own applied prefix, and feeding
+// the returned tail back in converges with every update applied once.
+func TestRetryTailAcrossRepeatedFailures(t *testing.T) {
+	d := &drainingUpdateServer{failures: 3, prefix: 25}
+	hs := httptest.NewServer(http.HandlerFunc(d.handler))
+	defer hs.Close()
+	c := client.New(hs.URL, hs.Client())
+	ctx := context.Background()
+
+	var batch []client.Update
+	for i := uint64(0); i < 100; i++ {
+		batch = append(batch, client.Update{Item: i, Delta: 1})
+	}
+	err := c.Update(ctx, "k", batch)
+	tail := batch
+	for attempts := 0; err != nil; attempts++ {
+		if attempts > 10 {
+			t.Fatal("RetryTail did not converge")
+		}
+		if client.StatusCode(err) != 503 {
+			t.Fatalf("unexpected failure: %v", err)
+		}
+		tail, err = c.RetryTail(ctx, "k", tail, err)
+	}
+	if len(d.applied) != len(batch) {
+		t.Fatalf("server applied %d updates, want %d", len(d.applied), len(batch))
+	}
+	for i, u := range d.applied {
+		if u.Item != uint64(i) {
+			t.Fatalf("update %d applied as item %d", i, u.Item)
+		}
+	}
+
+	// A nil error is a no-op success.
+	if tail, err := c.RetryTail(ctx, "k", batch, nil); err != nil || tail != nil {
+		t.Errorf("RetryTail(nil) = (%v, %v), want (nil, nil)", tail, err)
+	}
+}
+
+// TestRetryTailAgainstRealDrain: on a genuinely drained sketchd the tail
+// resend fails again with a retryable 503 and returns the same tail —
+// RetryTail never fabricates progress.
+func TestRetryTailAgainstRealDrain(t *testing.T) {
+	srv := server.New(server.Config{Shards: 1, Seed: 1, DefaultSketch: "kmv"})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	c := client.New(hs.URL, hs.Client())
+	ctx := context.Background()
+	if err := c.Add(ctx, "k", 1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	srv.Drain()
+	batch := []client.Update{{Item: 9, Delta: 1}, {Item: 10, Delta: 1}}
+	err := c.Update(ctx, "k", batch)
+	if client.StatusCode(err) != 503 {
+		t.Fatalf("update after drain: err = %v, want 503", err)
+	}
+	tail, err := c.RetryTail(ctx, "k", batch, err)
+	if client.StatusCode(err) != 503 {
+		t.Fatalf("retry against a drained server: err = %v, want 503", err)
+	}
+	if len(tail) != len(batch) {
+		t.Fatalf("drained server accepted nothing but tail shrank to %d of %d", len(tail), len(batch))
+	}
+}

@@ -31,6 +31,7 @@ type Switcher struct {
 	factory   sketch.Factory
 	instances []sketch.Estimator
 	active    int
+	published int // instance whose estimate produced the current output
 	out       float64
 	ring      bool
 	switches  int
@@ -78,6 +79,7 @@ func (s *Switcher) Update(item uint64, delta int64) {
 	}
 	s.out = RoundEps(y, s.eps/2)
 	s.switches++
+	s.published = s.active
 	s.advance()
 }
 
@@ -102,6 +104,41 @@ func (s *Switcher) advance() {
 
 // Estimate returns the current published (rounded) output.
 func (s *Switcher) Estimate() float64 { return s.out }
+
+// Query implements sketch.PointQuerier when the inner instances do: the
+// answer comes from the published copy — the instance whose estimate
+// produced the current rounded output — never from the active instance,
+// whose randomness must stay unobserved until its value is published.
+// Meaningful in dense mode (the published copy keeps ingesting but its
+// value has already been spent); in ring mode the published slot is
+// restarted on reuse, so ring-backed point queries should go through a
+// problem-specific frozen construction instead (robust.HeavyHitters,
+// Theorem 6.5). Returns 0 if the inner instances cannot point-query.
+//
+// These answers are best-effort reads outside the robustness guarantee:
+// they are neither rounded nor counted against the flip budget, and the
+// published copy keeps ingesting, so an adversary probing coordinates
+// between switches observes live randomness the Lemma 3.6 argument never
+// pays for. Theorem-backed adversarially robust point queries exist only
+// in the frozen-ring construction.
+func (s *Switcher) Query(item uint64) float64 {
+	pq, ok := s.instances[s.published].(sketch.PointQuerier)
+	if !ok {
+		return 0
+	}
+	return pq.Query(item)
+}
+
+// TopK implements sketch.TopKQuerier from the published copy; see Query
+// for which instance answers and why. Returns nil if the inner instances
+// cannot enumerate candidates.
+func (s *Switcher) TopK(k int) []sketch.ItemWeight {
+	tk, ok := s.instances[s.published].(sketch.TopKQuerier)
+	if !ok {
+		return nil
+	}
+	return tk.TopK(k)
+}
 
 // Switches returns how many times the published output changed.
 func (s *Switcher) Switches() int { return s.switches }

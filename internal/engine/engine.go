@@ -22,8 +22,10 @@
 package engine
 
 import (
+	"errors"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -445,6 +447,95 @@ func (e *Engine) SpaceBytes() int {
 
 // Shards returns the shard count.
 func (e *Engine) Shards() int { return len(e.shards) }
+
+// ErrNoPointQueries is returned by QueryPoints and TopK when the shard
+// estimators do not implement the point-query surface (sketch.PointQuerier
+// / sketch.TopKQuerier).
+var ErrNoPointQueries = errors.New("engine: shard estimators do not support point queries")
+
+// QueryBatch answers a structured read in one flush pass: the combined
+// estimate, point estimates of f[item] for every requested item, and —
+// when k > 0 — the merged global top-k, all computed from a single Visit
+// so every answer reflects the same flush barrier (the coherence
+// Estimate itself provides; concurrent producers may land updates
+// between per-shard visits, exactly as they may during Estimate).
+//
+// Point answers come from the owning shard alone. The global estimate of
+// a coordinate is the sum of per-shard point estimates, but routing makes
+// the sum collapse: every item lives in exactly one shard's frequency
+// vector, so the other shards' contributions are exactly-zero coordinates
+// read through a noisy sketch — the engine substitutes the known zero
+// instead of paying √Shards extra noise. The top-k merges each shard's
+// own k largest-magnitude candidates (k per shard suffices: a global
+// top-k item is routed to exactly one shard, where it ranks at least as
+// high as globally), re-ranked by |weight| with ties by ascending item.
+//
+// With items empty and k zero any estimator works; otherwise the shard
+// estimators must implement sketch.PointQuerier / sketch.TopKQuerier, and
+// QueryBatch fails with ErrNoPointQueries when they do not.
+func (e *Engine) QueryBatch(items []uint64, k int) (estimate float64, points []float64, topk []sketch.ItemWeight, err error) {
+	points = make([]float64, len(items))
+	var merged []sketch.ItemWeight
+	err = e.Visit(func(i int, est sketch.Estimator) error {
+		if len(items) > 0 {
+			pq, ok := est.(sketch.PointQuerier)
+			if !ok {
+				return ErrNoPointQueries
+			}
+			owner := e.shards[i]
+			for j, item := range items {
+				if e.shardOf(item) == owner {
+					points[j] = pq.Query(item)
+				}
+			}
+		}
+		if k > 0 {
+			tk, ok := est.(sketch.TopKQuerier)
+			if !ok {
+				return ErrNoPointQueries
+			}
+			merged = append(merged, tk.TopK(k)...)
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	// The Visit's per-shard sync refreshes every published snapshot, so
+	// this combine reads the flushed state the answers above saw.
+	estimate = e.combine(e.ShardEstimates())
+	if k > 0 {
+		sort.Slice(merged, func(i, j int) bool {
+			ai, aj := math.Abs(merged[i].Weight), math.Abs(merged[j].Weight)
+			if ai != aj {
+				return ai > aj
+			}
+			return merged[i].Item < merged[j].Item
+		})
+		if len(merged) > k {
+			merged = merged[:k]
+		}
+		topk = merged
+	}
+	return estimate, points, topk, nil
+}
+
+// QueryPoints flushes the engine and returns the point estimates of
+// f[item] for every requested item; see QueryBatch for the semantics.
+func (e *Engine) QueryPoints(items []uint64) ([]float64, error) {
+	_, points, _, err := e.QueryBatch(items, 0)
+	return points, err
+}
+
+// TopK flushes the engine and merges the shards' candidate sets into the
+// global top-k; see QueryBatch for the semantics.
+func (e *Engine) TopK(k int) ([]sketch.ItemWeight, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	_, _, topk, err := e.QueryBatch(nil, k)
+	return topk, err
+}
 
 // Robustness aggregates the robustness-budget state of the shard
 // estimators (sketch.RobustnessReporter): copies, consumed switches and

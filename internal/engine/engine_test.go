@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"sync"
@@ -8,6 +9,7 @@ import (
 
 	"repro/internal/entropy"
 	"repro/internal/f0"
+	"repro/internal/heavyhitters"
 	"repro/internal/robust"
 	"repro/internal/sketch"
 	"repro/internal/stream"
@@ -323,4 +325,87 @@ func relErr(got, want float64) float64 {
 		return math.Abs(got)
 	}
 	return math.Abs(got-want) / math.Abs(want)
+}
+
+// TestQueryPointsAndTopK: the structured-query combiners. Point estimates
+// come from the owning shard alone (routing makes every other shard's
+// coordinate exactly zero), so each answer must be within the per-shard
+// CountSketch guarantee of the true count; TopK must merge per-shard
+// candidate sets into the true global heavy hitters.
+func TestQueryPointsAndTopK(t *testing.T) {
+	sizing := heavyhitters.SizeForPointQuery(0.1, 0.01)
+	eng := New(Config{
+		Shards: 4,
+		Batch:  64,
+		Factory: func(seed int64) sketch.Estimator {
+			return heavyhitters.NewCountSketch(sizing, rand.New(rand.NewSource(seed)))
+		},
+		Seed: 3,
+	})
+	defer eng.Close()
+
+	truth := stream.NewFreq()
+	gen := stream.NewZipf(1<<10, 40000, 1.3, 5)
+	for {
+		u, ok := gen.Next()
+		if !ok {
+			break
+		}
+		truth.Apply(u)
+		eng.Update(u.Item, u.Delta)
+	}
+
+	// Point queries: heavy items, light items, and never-seen items.
+	items := []uint64{0, 1, 2, 3, 100, 1 << 40}
+	got, err := eng.QueryPoints(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := 0.1 * truth.L2() // per-shard L2 ≤ global L2
+	for i, item := range items {
+		want := float64(truth.Count(item))
+		if math.Abs(got[i]-want) > bound {
+			t.Errorf("QueryPoints f[%d] = %v, true %v (bound %v)", item, got[i], want, bound)
+		}
+	}
+
+	// TopK: the merged candidate set must surface the true top items.
+	top, err := eng.TopK(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 5 {
+		t.Fatalf("TopK(5) returned %d items", len(top))
+	}
+	inTop := map[uint64]bool{}
+	for i, iw := range top {
+		inTop[iw.Item] = true
+		if i > 0 && math.Abs(top[i-1].Weight) < math.Abs(iw.Weight) {
+			t.Errorf("TopK not sorted: |%v| < |%v| at %d", top[i-1].Weight, iw.Weight, i)
+		}
+		if math.Abs(iw.Weight-float64(truth.Count(iw.Item))) > bound {
+			t.Errorf("TopK weight for %d = %v, true %d", iw.Item, iw.Weight, truth.Count(iw.Item))
+		}
+	}
+	// Zipf 1.3: items 0..2 dominate and must be present.
+	for _, item := range []uint64{0, 1, 2} {
+		if !inTop[item] {
+			t.Errorf("true heavy hitter %d missing from TopK: %v", item, top)
+		}
+	}
+
+	// A non-point-querying estimator refuses with ErrNoPointQueries.
+	plain := New(Config{
+		Shards:  2,
+		Factory: func(seed int64) sketch.Estimator { return f0.NewKMV(64, rand.New(rand.NewSource(seed))) },
+		Seed:    1,
+	})
+	defer plain.Close()
+	plain.Update(1, 1)
+	if _, err := plain.QueryPoints([]uint64{1}); err == nil || !errors.Is(err, ErrNoPointQueries) {
+		t.Errorf("QueryPoints on kmv engine: err = %v, want ErrNoPointQueries", err)
+	}
+	if _, err := plain.TopK(3); err == nil || !errors.Is(err, ErrNoPointQueries) {
+		t.Errorf("TopK on kmv engine: err = %v, want ErrNoPointQueries", err)
+	}
 }

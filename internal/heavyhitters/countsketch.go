@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"repro/internal/hash"
+	"repro/internal/sketch"
 )
 
 // CountSketch is the Charikar–Chen–Farach-Colton sketch: rows × width
@@ -144,6 +145,32 @@ func (cs *CountSketch) HeavyHitters(thresh float64) []uint64 {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// TopK implements sketch.TopKQuerier: the k candidates of largest
+// estimated magnitude, ordered by decreasing |weight| (ties by ascending
+// id, so the answer is deterministic for a fixed sketch state). Weights
+// are the signed point-query estimates, so a turnstile stream can surface
+// heavily negative coordinates too.
+func (cs *CountSketch) TopK(k int) []sketch.ItemWeight {
+	if k <= 0 {
+		return nil
+	}
+	all := make([]sketch.ItemWeight, 0, len(cs.cands))
+	for it := range cs.cands {
+		all = append(all, sketch.ItemWeight{Item: it, Weight: cs.Query(it)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		ai, aj := math.Abs(all[i].Weight), math.Abs(all[j].Weight)
+		if ai != aj {
+			return ai > aj
+		}
+		return all[i].Item < all[j].Item
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
 }
 
 // Clone returns a deep copy of the sketch state (sharing the immutable

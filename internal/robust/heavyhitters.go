@@ -89,6 +89,17 @@ func (hh *HeavyHitters) Query(item uint64) float64 {
 	return hh.frozen.Query(item)
 }
 
+// TopK implements sketch.TopKQuerier from the frozen snapshot only: the
+// answer set changes at most once per published norm refresh, so — like
+// Query — each CountSketch's randomness influences at most one published
+// refresh, preserving the Theorem 6.5 robustness argument.
+func (hh *HeavyHitters) TopK(k int) []sketch.ItemWeight {
+	if hh.frozen == nil {
+		return nil
+	}
+	return hh.frozen.TopK(k)
+}
+
 // L2 returns the robust norm estimate R_t.
 func (hh *HeavyHitters) L2() float64 { return hh.lastR }
 

@@ -1,27 +1,109 @@
 package server
 
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+)
+
 // Wire types of the sketchd HTTP/JSON API, shared with internal/client.
 //
-// Endpoints (all keyed by the ?key= query parameter):
+// v1 endpoints (keyed by the ?key= query parameter):
 //
 //	POST /v1/update    {"updates":[{"item":1,"delta":2},...]}  batched ingest
 //	GET  /v1/estimate  flushes, returns the combined estimate
 //	GET  /v1/peek      lock-free snapshot estimate, never blocks ingest
 //	GET  /v1/snapshot  binary sketch state (application/octet-stream)
 //	POST /v1/merge     merges a snapshot (possibly from another server)
-//	POST /v1/keys      creates a keyspace explicitly (?sketch= chooses the
-//	                   base type, ?policy= the robustness policy)
+//	POST /v1/keys      creates a keyspace (?sketch= / ?policy=) — thin
+//	                   alias for POST /v2/keys with a spec holding only
+//	                   those two fields
 //	DELETE /v1/keys    tears a keyspace down, freeing its quota slot
 //	GET  /v1/stats     server-wide stats and per-keyspace listing,
-//	                   including flip-budget state for robust keyspaces
+//	                   including each tenant's resolved spec and
+//	                   flip-budget state
 //
-// Item identifiers are uint64; non-Go clients talking JSON should keep
-// them below 2^53 or pre-hash to that range.
+// v2 endpoints (JSON bodies):
+//
+//	POST /v2/keys      {"key":"k","spec":{...TenantSpec...}} — declarative
+//	                   tenant creation; echoes the resolved KeyStats
+//	POST /v2/query     {"key":"k","queries":[{"kind":"estimate"},
+//	                   {"kind":"point","item":"123"},{"kind":"topk","k":10}]}
+//	                   — batched structured queries with typed answers
+//
+// Item identifiers are uint64. On the wire they are accepted as either a
+// JSON number or a decimal string ("18446744073709551615"): JSON numbers
+// round-trip through float64 in most non-Go clients, silently corrupting
+// identifiers above 2^53, so clients holding large ids must send strings.
+// The server emits numbers below 2^53 and strings at or above it, which
+// keeps small ids human-readable while never producing a value a
+// float64-based client would corrupt.
+
+// jsonSafeInt is the largest integer float64 represents exactly (2^53).
+// Item ids at or above it are emitted as decimal strings.
+const jsonSafeInt = uint64(1) << 53
+
+// U64 is a uint64 item identifier with the string-or-number JSON rule
+// above: it unmarshals from either form and marshals as a number below
+// 2^53, a decimal string at or above.
+type U64 uint64
+
+// MarshalJSON implements json.Marshaler.
+func (v U64) MarshalJSON() ([]byte, error) {
+	if uint64(v) < jsonSafeInt {
+		return strconv.AppendUint(nil, uint64(v), 10), nil
+	}
+	b := make([]byte, 0, 22)
+	b = append(b, '"')
+	b = strconv.AppendUint(b, uint64(v), 10)
+	return append(b, '"'), nil
+}
+
+// UnmarshalJSON implements json.Unmarshaler, accepting a JSON number or a
+// decimal string. Floats, negatives and overflow are rejected loudly —
+// silently truncating an identifier would corrupt the stream.
+func (v *U64) UnmarshalJSON(data []byte) error {
+	s := string(data)
+	if len(s) >= 2 && s[0] == '"' {
+		var err error
+		if s, err = strconv.Unquote(s); err != nil {
+			return fmt.Errorf("item id: %w", err)
+		}
+	}
+	u, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return fmt.Errorf("item id %q: must be a uint64 (number or decimal string)", s)
+	}
+	*v = U64(u)
+	return nil
+}
 
 // UpdateItem is one stream update: f[Item] += Delta.
 type UpdateItem struct {
 	Item  uint64 `json:"item"`
 	Delta int64  `json:"delta"`
+}
+
+// updateItemWire carries UpdateItem's JSON form with the U64 item rule.
+type updateItemWire struct {
+	Item  U64   `json:"item"`
+	Delta int64 `json:"delta"`
+}
+
+// MarshalJSON implements json.Marshaler with the U64 item rule.
+func (u UpdateItem) MarshalJSON() ([]byte, error) {
+	return json.Marshal(updateItemWire{Item: U64(u.Item), Delta: u.Delta})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, accepting the item as a JSON
+// number or a decimal string.
+func (u *UpdateItem) UnmarshalJSON(data []byte) error {
+	var w updateItemWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	u.Item, u.Delta = uint64(w.Item), w.Delta
+	return nil
 }
 
 // UpdateRequest is the body of POST /v1/update.
@@ -41,13 +123,178 @@ type EstimateResponse struct {
 	Estimate float64 `json:"estimate"`
 }
 
-// KeyStats describes one keyspace in GET /v1/stats.
+// TenantSpec is the declarative description of one tenant: which sketch ×
+// policy combination backs it and the accuracy / sizing parameters its
+// engine is built from. The paper's framework is parameterized per
+// statistic — each robust instance is sized from its own (ε, δ, n, λ) —
+// and TenantSpec carries exactly that per-tenant accounting; the server
+// Config supplies defaults for unset fields and caps the resource-shaped
+// ones, nothing more.
+//
+// All fields are optional. The zero value resolves to the server's
+// default sketch, policy, and sizing.
+type TenantSpec struct {
+	// Sketch is the base sketch type (f2, kmv, countsketch, cc) or a
+	// robust-* alias. Empty picks the server default.
+	Sketch string `json:"sketch,omitempty"`
+
+	// Policy is the robustness policy (none, switching, ring, paths).
+	// Empty picks the alias's pinned policy, then the server default.
+	Policy string `json:"policy,omitempty"`
+
+	// Eps is the tenant's accuracy target ε ∈ (0, 1): relative 1±ε for
+	// the norm and moment statistics, additive bits for entropy. Zero
+	// picks the server default.
+	Eps float64 `json:"eps,omitempty"`
+
+	// Delta is the tenant's failure probability δ ∈ (0, 1); each shard
+	// instance is sized at δ/Shards (union bound). Zero picks the server
+	// default.
+	Delta float64 `json:"delta,omitempty"`
+
+	// N is the universe-size bound handed to the robust constructors.
+	// Zero picks the server default.
+	N U64 `json:"n,omitempty"`
+
+	// Shards is the tenant engine's shard count, capped at MaxTenantShards.
+	// Zero picks the server default.
+	Shards int `json:"shards,omitempty"`
+
+	// Batch is the tenant engine's batch size, capped at MaxTenantBatch.
+	// Zero picks the server default.
+	Batch int `json:"batch,omitempty"`
+
+	// FlipBudget is the flip number λ for the switching and paths
+	// policies, capped at MaxTenantFlipBudget. Zero picks the server
+	// default.
+	FlipBudget int `json:"flip_budget,omitempty"`
+
+	// Seed overrides the server's root randomness seed for this tenant
+	// (the tenant's shard seeds derive from it and the key). Tenants on
+	// two servers exchange snapshots only when their resolved seeds match.
+	// Zero keeps the server root seed. Never echoed back: a leaked seed is
+	// exactly the state compromise the seed-leak adversary exploits.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// CreateTenantRequest is the body of POST /v2/keys.
+type CreateTenantRequest struct {
+	Key  string     `json:"key"`
+	Spec TenantSpec `json:"spec"`
+}
+
+// Query kinds accepted by POST /v2/query.
+const (
+	// QueryEstimate asks for the tenant's combined statistic (the v1
+	// /v1/estimate value): L2 norm, F2 moment, distinct count, entropy —
+	// whatever the tenant's sketch × policy cell publishes.
+	QueryEstimate = "estimate"
+
+	// QueryPoint asks for the point estimate of f[item] (point-querying
+	// tenants only — the countsketch column). Robustness scope: the
+	// adversarially robust point-query guarantee (Theorem 6.5) holds for
+	// countsketch+ring tenants, whose answers come from frozen copies.
+	// countsketch+switching and +paths answer from live policy-layer
+	// state — best-effort reads the flip-budget guarantee (which covers
+	// the scalar estimate) does not extend to.
+	QueryPoint = "point"
+
+	// QueryTopK asks for the k largest-magnitude candidate heavy items
+	// with their estimated frequencies (point-querying tenants only;
+	// same robustness scope as QueryPoint).
+	QueryTopK = "topk"
+)
+
+// Query is one typed query in a POST /v2/query batch.
+type Query struct {
+	// Kind is one of estimate, point, topk.
+	Kind string `json:"kind"`
+
+	// Item is the queried coordinate for kind point (number or decimal
+	// string, same rule as update items).
+	Item U64 `json:"item,omitempty"`
+
+	// K is the answer-set size for kind topk.
+	K int `json:"k,omitempty"`
+}
+
+// QueryRequest is the body of POST /v2/query.
+type QueryRequest struct {
+	Key     string  `json:"key"`
+	Queries []Query `json:"queries"`
+}
+
+// ItemWeight is one candidate heavy item and its estimated frequency in a
+// topk answer.
+type ItemWeight struct {
+	Item   U64     `json:"item"`
+	Weight float64 `json:"weight"`
+}
+
+// Answer is the typed response to one Query, in request order.
+type Answer struct {
+	// Kind echoes the query kind.
+	Kind string `json:"kind"`
+
+	// Item echoes the queried coordinate for kind point (a pointer so an
+	// echo of item 0 survives the wire and non-point answers omit the
+	// field entirely).
+	Item *U64 `json:"item,omitempty"`
+
+	// Value is the estimate for kinds estimate and point. Never omitted:
+	// zero is a meaningful answer (an absent coordinate, an empty
+	// stream).
+	Value float64 `json:"value"`
+
+	// Items is the answer set for kind topk, largest |weight| first.
+	Items []ItemWeight `json:"items,omitempty"`
+
+	// ErrorBound is the guarantee radius implied by the tenant's resolved
+	// ε: for kind estimate it is ε itself (relative 1±ε, or additive bits
+	// when Additive); for kinds point and topk it is the absolute bound
+	// ε·‖f‖₂ computed from the tenant's current norm estimate, the
+	// Section 6 point-query guarantee.
+	ErrorBound float64 `json:"error_bound"`
+
+	// Additive marks tenants whose ε is an additive error (entropy, in
+	// bits) rather than a relative one; set on estimate answers.
+	Additive bool `json:"additive,omitempty"`
+}
+
+// QueryResponse is the body of POST /v2/query.
+type QueryResponse struct {
+	Key    string `json:"key"`
+	Sketch string `json:"sketch"`
+	Policy string `json:"policy"`
+
+	// Answers holds one typed answer per request query, in order.
+	Answers []Answer `json:"answers"`
+
+	// Robustness is the tenant's flip-budget state at answer time (nil
+	// for static tenants): a client auditing its own adaptive query load
+	// can check Exhausted alongside every batch.
+	Robustness *RobustnessStats `json:"robustness,omitempty"`
+}
+
+// KeyStats describes one keyspace in GET /v1/stats and in the POST
+// /v1/keys / /v2/keys echo.
 type KeyStats struct {
 	Key        string `json:"key"`
 	Sketch     string `json:"sketch"`
 	Policy     string `json:"policy"`
 	Shards     int    `json:"shards"`
 	SpaceBytes int    `json:"space_bytes"`
+
+	// Spec is the tenant's fully resolved spec — every default applied,
+	// every cap enforced — so a client can read back exactly what its
+	// tenant was sized from. Seed is withheld (zeroed): publishing it
+	// would hand any co-tenant the state-compromise the seed-leak
+	// adversary needs.
+	Spec *TenantSpec `json:"spec,omitempty"`
+
+	// PointQueries reports whether the tenant answers point and topk
+	// queries over POST /v2/query.
+	PointQueries bool `json:"point_queries,omitempty"`
 
 	// Robustness is the aggregated robustness-budget state of the
 	// keyspace's shard estimators; nil for static (policy none) tenants.
@@ -92,7 +339,7 @@ type StatsResponse struct {
 // partial batch failure (an update batch that straddled a drain): the
 // first Accepted updates were applied and are in the drained state, so a
 // retrying client must resend only the remaining tail to avoid double
-// counting.
+// counting (client.RetryTail does exactly that).
 type ErrorResponse struct {
 	Error    string `json:"error"`
 	Accepted int    `json:"accepted,omitempty"`

@@ -31,7 +31,7 @@ func TestRegistryConformance(t *testing.T) {
 			continue // aliases resolve onto cells tested below
 		}
 		for _, policy := range Policies() {
-			sp, err := resolve(name, policy, cfg)
+			sp, ts, err := resolve(TenantSpec{Sketch: name, Policy: policy}, cfg)
 			if err != nil {
 				// The only invalid cells are ring over non-monotone
 				// statistics; anything else is a registry regression.
@@ -53,7 +53,7 @@ func TestRegistryConformance(t *testing.T) {
 				}
 				sketchtest.Run(t, sketchtest.Harness{
 					Name:     sp.Display(),
-					Factory:  sp.factory(cfg),
+					Factory:  sp.factory(ts),
 					Codec:    sp.codec,
 					Truth:    sp.truth,
 					Eps:      eps,
@@ -78,7 +78,7 @@ func TestAliasesResolve(t *testing.T) {
 		"robust-entropy": {"cc", "switching"},
 	}
 	for alias, cell := range want {
-		sp, err := resolve(alias, "", cfg)
+		sp, _, err := resolve(TenantSpec{Sketch: alias}, cfg)
 		if err != nil {
 			t.Fatalf("resolve(%s): %v", alias, err)
 		}
@@ -90,10 +90,10 @@ func TestAliasesResolve(t *testing.T) {
 		}
 		// The pinned policy tolerates an explicitly matching request and
 		// rejects a conflicting one.
-		if _, err := resolve(alias, cell[1], cfg); err != nil {
+		if _, _, err := resolve(TenantSpec{Sketch: alias, Policy: cell[1]}, cfg); err != nil {
 			t.Errorf("resolve(%s, %s): %v", alias, cell[1], err)
 		}
-		if _, err := resolve(alias, "paths", cfg); alias != "robust-entropy" && err == nil {
+		if _, _, err := resolve(TenantSpec{Sketch: alias, Policy: "paths"}, cfg); alias != "robust-entropy" && err == nil {
 			t.Errorf("resolve(%s, paths) should conflict with the pinned policy", alias)
 		}
 	}
@@ -107,11 +107,11 @@ func TestAliasesResolve(t *testing.T) {
 // catch.
 func TestRobustEntropyAliasMatchesConstructor(t *testing.T) {
 	cfg := Config{Shards: 1, Eps: 0.5, Delta: 0.05, N: 1 << 16, Seed: 1, FlipBudget: 24}.withDefaults()
-	sp, err := resolve("robust-entropy", "", cfg)
+	sp, ts, err := resolve(TenantSpec{Sketch: "robust-entropy"}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	viaSpec := sp.factory(cfg)(9)
+	viaSpec := sp.factory(ts)(9)
 	viaCtor := robust.NewEntropy(cfg.Eps, cfg.Delta, cfg.FlipBudget, 9)
 	for i := 0; i < 96; i++ {
 		item := uint64(i % 12)
@@ -131,7 +131,7 @@ func TestRobustEntropyAliasMatchesConstructor(t *testing.T) {
 // derived from the registry keys at runtime, so it can never go stale as
 // types are added.
 func TestUnknownSketchErrorListsRegistry(t *testing.T) {
-	_, err := resolve("no-such-sketch", "", Config{}.withDefaults())
+	_, _, err := resolve(TenantSpec{Sketch: "no-such-sketch"}, Config{}.withDefaults())
 	if err == nil {
 		t.Fatal("expected an error for an unknown sketch type")
 	}
@@ -140,7 +140,7 @@ func TestUnknownSketchErrorListsRegistry(t *testing.T) {
 			t.Errorf("unknown-sketch error %q does not mention registry key %q", err, name)
 		}
 	}
-	if _, err := resolve("f2", "no-such-policy", Config{}.withDefaults()); err == nil {
+	if _, _, err := resolve(TenantSpec{Sketch: "f2", Policy: "no-such-policy"}, Config{}.withDefaults()); err == nil {
 		t.Fatal("expected an error for an unknown policy")
 	} else {
 		for _, p := range robust.Kinds() {

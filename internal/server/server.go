@@ -9,14 +9,25 @@
 // transfer (GET /v1/snapshot, POST /v1/merge) for the linear static
 // sketches, which lets a fleet of sketchd instances ingest independently
 // and fold their state together — the distributed-aggregation pattern
-// that motivates mergeable sketches. Tenants are created as sketch ×
-// policy combinations (?sketch=f2&policy=paths): any base sketch in the
-// registry composed with any robustness policy of internal/robust (none,
-// switching, ring, paths), plus the pre-matrix aliases robust-f2,
-// robust-f0, robust-hh and robust-entropy. The robust combinations keep
-// their estimates trustworthy even when clients adaptively react to what
-// the endpoint returns, which is exactly the threat model of a shared
-// network service; see the paper and internal/robust.
+// that motivates mergeable sketches.
+//
+// Tenants are declared with a TenantSpec (POST /v2/keys): a sketch ×
+// policy combination — any base sketch in the registry composed with any
+// robustness policy of internal/robust (none, switching, ring, paths),
+// plus the pre-matrix aliases robust-f2, robust-f0, robust-hh and
+// robust-entropy — together with the tenant's own (ε, δ, n, shards,
+// batch, flip budget, seed). The paper's framework sizes each robust
+// instance from its statistic's own parameters, so accuracy accounting is
+// per tenant; the server Config supplies only defaults and caps. The
+// ?sketch=/?policy= query-parameter form of POST /v1/keys remains as a
+// thin alias. Structured reads go through POST /v2/query: a batch of
+// typed queries (estimate | point | topk) with typed answers carrying the
+// tenant's ε-derived error bound and flip-budget state — the Section 6
+// heavy hitters machinery (point queries, candidate sets) end to end over
+// HTTP. The robust combinations keep their estimates trustworthy even
+// when clients adaptively react to what the endpoint returns, which is
+// exactly the threat model of a shared network service; see the paper and
+// internal/robust.
 package server
 
 import (
@@ -34,7 +45,10 @@ import (
 )
 
 // Config parameterizes New. The zero value is usable: every field has a
-// default.
+// default. Config is the server's default-and-cap layer only: every
+// accuracy and sizing knob here can be overridden per tenant through
+// TenantSpec (POST /v2/keys), and the caps (MaxTenantShards,
+// MaxTenantBatch, MaxTenantFlipBudget) bound what a spec may ask for.
 type Config struct {
 	// MaxKeys is the server-wide keyspace quota: creating a tenant beyond
 	// it fails with 507 until another keyspace is deleted. Defaults to 64.
@@ -140,6 +154,7 @@ var (
 type tenant struct {
 	key  string
 	spec spec
+	ts   TenantSpec // fully resolved: defaults applied, alias expanded
 	eng  *engine.Engine
 }
 
@@ -174,38 +189,60 @@ func (s *Server) lookup(key string) *tenant {
 	return s.tenants[key]
 }
 
-// specMatches checks an explicit (sketch, policy) request against an
-// existing tenant: the request must resolve to the tenant's own
-// combination (aliases resolve before comparing, so robust-f2 matches a
-// tenant created as f2+ring).
-func (s *Server) specMatches(t *tenant, sketchName, policyName string) error {
-	if sketchName == "" && policyName == "" {
+// specMatches checks an explicit TenantSpec request against an existing
+// tenant: every field the request sets must agree with the tenant's
+// resolved spec — sketch and policy resolve before comparing (so
+// robust-f2 matches a tenant created as f2+ring), and numeric fields the
+// request leaves zero inherit the tenant's values rather than conflicting
+// with them, which keeps the v1 auto-create touch (?key= only) and
+// idempotent re-creates working against v2-declared tenants.
+func (s *Server) specMatches(t *tenant, raw TenantSpec) error {
+	if raw == (TenantSpec{}) {
 		return nil
 	}
-	sp, err := s.resolveSpec(sketchName, policyName)
+	sp, rts, err := s.resolveSpec(raw)
 	if err != nil {
 		return err
 	}
-	if sp.Name != t.spec.Name || sp.Policy != t.spec.Policy {
-		return fmt.Errorf("%w: key %q already holds a %s sketch, not %s", errConflict, t.key, t.spec.Display(), sp.Display())
+	if raw.Sketch != "" || raw.Policy != "" {
+		if sp.Name != t.spec.Name || sp.Policy != t.spec.Policy {
+			return fmt.Errorf("%w: key %q already holds a %s sketch, not %s", errConflict, t.key, t.spec.Display(), sp.Display())
+		}
+	}
+	for _, f := range []struct {
+		name      string
+		set       bool
+		got, want any
+	}{
+		{"eps", raw.Eps != 0, rts.Eps, t.ts.Eps},
+		{"delta", raw.Delta != 0, rts.Delta, t.ts.Delta},
+		{"n", raw.N != 0, rts.N, t.ts.N},
+		{"shards", raw.Shards != 0, rts.Shards, t.ts.Shards},
+		{"batch", raw.Batch != 0, rts.Batch, t.ts.Batch},
+		{"flip_budget", raw.FlipBudget != 0, rts.FlipBudget, t.ts.FlipBudget},
+		{"seed", raw.Seed != 0, rts.Seed, t.ts.Seed},
+	} {
+		if f.set && f.got != f.want {
+			return fmt.Errorf("%w: key %q was created with %s=%v, not %v", errConflict, t.key, f.name, f.want, f.got)
+		}
 	}
 	return nil
 }
 
-// resolveSpec resolves a (sketch, policy) request against the server
-// configuration.
-func (s *Server) resolveSpec(sketchName, policyName string) (spec, error) {
-	return resolve(sketchName, policyName, s.cfg)
+// resolveSpec resolves a raw TenantSpec against the server defaults.
+func (s *Server) resolveSpec(raw TenantSpec) (spec, TenantSpec, error) {
+	return resolve(raw, s.cfg)
 }
 
-// getOrCreate returns the tenant for key, creating it (with the given or
-// default sketch × policy combination) under the quota if absent.
-func (s *Server) getOrCreate(key, sketchName, policyName string) (*tenant, error) {
+// getOrCreate returns the tenant for key, creating it from the given
+// TenantSpec (unset fields fall back to the server defaults) under the
+// quota if absent.
+func (s *Server) getOrCreate(key string, raw TenantSpec) (*tenant, error) {
 	if key == "" {
-		return nil, errors.New("missing ?key= parameter")
+		return nil, errors.New("missing key")
 	}
 	if t := s.lookup(key); t != nil {
-		if err := s.specMatches(t, sketchName, policyName); err != nil {
+		if err := s.specMatches(t, raw); err != nil {
 			return nil, err
 		}
 		return t, nil
@@ -213,14 +250,14 @@ func (s *Server) getOrCreate(key, sketchName, policyName string) (*tenant, error
 	if s.draining.Load() {
 		return nil, errDraining
 	}
-	sp, err := s.resolveSpec(sketchName, policyName)
+	sp, ts, err := s.resolveSpec(raw)
 	if err != nil {
 		return nil, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if t := s.tenants[key]; t != nil { // lost the creation race
-		if err := s.specMatches(t, sketchName, policyName); err != nil {
+		if err := s.specMatches(t, raw); err != nil {
 			return nil, err
 		}
 		return t, nil
@@ -234,16 +271,28 @@ func (s *Server) getOrCreate(key, sketchName, policyName string) (*tenant, error
 	if len(s.tenants) >= s.cfg.MaxKeys {
 		return nil, errQuota
 	}
+	// A tenant-supplied seed replaces the server root for this keyspace:
+	// snapshot exchange needs only the two tenants' resolved seeds (and
+	// shard counts) to match, wherever their servers' roots differ. The
+	// effective root is resolved into the stored spec, so a later
+	// re-declare that explicitly names the seed the tenant actually runs
+	// under matches instead of conflicting.
+	root := s.cfg.Seed
+	if ts.Seed != 0 {
+		root = ts.Seed
+	}
+	ts.Seed = root
 	t := &tenant{
 		key:  key,
 		spec: sp,
+		ts:   ts,
 		eng: engine.New(engine.Config{
-			Shards:  s.cfg.Shards,
-			Batch:   s.cfg.Batch,
+			Shards:  ts.Shards,
+			Batch:   ts.Batch,
 			Queue:   s.cfg.Queue,
 			Combine: sp.combine,
-			Factory: sp.factory(s.cfg),
-			Seed:    tenantSeed(s.cfg.Seed, key),
+			Factory: sp.factory(ts),
+			Seed:    tenantSeed(root, key),
 		}),
 	}
 	s.tenants[key] = t
@@ -282,6 +331,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/merge", s.handleMerge)
 	mux.HandleFunc("/v1/keys", s.handleKeys)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v2/keys", s.handleV2Keys)
+	mux.HandleFunc("/v2/query", s.handleV2Query)
 	return mux
 }
 
@@ -327,7 +378,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := r.URL.Query()
-	t, err := s.getOrCreate(q.Get("key"), q.Get("sketch"), q.Get("policy"))
+	t, err := s.getOrCreate(q.Get("key"), TenantSpec{Sketch: q.Get("sketch"), Policy: q.Get("policy")})
 	if err != nil {
 		fail(w, http.StatusBadRequest, err)
 		return
@@ -431,7 +482,8 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 	// the tenant map: a failed merge must not consume a quota slot or
 	// leave an engine behind. Snapshots only exist for policy-free linear
 	// sketches, so the name resolves with policy pinned to none.
-	sp, err := s.resolveSpec(name, "none")
+	raw := TenantSpec{Sketch: name, Policy: "none"}
+	sp, rts, err := s.resolveSpec(raw)
 	if err != nil {
 		fail(w, http.StatusBadRequest, err)
 		return
@@ -440,9 +492,16 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusNotImplemented, fmt.Errorf("sketch type %q does not support merge", sp.Name))
 		return
 	}
-	if want := s.cfg.Shards; len(parts) != want {
+	// Shard counts are per tenant now: an existing destination keyspace
+	// must match the snapshot's geometry, an absent one would be created
+	// with the server default.
+	want := rts.Shards
+	if t := s.lookup(r.URL.Query().Get("key")); t != nil {
+		want = t.eng.Shards()
+	}
+	if len(parts) != want {
 		fail(w, http.StatusConflict,
-			fmt.Errorf("%w: snapshot has %d shards, this server runs %d (snapshot exchange requires identical -shards and -seed)",
+			fmt.Errorf("%w: snapshot has %d shards, the destination keyspace runs %d (snapshot exchange requires identical shards and seed)",
 				errConflict, len(parts), want))
 		return
 	}
@@ -451,7 +510,7 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusBadRequest, err)
 		return
 	}
-	t, err := s.getOrCreate(r.URL.Query().Get("key"), name, "none")
+	t, err := s.getOrCreate(r.URL.Query().Get("key"), raw)
 	if err != nil {
 		fail(w, http.StatusBadRequest, err)
 		return
@@ -490,7 +549,9 @@ func (s *Server) handleKeys(w http.ResponseWriter, r *http.Request) {
 	key := q.Get("key")
 	switch r.Method {
 	case http.MethodPost:
-		t, err := s.getOrCreate(key, q.Get("sketch"), q.Get("policy"))
+		// The v1 query-parameter form is a thin alias for POST /v2/keys
+		// with a spec carrying only the sketch × policy cell.
+		t, err := s.getOrCreate(key, TenantSpec{Sketch: q.Get("sketch"), Policy: q.Get("policy")})
 		if err != nil {
 			fail(w, http.StatusBadRequest, err)
 			return
@@ -510,24 +571,35 @@ func (s *Server) handleKeys(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// stats builds the keyspace's listing entry, including the aggregated
+// stats builds the keyspace's listing entry: the resolved spec the tenant
+// was sized from (seed withheld — publishing it would hand any co-tenant
+// the state compromise the seed-leak adversary needs) and the aggregated
 // robustness-budget state for robust tenants (nil for static ones).
 func (t *tenant) stats() KeyStats {
+	echo := t.ts
+	echo.Seed = 0
 	ks := KeyStats{
 		Key: t.key, Sketch: t.spec.Name, Policy: t.spec.Policy,
 		Shards: t.eng.Shards(), SpaceBytes: t.eng.SpaceBytes(),
+		Spec: &echo, PointQueries: t.spec.points,
 	}
 	if r, ok := t.eng.Robustness(); ok {
-		ks.Robustness = &RobustnessStats{
-			Policy:    r.Policy,
-			Copies:    r.Copies,
-			Switches:  r.Switches,
-			Budget:    r.Budget,
-			Remaining: r.Remaining(),
-			Exhausted: r.Exhausted,
-		}
+		ks.Robustness = t.robustnessStats(r)
 	}
 	return ks
+}
+
+// robustnessStats converts the engine's aggregated robustness state into
+// its wire form.
+func (t *tenant) robustnessStats(r sketch.Robustness) *RobustnessStats {
+	return &RobustnessStats{
+		Policy:    r.Policy,
+		Copies:    r.Copies,
+		Switches:  r.Switches,
+		Budget:    r.Budget,
+		Remaining: r.Remaining(),
+		Exhausted: r.Exhausted,
+	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -31,24 +31,31 @@ import (
 // transformations allow is creatable over HTTP from the same four static
 // registrations.
 //
-// factory receives the server Config after defaults are applied; robust
-// combinations size each shard instance at δ/Shards so the union bound
-// over the shard ensemble restores the configured server-wide δ.
+// factory receives the tenant's fully resolved TenantSpec — the paper's
+// per-statistic (ε, δ, n, λ) accounting is per tenant, with the server
+// Config supplying only defaults and caps; robust combinations size each
+// shard instance at δ/Shards so the union bound over the shard ensemble
+// restores the tenant-wide δ.
 //
 // truth extracts the statistic the spec estimates from an exact frequency
 // vector, and additive says whether the spec's ε is an additive rather
 // than relative error (the entropy estimators, whose ε is in bits). The
 // conformance kit and the attack-campaign harness use both to judge
 // estimates against ground truth; robust marks the combinations whose
-// estimates must survive adaptive query/update interleaving.
+// estimates must survive adaptive query/update interleaving. points marks
+// the combinations that answer POST /v2/query point and topk queries, and
+// l2Of converts their published estimate into the L2 norm the point-query
+// error bound ε·‖f‖₂ is stated against.
 type spec struct {
 	Name     string // base sketch name (registry key)
 	Policy   string // robustness policy name ("none" for the static sketch)
 	robust   bool
 	additive bool
+	points   bool
 	combine  engine.Combiner
-	factory  func(cfg Config) sketch.Factory
+	factory  func(ts TenantSpec) sketch.Factory
 	truth    func(f *stream.Freq) float64
+	l2Of     func(estimate float64) float64
 	codec    *sketch.Codec
 }
 
@@ -129,6 +136,10 @@ type base struct {
 	robustCombine  engine.Combiner
 	robustTruth    func(f *stream.Freq) float64
 	robustAdditive bool
+	// robustL2Of converts the robust cells' published estimate into the
+	// L2 norm for the point-query error bound; nil for bases whose policy
+	// column does not point-query.
+	robustL2Of func(float64) float64
 }
 
 // bases is the registry of hostable base sketch types. A new mergeable
@@ -143,8 +154,8 @@ var bases = map[string]base{
 			Name:    "f2",
 			Policy:  "none",
 			combine: engine.Sum, // F2 = Σ_i f_i² is additive over the shard partition
-			factory: func(cfg Config) sketch.Factory {
-				sizing := fp.SizeF2(cfg.Eps, cfg.Delta/float64(cfg.Shards))
+			factory: func(ts TenantSpec) sketch.Factory {
+				sizing := fp.SizeF2(ts.Eps, ts.Delta/float64(ts.Shards))
 				return func(seed int64) sketch.Estimator {
 					return fp.NewF2(sizing, rand.New(rand.NewSource(seed)))
 				}
@@ -161,8 +172,8 @@ var bases = map[string]base{
 			Name:    "kmv",
 			Policy:  "none",
 			combine: engine.Sum, // distinct counts of disjoint item sets add
-			factory: func(cfg Config) sketch.Factory {
-				k := kmvK(cfg.Eps, cfg.Delta/float64(cfg.Shards))
+			factory: func(ts TenantSpec) sketch.Factory {
+				k := kmvK(ts.Eps, ts.Delta/float64(ts.Shards))
 				return func(seed int64) sketch.Estimator {
 					return f0.NewKMV(k, rand.New(rand.NewSource(seed)))
 				}
@@ -178,19 +189,22 @@ var bases = map[string]base{
 		static: spec{
 			Name:    "countsketch",
 			Policy:  "none",
+			points:  true,
 			combine: engine.Sum, // Estimate is the F2 moment, additive over shards
-			factory: func(cfg Config) sketch.Factory {
-				sizing := heavyhitters.SizeForPointQuery(cfg.Eps, cfg.Delta/float64(cfg.Shards))
+			factory: func(ts TenantSpec) sketch.Factory {
+				sizing := heavyhitters.SizeForPointQuery(ts.Eps, ts.Delta/float64(ts.Shards))
 				return func(seed int64) sketch.Estimator {
 					return heavyhitters.NewCountSketch(sizing, rand.New(rand.NewSource(seed)))
 				}
 			},
 			truth: f2Truth,
+			l2Of:  math.Sqrt, // published estimate is the F2 moment
 			codec: sketch.CodecFor[heavyhitters.CountSketch]("countsketch"),
 		},
 		problem:       robust.HHL2Problem(),
 		robustCombine: engine.Norm(2), // robustified estimate is the L2 norm
 		robustTruth:   (*stream.Freq).L2,
+		robustL2Of:    func(est float64) float64 { return est },
 	},
 	"cc": {
 		static: spec{
@@ -198,8 +212,8 @@ var bases = map[string]base{
 			Policy:   "none",
 			additive: true,           // ε is additive, in bits
 			combine:  engine.Entropy, // chain rule over the shard partition
-			factory: func(cfg Config) sketch.Factory {
-				sizing := entropy.SizeCC(cfg.Eps, cfg.Delta/float64(cfg.Shards))
+			factory: func(ts TenantSpec) sketch.Factory {
+				sizing := entropy.SizeCC(ts.Eps, ts.Delta/float64(ts.Shards))
 				return func(seed int64) sketch.Estimator {
 					return entropy.NewCC(sizing, rand.New(rand.NewSource(seed)))
 				}
@@ -217,7 +231,7 @@ var bases = map[string]base{
 // aliases maps the pre-matrix robust type names onto their sketch ×
 // policy cells. They keep working everywhere a sketch name is accepted
 // (tenant creation, campaign sweeps, -sketch defaults); an alias pins its
-// policy, so combining one with a conflicting explicit ?policy= is an
+// policy, so combining one with a conflicting explicit policy is an
 // error rather than a silent override.
 var aliases = map[string]struct{ sketch, policy string }{
 	"robust-f2":      {"f2", "ring"},
@@ -244,23 +258,99 @@ func sketchNames() []string {
 // Policies lists every robustness policy name a tenant can request.
 func Policies() []string { return robust.Kinds() }
 
-// resolve maps a (sketch, policy) request onto a hostable spec. Empty
-// name picks the server default sketch; empty policy picks the alias's
-// pinned policy, then the server default, then "none".
-func resolve(name, policyName string, cfg Config) (spec, error) {
+// Caps on the resource-shaped TenantSpec fields. A declarative spec is a
+// contract, so a request beyond a cap is rejected loudly rather than
+// silently clamped — clamping would hand the client a tenant sized
+// differently from what it asked for.
+const (
+	// MaxTenantShards caps TenantSpec.Shards: each shard holds a
+	// full-size estimator, so shards multiply the tenant's space.
+	MaxTenantShards = 64
+
+	// MaxTenantBatch caps TenantSpec.Batch (per-shard buffer sizing).
+	MaxTenantBatch = 1 << 16
+
+	// MaxTenantFlipBudget caps TenantSpec.FlipBudget: the dense-switching
+	// ensemble multiplies space by λ.
+	MaxTenantFlipBudget = 1 << 20
+)
+
+// normalize validates a raw TenantSpec and fills every unset field from
+// the server defaults, returning the fully resolved spec a tenant is
+// sized from. Malformed values — NaN or out-of-range ε and δ, negative
+// or over-cap sizing fields — are rejected, never repaired. The caps
+// bound only what a client explicitly asks for: values inherited from
+// the server flags are operator policy and pass through uncapped, so a
+// server legitimately run with, say, -shards above MaxTenantShards keeps
+// serving default-shaped tenants.
+func (ts TenantSpec) normalize(cfg Config) (TenantSpec, error) {
+	bad := func(field string, format string, args ...any) (TenantSpec, error) {
+		return TenantSpec{}, fmt.Errorf("tenant spec: %s %s", field, fmt.Sprintf(format, args...))
+	}
+	if ts.Shards != 0 && (ts.Shards < 1 || ts.Shards > MaxTenantShards) {
+		return bad("shards", "must be in [1, %d], got %d", MaxTenantShards, ts.Shards)
+	}
+	if ts.Batch != 0 && (ts.Batch < 1 || ts.Batch > MaxTenantBatch) {
+		return bad("batch", "must be in [1, %d], got %d", MaxTenantBatch, ts.Batch)
+	}
+	if ts.FlipBudget != 0 && (ts.FlipBudget < 1 || ts.FlipBudget > MaxTenantFlipBudget) {
+		return bad("flip_budget", "must be in [1, %d], got %d", MaxTenantFlipBudget, ts.FlipBudget)
+	}
+	if ts.Eps == 0 {
+		ts.Eps = cfg.Eps
+	}
+	// ε and δ ranges are mathematical requirements, not resource policy:
+	// they hold for the resolved value wherever it came from (a server
+	// misconfigured with -eps 1.5 gets a clean 400 here instead of a
+	// panicking factory at tenant creation).
+	if math.IsNaN(ts.Eps) || ts.Eps <= 0 || ts.Eps >= 1 {
+		return bad("eps", "must be in (0, 1), got %v", ts.Eps)
+	}
+	if ts.Delta == 0 {
+		ts.Delta = cfg.Delta
+	}
+	if math.IsNaN(ts.Delta) || ts.Delta <= 0 || ts.Delta >= 1 {
+		return bad("delta", "must be in (0, 1), got %v", ts.Delta)
+	}
+	if ts.N == 0 {
+		ts.N = U64(cfg.N)
+	}
+	if ts.Shards == 0 {
+		ts.Shards = cfg.Shards
+	}
+	if ts.Batch == 0 {
+		ts.Batch = cfg.Batch
+	}
+	if ts.FlipBudget == 0 {
+		ts.FlipBudget = cfg.FlipBudget
+	}
+	return ts, nil
+}
+
+// resolve maps a raw TenantSpec onto a hostable spec plus the fully
+// resolved TenantSpec (defaults applied, caps enforced, alias expanded to
+// its canonical sketch × policy cell). Empty sketch picks the server
+// default; empty policy picks the alias's pinned policy, then the server
+// default, then "none".
+func resolve(raw TenantSpec, cfg Config) (spec, TenantSpec, error) {
+	ts, err := raw.normalize(cfg)
+	if err != nil {
+		return spec{}, TenantSpec{}, err
+	}
+	name, policyName := raw.Sketch, raw.Policy
 	if name == "" {
 		name = cfg.DefaultSketch
 	}
 	if a, ok := aliases[name]; ok {
 		if policyName != "" && policyName != a.policy {
-			return spec{}, fmt.Errorf("sketch type %q is an alias for %s+%s and cannot be combined with policy %q — request sketch=%s&policy=%s instead",
+			return spec{}, TenantSpec{}, fmt.Errorf("sketch type %q is an alias for %s+%s and cannot be combined with policy %q — request sketch=%s&policy=%s instead",
 				name, a.sketch, a.policy, policyName, a.sketch, policyName)
 		}
 		name, policyName = a.sketch, a.policy
 	}
 	b, ok := bases[name]
 	if !ok {
-		return spec{}, fmt.Errorf("unknown sketch type %q (have: %s)", name, strings.Join(sketchNames(), ", "))
+		return spec{}, TenantSpec{}, fmt.Errorf("unknown sketch type %q (have: %s)", name, strings.Join(sketchNames(), ", "))
 	}
 	if policyName == "" {
 		policyName = cfg.DefaultPolicy
@@ -268,14 +358,15 @@ func resolve(name, policyName string, cfg Config) (spec, error) {
 	if policyName == "" {
 		policyName = "none"
 	}
+	ts.Sketch, ts.Policy = name, policyName
 	pol, err := robust.ParsePolicy(policyName)
 	if err != nil {
-		return spec{}, err
+		return spec{}, TenantSpec{}, err
 	}
 	if pol.Kind == robust.None {
-		return b.static, nil
+		return b.static, ts, nil
 	}
-	pol.Budget = cfg.FlipBudget
+	pol.Budget = ts.FlipBudget
 	if pol.Kind == robust.Paths {
 		// Only the paths sizing needs the cap: its honest ln(1/δ₀)
 		// reaches thousands of repetitions, while the switching and ring
@@ -283,7 +374,7 @@ func resolve(name, policyName string, cfg Config) (spec, error) {
 		pol.KCap = cfg.PathsKCap
 	}
 	if err := pol.Check(b.problem); err != nil {
-		return spec{}, err
+		return spec{}, TenantSpec{}, err
 	}
 	prob := b.problem
 	return spec{
@@ -291,12 +382,14 @@ func resolve(name, policyName string, cfg Config) (spec, error) {
 		Policy:   policyName,
 		robust:   true,
 		additive: b.robustAdditive,
+		points:   b.static.points,
 		combine:  b.robustCombine,
 		truth:    b.robustTruth,
-		factory: func(cfg Config) sketch.Factory {
-			shardDelta := cfg.Delta / float64(cfg.Shards)
+		l2Of:     b.robustL2Of,
+		factory: func(ts TenantSpec) sketch.Factory {
+			shardDelta := ts.Delta / float64(ts.Shards)
 			return func(seed int64) sketch.Estimator {
-				est, err := pol.Wrap(cfg.Eps, shardDelta, cfg.N, seed, prob)
+				est, err := pol.Wrap(ts.Eps, shardDelta, uint64(ts.N), seed, prob)
 				if err != nil {
 					// resolve validated the combination; a failure here is a
 					// programming error, not a request error.
@@ -305,7 +398,7 @@ func resolve(name, policyName string, cfg Config) (spec, error) {
 				return est
 			}
 		},
-	}, nil
+	}, ts, nil
 }
 
 // Info describes a hostable sketch × policy combination for harnesses
@@ -313,11 +406,11 @@ func resolve(name, policyName string, cfg Config) (spec, error) {
 // judge estimates against exact ground truth and Robust to predict which
 // combinations must survive an adaptive adversary.
 type Info struct {
-	// Name is the base sketch registry key (?sketch= value).
+	// Name is the base sketch registry key (TenantSpec.Sketch value).
 	Name string
 
-	// Policy is the robustness policy (?policy= value): none, switching,
-	// ring, or paths.
+	// Policy is the robustness policy (TenantSpec.Policy value): none,
+	// switching, ring, or paths.
 	Policy string
 
 	// Robust marks the adversarially robust combinations (every policy
@@ -326,6 +419,10 @@ type Info struct {
 
 	// Mergeable reports /v1/snapshot + /v1/merge support.
 	Mergeable bool
+
+	// PointQueries reports whether the combination answers point and
+	// topk queries over POST /v2/query.
+	PointQueries bool
 
 	// Additive says the combination's ε is an additive error (entropy, in
 	// bits) rather than a relative one.
@@ -338,19 +435,20 @@ type Info struct {
 
 func infoOf(sp spec) Info {
 	return Info{
-		Name:      sp.Name,
-		Policy:    sp.Policy,
-		Robust:    sp.robust,
-		Mergeable: sp.Mergeable(),
-		Additive:  sp.additive,
-		Truth:     sp.truth,
+		Name:         sp.Name,
+		Policy:       sp.Policy,
+		Robust:       sp.robust,
+		Mergeable:    sp.Mergeable(),
+		PointQueries: sp.points,
+		Additive:     sp.additive,
+		Truth:        sp.truth,
 	}
 }
 
 // InfoFor resolves one sketch × policy combination (aliases accepted),
 // using default server parameters for validation.
 func InfoFor(name, policy string) (Info, error) {
-	sp, err := resolve(name, policy, Config{}.withDefaults())
+	sp, _, err := resolve(TenantSpec{Sketch: name, Policy: policy}, Config{}.withDefaults())
 	if err != nil {
 		return Info{}, err
 	}
@@ -370,23 +468,23 @@ func Types() []Info {
 }
 
 // EngineConfig returns the engine configuration a server built from cfg
-// would give a tenant of the named sketch × policy combination, seeded
-// with seed. It lets out-of-process harnesses (the campaign runner,
+// would give a tenant created with the given TenantSpec, seeded with
+// seed. It lets out-of-process harnesses (the campaign runner,
 // benchmarks) attack the exact estimator stack a sketchd tenant runs —
 // same factory, same δ/Shards sizing, same combiner — without going
 // through HTTP.
-func EngineConfig(name, policy string, cfg Config, seed int64) (engine.Config, error) {
+func EngineConfig(ts TenantSpec, cfg Config, seed int64) (engine.Config, error) {
 	cfg = cfg.withDefaults()
-	sp, err := resolve(name, policy, cfg)
+	sp, rts, err := resolve(ts, cfg)
 	if err != nil {
 		return engine.Config{}, err
 	}
 	return engine.Config{
-		Shards:  cfg.Shards,
-		Batch:   cfg.Batch,
+		Shards:  rts.Shards,
+		Batch:   rts.Batch,
 		Queue:   cfg.Queue,
 		Combine: sp.combine,
-		Factory: sp.factory(cfg),
+		Factory: sp.factory(rts),
 		Seed:    seed,
 	}, nil
 }

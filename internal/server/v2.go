@@ -1,0 +1,206 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// The /v2 surface: declarative tenant creation (POST /v2/keys, a typed
+// TenantSpec body instead of query parameters) and structured queries
+// (POST /v2/query, a batch of typed estimate | point | topk queries with
+// typed answers). The decode helpers are split from the handlers so the
+// fuzz targets can drive the exact request-parsing path the handlers use.
+
+// Limits on a /v2/query batch. A batch is one flush-coherent read: every
+// answer reflects the same flushed stream prefix, so unbounded batches
+// would let a single request hold a tenant's shard workers for arbitrary
+// time.
+const (
+	// maxQueryBatch bounds the queries per POST /v2/query request.
+	maxQueryBatch = 1024
+
+	// maxTopK bounds a topk query's answer-set size.
+	maxTopK = 4096
+
+	// defaultTopK is used when a topk query leaves K zero.
+	defaultTopK = 10
+)
+
+// decodeCreateTenant parses and structurally validates a POST /v2/keys
+// body. Spec-level validation (ranges, caps, registry membership) happens
+// in resolve, against the server defaults.
+func decodeCreateTenant(data []byte) (CreateTenantRequest, error) {
+	var req CreateTenantRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		return CreateTenantRequest{}, fmt.Errorf("bad create body: %w", err)
+	}
+	if req.Key == "" {
+		return CreateTenantRequest{}, errors.New("bad create body: missing key")
+	}
+	return req, nil
+}
+
+// decodeQueryRequest parses and validates a POST /v2/query body: a known
+// kind on every query, a k within bounds on topk queries (zero takes the
+// default), and a non-empty batch — an empty batch is a client bug, not a
+// trivially satisfiable request.
+func decodeQueryRequest(data []byte) (QueryRequest, error) {
+	var req QueryRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		return QueryRequest{}, fmt.Errorf("bad query body: %w", err)
+	}
+	if req.Key == "" {
+		return QueryRequest{}, errors.New("bad query body: missing key")
+	}
+	if len(req.Queries) == 0 {
+		return QueryRequest{}, errors.New("bad query body: empty query batch")
+	}
+	if len(req.Queries) > maxQueryBatch {
+		return QueryRequest{}, fmt.Errorf("bad query body: %d queries exceeds the batch limit %d", len(req.Queries), maxQueryBatch)
+	}
+	for i := range req.Queries {
+		q := &req.Queries[i]
+		switch q.Kind {
+		case QueryEstimate, QueryPoint:
+		case QueryTopK:
+			if q.K == 0 {
+				q.K = defaultTopK
+			}
+			if q.K < 0 || q.K > maxTopK {
+				return QueryRequest{}, fmt.Errorf("query %d: topk k must be in [1, %d], got %d", i, maxTopK, q.K)
+			}
+		default:
+			return QueryRequest{}, fmt.Errorf("query %d: unknown kind %q (have: %s, %s, %s)",
+				i, q.Kind, QueryEstimate, QueryPoint, QueryTopK)
+		}
+	}
+	return req, nil
+}
+
+// handleV2Keys serves POST /v2/keys: declarative tenant creation from a
+// TenantSpec, echoing the resolved KeyStats (idempotent when the resolved
+// specs agree; any explicitly set field that disagrees with an existing
+// tenant is a 409).
+func (s *Server) handleV2Keys(w http.ResponseWriter, r *http.Request) {
+	if !methodIs(w, r, http.MethodPost) {
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		fail(w, http.StatusBadRequest, err)
+		return
+	}
+	req, err := decodeCreateTenant(body)
+	if err != nil {
+		fail(w, http.StatusBadRequest, err)
+		return
+	}
+	t, err := s.getOrCreate(req.Key, req.Spec)
+	if err != nil {
+		fail(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, t.stats())
+}
+
+// handleV2Query serves POST /v2/query: a batch of typed queries answered
+// from one flushed read of the tenant's engine, so every answer in the
+// batch reflects the same stream prefix. Point and topk queries require a
+// point-querying tenant (the countsketch column); their error bound is
+// the Section 6 guarantee ε·‖f‖₂, computed from the tenant's resolved ε
+// and its current norm estimate. Queries keep working on a draining
+// server — they are reads, like /v1/estimate.
+func (s *Server) handleV2Query(w http.ResponseWriter, r *http.Request) {
+	if !methodIs(w, r, http.MethodPost) {
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		fail(w, http.StatusBadRequest, err)
+		return
+	}
+	req, err := decodeQueryRequest(body)
+	if err != nil {
+		fail(w, http.StatusBadRequest, err)
+		return
+	}
+	t := s.lookup(req.Key)
+	if t == nil {
+		fail(w, http.StatusNotFound, fmt.Errorf("unknown key %q", req.Key))
+		return
+	}
+
+	// Route the batch: point items and the largest requested k are
+	// gathered into one engine pass — a single flush barrier answers the
+	// whole batch, and any smaller topk answer is a prefix of the ranked
+	// maximum-k result.
+	var pointItems []uint64
+	maxK := 0
+	needsPoints := false
+	for _, q := range req.Queries {
+		switch q.Kind {
+		case QueryPoint:
+			pointItems = append(pointItems, uint64(q.Item))
+			needsPoints = true
+		case QueryTopK:
+			if q.K > maxK {
+				maxK = q.K
+			}
+			needsPoints = true
+		}
+	}
+	if needsPoints && !t.spec.points {
+		fail(w, http.StatusBadRequest,
+			fmt.Errorf("keyspace %q hosts %s, which does not answer point or topk queries (create a countsketch tenant)",
+				t.key, t.spec.Display()))
+		return
+	}
+
+	estimate, pointVals, top, err := t.eng.QueryBatch(pointItems, maxK)
+	if err != nil {
+		fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	pointBound := 0.0
+	if t.spec.points && t.spec.l2Of != nil {
+		pointBound = t.ts.Eps * t.spec.l2Of(estimate)
+	}
+	topItems := make([]ItemWeight, len(top))
+	for i, iw := range top {
+		topItems[i] = ItemWeight{Item: U64(iw.Item), Weight: iw.Weight}
+	}
+
+	resp := QueryResponse{Key: t.key, Sketch: t.spec.Name, Policy: t.spec.Policy}
+	nextPoint := 0
+	for _, q := range req.Queries {
+		switch q.Kind {
+		case QueryEstimate:
+			resp.Answers = append(resp.Answers, Answer{
+				Kind: QueryEstimate, Value: estimate,
+				ErrorBound: t.ts.Eps, Additive: t.spec.additive,
+			})
+		case QueryPoint:
+			item := q.Item
+			resp.Answers = append(resp.Answers, Answer{
+				Kind: QueryPoint, Item: &item, Value: pointVals[nextPoint],
+				ErrorBound: pointBound,
+			})
+			nextPoint++
+		case QueryTopK:
+			items := topItems
+			if len(items) > q.K {
+				items = items[:q.K]
+			}
+			resp.Answers = append(resp.Answers, Answer{
+				Kind: QueryTopK, Items: items, ErrorBound: pointBound,
+			})
+		}
+	}
+	if rb, ok := t.eng.Robustness(); ok {
+		resp.Robustness = t.robustnessStats(rb)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

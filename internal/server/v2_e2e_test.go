@@ -1,0 +1,278 @@
+package server_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/server"
+	"repro/internal/stream"
+)
+
+// TestV2CreateTenantEcho: POST /v2/keys resolves the declarative spec —
+// defaults applied, alias expanded — and echoes it, with the seed
+// withheld; conflicting explicit fields against an existing tenant are a
+// 409, inherited fields are not.
+func TestV2CreateTenantEcho(t *testing.T) {
+	_, c := boot(t, server.Config{Shards: 2, Eps: 0.2, Delta: 0.05, N: 1 << 20, Seed: 5, MaxKeys: 8})
+	ctx := context.Background()
+
+	ks, err := c.CreateTenant(ctx, "hh", client.TenantSpec{
+		Sketch: "robust-hh", Eps: 0.1, Shards: 1, Seed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks.Sketch != "countsketch" || ks.Policy != "ring" {
+		t.Errorf("alias did not expand: %s+%s", ks.Sketch, ks.Policy)
+	}
+	if ks.Spec == nil {
+		t.Fatal("KeyStats does not echo the resolved spec")
+	}
+	if ks.Spec.Eps != 0.1 || ks.Spec.Shards != 1 {
+		t.Errorf("explicit fields not echoed: %+v", ks.Spec)
+	}
+	if ks.Spec.Delta != 0.05 || uint64(ks.Spec.N) != 1<<20 {
+		t.Errorf("defaults not echoed: %+v", ks.Spec)
+	}
+	if ks.Spec.Seed != 0 {
+		t.Errorf("tenant seed leaked through KeyStats: %d", ks.Spec.Seed)
+	}
+	if !ks.PointQueries {
+		t.Error("countsketch tenant does not report point queries")
+	}
+
+	// Idempotent re-declare with agreeing fields; omitted fields inherit.
+	if _, err := c.CreateTenant(ctx, "hh", client.TenantSpec{Sketch: "countsketch", Policy: "ring"}); err != nil {
+		t.Errorf("idempotent re-create failed: %v", err)
+	}
+	// A v1 create against the same key also matches (thin alias).
+	if err := c.CreateKeyPolicy(ctx, "hh", "robust-hh", ""); err != nil {
+		t.Errorf("v1 alias re-create failed: %v", err)
+	}
+	// An explicitly conflicting eps is a 409.
+	if _, err := c.CreateTenant(ctx, "hh", client.TenantSpec{Eps: 0.3}); client.StatusCode(err) != 409 {
+		t.Errorf("conflicting eps: err = %v, want HTTP 409", err)
+	}
+	// Naming the seed the tenant actually runs under matches (the
+	// effective root resolves into the stored spec); a different seed
+	// conflicts.
+	if _, err := c.CreateTenant(ctx, "hh", client.TenantSpec{Seed: 99}); err != nil {
+		t.Errorf("re-declare with the tenant's own seed failed: %v", err)
+	}
+	if _, err := c.CreateTenant(ctx, "hh", client.TenantSpec{Seed: 100}); client.StatusCode(err) != 409 {
+		t.Errorf("conflicting seed: err = %v, want HTTP 409", err)
+	}
+	// A tenant created without an explicit seed stores the server root,
+	// so naming that root later is also idempotent.
+	if _, err := c.CreateTenant(ctx, "defaulted", client.TenantSpec{Sketch: "kmv"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateTenant(ctx, "defaulted", client.TenantSpec{Seed: 5}); err != nil {
+		t.Errorf("re-declare with the server root seed failed: %v", err)
+	}
+	// Malformed specs are 400s.
+	if _, err := c.CreateTenant(ctx, "bad", client.TenantSpec{Eps: -2}); client.StatusCode(err) != 400 {
+		t.Errorf("negative eps: err = %v, want HTTP 400", err)
+	}
+	if _, err := c.CreateTenant(ctx, "bad", client.TenantSpec{Shards: server.MaxTenantShards + 1}); client.StatusCode(err) != 400 {
+		t.Errorf("over-cap shards: err = %v, want HTTP 400", err)
+	}
+	// GET /v1/stats carries the same resolved spec.
+	st, err := c.KeyStats(ctx, "hh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Spec == nil || st.Spec.Eps != 0.1 || st.Spec.Seed != 0 {
+		t.Errorf("/v1/stats spec echo wrong: %+v", st.Spec)
+	}
+}
+
+// TestV2QueryBatch: one POST /v2/query batch mixes estimate, point and
+// topk queries, each answer typed and carrying the tenant's ε-derived
+// error bound; structural errors map onto 400/404.
+func TestV2QueryBatch(t *testing.T) {
+	const eps = 0.15
+	_, c := boot(t, server.Config{Shards: 2, Delta: 0.05, N: 1 << 20, Seed: 3, MaxKeys: 8})
+	ctx := context.Background()
+
+	if _, err := c.CreateTenant(ctx, "hot", client.TenantSpec{Sketch: "countsketch", Eps: eps}); err != nil {
+		t.Fatal(err)
+	}
+	truth := stream.NewFreq()
+	gen := stream.NewZipf(1<<10, 30000, 1.3, 7)
+	var ups []client.Update
+	for {
+		u, ok := gen.Next()
+		if !ok {
+			break
+		}
+		truth.Apply(u)
+		ups = append(ups, client.Update{Item: u.Item, Delta: u.Delta})
+	}
+	if err := c.Update(ctx, "hot", ups); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := c.Query(ctx, "hot", []client.Query{
+		{Kind: server.QueryEstimate},
+		{Kind: server.QueryPoint, Item: 0},
+		{Kind: server.QueryPoint, Item: 1 << 60}, // never seen: answer ≈ 0
+		{Kind: server.QueryTopK, K: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Answers) != 4 {
+		t.Fatalf("4 queries, %d answers", len(resp.Answers))
+	}
+	est := resp.Answers[0]
+	if est.Kind != server.QueryEstimate || est.ErrorBound != eps {
+		t.Errorf("estimate answer %+v, want kind estimate with error bound %v", est, eps)
+	}
+	if re := relErr(est.Value, truth.Fp(2)); re > eps {
+		t.Errorf("F2 estimate %v vs truth %v: rel err %.3f", est.Value, truth.Fp(2), re)
+	}
+	bound := eps * truth.L2()
+	p0 := resp.Answers[1]
+	if p0.Kind != server.QueryPoint || p0.Item == nil || uint64(*p0.Item) != 0 {
+		t.Errorf("point answer did not echo its item: %+v", p0)
+	}
+	if math.Abs(p0.Value-float64(truth.Count(0))) > bound {
+		t.Errorf("point f[0] = %v, true %d (bound %v)", p0.Value, truth.Count(0), bound)
+	}
+	if p0.ErrorBound <= 0 || p0.ErrorBound > 2*bound {
+		t.Errorf("point error bound %v implausible vs ε·‖f‖₂ = %v", p0.ErrorBound, bound)
+	}
+	if pMiss := resp.Answers[2]; math.Abs(pMiss.Value) > bound {
+		t.Errorf("point estimate of an absent item = %v (bound %v)", pMiss.Value, bound)
+	}
+	top := resp.Answers[3]
+	if top.Kind != server.QueryTopK || len(top.Items) != 5 {
+		t.Fatalf("topk answer %+v, want 5 items", top)
+	}
+	if uint64(top.Items[0].Item) != 0 {
+		t.Errorf("top-1 item = %d, want 0 on a Zipf(1.3) stream", uint64(top.Items[0].Item))
+	}
+	for _, iw := range top.Items {
+		if math.Abs(iw.Weight-float64(truth.Count(uint64(iw.Item)))) > bound {
+			t.Errorf("topk weight for %d = %v, true %d (bound %v)",
+				uint64(iw.Item), iw.Weight, truth.Count(uint64(iw.Item)), bound)
+		}
+	}
+
+	// Structural and routing errors.
+	if _, err := c.Query(ctx, "absent", []client.Query{{Kind: server.QueryEstimate}}); client.StatusCode(err) != 404 {
+		t.Errorf("query of unknown key: err = %v, want HTTP 404", err)
+	}
+	if _, err := c.Query(ctx, "hot", nil); client.StatusCode(err) != 400 {
+		t.Errorf("empty batch: err = %v, want HTTP 400", err)
+	}
+	if _, err := c.Query(ctx, "hot", []client.Query{{Kind: "frequency"}}); client.StatusCode(err) != 400 {
+		t.Errorf("unknown kind: err = %v, want HTTP 400", err)
+	}
+	if err := c.CreateKey(ctx, "norms", "robust-f2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query(ctx, "norms", []client.Query{{Kind: server.QueryPoint, Item: 1}}); client.StatusCode(err) != 400 {
+		t.Errorf("point query on an f2 tenant: err = %v, want HTTP 400", err)
+	}
+	// Estimate queries still work on non-point tenants.
+	if resp, err := c.Query(ctx, "norms", []client.Query{{Kind: server.QueryEstimate}}); err != nil || len(resp.Answers) != 1 {
+		t.Errorf("estimate query on f2 tenant: %v / %+v", err, resp)
+	}
+}
+
+// TestPerTenantEpsSpaceAndAccuracy: the point of per-tenant specs — two
+// tenants of the same sketch × policy cell, declared at different ε on
+// the same server, occupy measurably different space and each holds its
+// own error bound on the same stream.
+func TestPerTenantEpsSpaceAndAccuracy(t *testing.T) {
+	_, c := boot(t, server.Config{Shards: 2, Delta: 0.05, N: 1 << 20, Seed: 9, MaxKeys: 8})
+	ctx := context.Background()
+
+	const coarseEps, fineEps = 0.4, 0.1
+	if _, err := c.CreateTenant(ctx, "coarse", client.TenantSpec{Sketch: "f2", Policy: "ring", Eps: coarseEps}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateTenant(ctx, "fine", client.TenantSpec{Sketch: "f2", Policy: "ring", Eps: fineEps}); err != nil {
+		t.Fatal(err)
+	}
+
+	truth := stream.NewFreq()
+	gen := stream.NewZipf(1<<11, 25000, 1.1, 13)
+	var ups []client.Update
+	for {
+		u, ok := gen.Next()
+		if !ok {
+			break
+		}
+		truth.Apply(u)
+		ups = append(ups, client.Update{Item: u.Item, Delta: u.Delta})
+	}
+	for _, key := range []string{"coarse", "fine"} {
+		if err := c.Update(ctx, key, ups); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Each tenant holds its own declared bound on the robust L2 estimate.
+	for _, tc := range []struct {
+		key string
+		eps float64
+	}{{"coarse", coarseEps}, {"fine", fineEps}} {
+		got, err := c.Estimate(ctx, tc.key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if re := relErr(got, truth.L2()); re > tc.eps {
+			t.Errorf("%s (ε=%.2f) estimate %v vs truth %v: rel err %.3f", tc.key, tc.eps, got, truth.L2(), re)
+		}
+	}
+
+	// The ε=0.1 tenant pays for its accuracy in space — visibly, not
+	// marginally: ring copies scale like ε⁻¹log ε⁻¹ and the inner AMS
+	// sketches like ε⁻², so 4× tighter ε must cost well over 2× the bytes.
+	coarse, err := c.KeyStats(ctx, "coarse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := c.KeyStats(ctx, "fine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fine.SpaceBytes < 2*coarse.SpaceBytes {
+		t.Errorf("per-tenant sizing not reflected in space: fine ε=%.2f %d bytes vs coarse ε=%.2f %d bytes",
+			fineEps, fine.SpaceBytes, coarseEps, coarse.SpaceBytes)
+	}
+	if coarse.Spec.Eps != coarseEps || fine.Spec.Eps != fineEps {
+		t.Errorf("stats do not echo the per-tenant eps: %v / %v", coarse.Spec.Eps, fine.Spec.Eps)
+	}
+}
+
+// TestV2LargeItemsOverHTTP: items above 2^53 survive the full
+// client → server → estimate path (the string-encoding rule end to end).
+func TestV2LargeItemsOverHTTP(t *testing.T) {
+	_, c := boot(t, server.Config{Shards: 1, Seed: 1, MaxKeys: 4})
+	ctx := context.Background()
+	if _, err := c.CreateTenant(ctx, "big", client.TenantSpec{Sketch: "kmv"}); err != nil {
+		t.Fatal(err)
+	}
+	var ups []client.Update
+	for i := uint64(0); i < 500; i++ {
+		ups = append(ups, client.Update{Item: (1 << 63) + i, Delta: 1})
+	}
+	if err := c.Update(ctx, "big", ups); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Estimate(ctx, "big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 500 distinct ids above 2^63: were ids collapsing through a float64
+	// path, the distinct count would crater.
+	if re := relErr(got, 500); re > 0.3 {
+		t.Errorf("distinct count of 2^63-range items = %v, want ≈500 (rel err %.3f)", got, re)
+	}
+}

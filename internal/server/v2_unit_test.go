@@ -1,0 +1,215 @@
+package server
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestU64JSON: item identifiers survive the wire in both directions —
+// numbers below 2^53, decimal strings at and above it — and malformed
+// forms are rejected rather than truncated.
+func TestU64JSON(t *testing.T) {
+	for _, v := range []uint64{0, 1, 1<<53 - 1, 1 << 53, 1<<64 - 1} {
+		enc, err := json.Marshal(U64(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v >= jsonSafeInt && enc[0] != '"' {
+			t.Errorf("U64(%d) marshaled as %s, want a string above 2^53", v, enc)
+		}
+		if v < jsonSafeInt && enc[0] == '"' {
+			t.Errorf("U64(%d) marshaled as %s, want a bare number below 2^53", v, enc)
+		}
+		var dec U64
+		if err := json.Unmarshal(enc, &dec); err != nil {
+			t.Fatal(err)
+		}
+		if uint64(dec) != v {
+			t.Errorf("U64 round trip %d → %s → %d", v, enc, uint64(dec))
+		}
+	}
+	// The exact bug this type fixes: a float64-based client sending the
+	// id as a string keeps all 64 bits.
+	var u UpdateItem
+	if err := json.Unmarshal([]byte(`{"item":"18446744073709551615","delta":-3}`), &u); err != nil {
+		t.Fatal(err)
+	}
+	if u.Item != 1<<64-1 || u.Delta != -3 {
+		t.Errorf("string-encoded update decoded to %+v", u)
+	}
+	enc, _ := json.Marshal(UpdateItem{Item: 1 << 60, Delta: 1})
+	if !strings.Contains(string(enc), `"1152921504606846976"`) {
+		t.Errorf("large item marshaled as %s, want a string", enc)
+	}
+	for _, bad := range []string{`{"item":1.5}`, `{"item":-1}`, `{"item":"x"}`, `{"item":"1.0"}`, `{"item":18446744073709551616}`} {
+		if err := json.Unmarshal([]byte(bad), &u); err == nil {
+			t.Errorf("malformed item %s accepted", bad)
+		}
+	}
+}
+
+// TestTenantSpecNormalize: defaults fill unset fields, malformed values
+// are rejected (never repaired), caps are enforced.
+func TestTenantSpecNormalize(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	ts, err := TenantSpec{}.normalize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Eps != cfg.Eps || ts.Delta != cfg.Delta || ts.Shards != cfg.Shards ||
+		ts.Batch != cfg.Batch || ts.FlipBudget != cfg.FlipBudget || uint64(ts.N) != cfg.N {
+		t.Errorf("zero spec did not inherit server defaults: %+v vs %+v", ts, cfg)
+	}
+	if ts, err := (TenantSpec{Eps: 0.01, Shards: 2}).normalize(cfg); err != nil || ts.Eps != 0.01 || ts.Shards != 2 {
+		t.Errorf("explicit fields not kept: %+v (%v)", ts, err)
+	}
+	for _, bad := range []TenantSpec{
+		{Eps: math.NaN()}, {Eps: -0.1}, {Eps: 1}, {Eps: math.Inf(1)},
+		{Delta: math.NaN()}, {Delta: -1}, {Delta: 2},
+		{Shards: -1}, {Shards: MaxTenantShards + 1},
+		{Batch: -5}, {Batch: MaxTenantBatch + 1},
+		{FlipBudget: -2}, {FlipBudget: MaxTenantFlipBudget + 1},
+	} {
+		if _, err := bad.normalize(cfg); err == nil {
+			t.Errorf("malformed spec %+v accepted", bad)
+		}
+	}
+
+	// Caps bound client requests, not operator flags: a server run with
+	// -shards above the cap keeps serving default-shaped tenants.
+	bigCfg := Config{Shards: MaxTenantShards * 2, Batch: MaxTenantBatch * 2, FlipBudget: MaxTenantFlipBudget * 2}.withDefaults()
+	ts, err = TenantSpec{}.normalize(bigCfg)
+	if err != nil {
+		t.Fatalf("inherited over-cap server flags rejected: %v", err)
+	}
+	if ts.Shards != bigCfg.Shards || ts.Batch != bigCfg.Batch || ts.FlipBudget != bigCfg.FlipBudget {
+		t.Errorf("over-cap server flags not inherited: %+v", ts)
+	}
+	// An explicit over-cap request on the same server is still refused.
+	if _, err := (TenantSpec{Shards: MaxTenantShards + 1}).normalize(bigCfg); err == nil {
+		t.Error("explicit over-cap shards accepted")
+	}
+}
+
+// TestResolvePerTenantSizing: resolve is a function of the tenant spec —
+// two tenants with different ε get differently sized shard estimators
+// from the same server config.
+func TestResolvePerTenantSizing(t *testing.T) {
+	cfg := Config{Shards: 1, Seed: 1}.withDefaults()
+	sizeOf := func(eps float64) int {
+		sp, ts, err := resolve(TenantSpec{Sketch: "countsketch", Eps: eps}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sp.factory(ts)(1).SpaceBytes()
+	}
+	coarse, fine := sizeOf(0.4), sizeOf(0.1)
+	if fine <= coarse {
+		t.Errorf("ε=0.1 tenant (%d bytes) not larger than ε=0.4 tenant (%d bytes)", fine, coarse)
+	}
+	// Point-query metadata covers the whole countsketch policy column and
+	// nothing else.
+	for _, policy := range Policies() {
+		sp, _, err := resolve(TenantSpec{Sketch: "countsketch", Policy: policy}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sp.points {
+			t.Errorf("countsketch+%s does not report point queries", policy)
+		}
+		if sp.l2Of == nil {
+			t.Errorf("countsketch+%s has no L2 conversion for the point bound", policy)
+		}
+	}
+	for _, name := range []string{"f2", "kmv", "cc"} {
+		sp, _, err := resolve(TenantSpec{Sketch: name}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sp.points {
+			t.Errorf("%s spuriously reports point queries", name)
+		}
+	}
+}
+
+// FuzzTenantSpecDecode drives the POST /v2/keys parsing path: whatever
+// the bytes, decoding either fails cleanly or yields a request whose
+// resolved spec satisfies every validation invariant.
+func FuzzTenantSpecDecode(f *testing.F) {
+	f.Add([]byte(`{"key":"k","spec":{"sketch":"f2","policy":"ring","eps":0.1}}`))
+	f.Add([]byte(`{"key":"k","spec":{"eps":null}}`))
+	f.Add([]byte(`{"key":"k","spec":{"eps":"NaN"}}`))
+	f.Add([]byte(`{"key":"k","spec":{"sketch":"robust-f2","flip_budget":-1}}`))
+	f.Add([]byte(`{"key":"k","spec":{"n":"18446744073709551615","shards":9999}}`))
+	f.Add([]byte(`{"spec":{}}`))
+	f.Add([]byte(`[]`))
+	cfg := Config{}.withDefaults()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := decodeCreateTenant(data)
+		if err != nil {
+			return
+		}
+		if req.Key == "" {
+			t.Fatalf("decodeCreateTenant accepted a missing key: %q", data)
+		}
+		sp, ts, err := resolve(req.Spec, cfg)
+		if err != nil {
+			return // rejected specs are fine; they must not panic
+		}
+		if math.IsNaN(ts.Eps) || ts.Eps <= 0 || ts.Eps >= 1 {
+			t.Fatalf("resolved eps %v escaped validation (input %q)", ts.Eps, data)
+		}
+		if math.IsNaN(ts.Delta) || ts.Delta <= 0 || ts.Delta >= 1 {
+			t.Fatalf("resolved delta %v escaped validation (input %q)", ts.Delta, data)
+		}
+		if ts.Shards < 1 || ts.Shards > MaxTenantShards {
+			t.Fatalf("resolved shards %d escaped validation (input %q)", ts.Shards, data)
+		}
+		if ts.Batch < 1 || ts.Batch > MaxTenantBatch {
+			t.Fatalf("resolved batch %d escaped validation (input %q)", ts.Batch, data)
+		}
+		if ts.FlipBudget < 1 || ts.FlipBudget > MaxTenantFlipBudget {
+			t.Fatalf("resolved flip budget %d escaped validation (input %q)", ts.FlipBudget, data)
+		}
+		if sp.Name != ts.Sketch || sp.Policy != ts.Policy {
+			t.Fatalf("spec/tenant-spec identity mismatch: %s+%s vs %s+%s", sp.Name, sp.Policy, ts.Sketch, ts.Policy)
+		}
+	})
+}
+
+// FuzzQueryDecode drives the POST /v2/query parsing path: decoded batches
+// must have a key, a bounded non-zero length, only known kinds, and
+// in-range topk sizes.
+func FuzzQueryDecode(f *testing.F) {
+	f.Add([]byte(`{"key":"k","queries":[{"kind":"estimate"},{"kind":"point","item":"123"},{"kind":"topk","k":10}]}`))
+	f.Add([]byte(`{"key":"k","queries":[]}`))
+	f.Add([]byte(`{"key":"k","queries":[{"kind":"drop tables"}]}`))
+	f.Add([]byte(`{"key":"k","queries":[{"kind":"topk","k":-1}]}`))
+	f.Add([]byte(`{"queries":[{"kind":"estimate"}]}`))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := decodeQueryRequest(data)
+		if err != nil {
+			return
+		}
+		if req.Key == "" {
+			t.Fatalf("decodeQueryRequest accepted a missing key: %q", data)
+		}
+		if len(req.Queries) == 0 || len(req.Queries) > maxQueryBatch {
+			t.Fatalf("decodeQueryRequest accepted a batch of %d queries: %q", len(req.Queries), data)
+		}
+		for _, q := range req.Queries {
+			switch q.Kind {
+			case QueryEstimate, QueryPoint:
+			case QueryTopK:
+				if q.K < 1 || q.K > maxTopK {
+					t.Fatalf("decodeQueryRequest accepted topk k=%d: %q", q.K, data)
+				}
+			default:
+				t.Fatalf("decodeQueryRequest accepted kind %q: %q", q.Kind, data)
+			}
+		}
+	})
+}

@@ -40,6 +40,26 @@ type PointQuerier interface {
 	Query(item uint64) float64
 }
 
+// ItemWeight is one candidate heavy item together with its estimated
+// frequency — the unit of a heavy hitters answer set.
+type ItemWeight struct {
+	Item   uint64
+	Weight float64
+}
+
+// TopKQuerier is implemented by sketches that maintain a bounded candidate
+// pool of heavy items (Section 6's heavy hitters surface): TopK emits the
+// k candidates of largest estimated magnitude without enumerating the
+// universe. Implementations must order by decreasing |Weight| with ties
+// broken by ascending Item, so answers are deterministic for a fixed
+// sketch state.
+type TopKQuerier interface {
+	PointQuerier
+
+	// TopK returns up to k candidates, largest estimated |Weight| first.
+	TopK(k int) []ItemWeight
+}
+
 // DuplicateInsensitive is a marker implemented by estimators whose internal
 // state provably does not change when an item that already appeared is
 // inserted again (with probability 1 over the estimator's randomness).
