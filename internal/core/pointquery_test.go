@@ -79,6 +79,30 @@ func TestPathsQueryForwardsToInner(t *testing.T) {
 	}
 }
 
+// TestRingSwitcherQueryDeclines: in ring mode the published slot is
+// restarted with fresh randomness as soon as its value is used, so a
+// point query there would answer from a suffix-only sketch; the wrapper
+// must decline (0/nil) rather than return near-empty estimates — callers
+// wanting robust ring-backed point queries use the frozen construction
+// (robust.HeavyHitters).
+func TestRingSwitcherQueryDeclines(t *testing.T) {
+	s := NewSwitcher(0.2, RingCopies(0.2), true, 7, csFactory(0.1))
+	gen := stream.NewZipf(1<<8, 5000, 1.3, 3)
+	for {
+		u, ok := gen.Next()
+		if !ok {
+			break
+		}
+		s.Update(u.Item, u.Delta)
+	}
+	if got := s.Query(0); got != 0 {
+		t.Errorf("ring Query(0) = %v, want explicit 0", got)
+	}
+	if got := s.TopK(3); got != nil {
+		t.Errorf("ring TopK(3) = %v, want nil", got)
+	}
+}
+
 // TestQueryOnNonQuerierInner: wrappers over inner types without a
 // point-query surface degrade to zero answers instead of panicking; the
 // server never routes point queries to such tenants (spec metadata), so

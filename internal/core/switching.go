@@ -109,9 +109,11 @@ func (s *Switcher) Estimate() float64 { return s.out }
 // answer comes from the published copy — the instance whose estimate
 // produced the current rounded output — never from the active instance,
 // whose randomness must stay unobserved until its value is published.
-// Meaningful in dense mode (the published copy keeps ingesting but its
-// value has already been spent); in ring mode the published slot is
-// restarted on reuse, so ring-backed point queries should go through a
+// Meaningful in dense mode only (the published copy keeps ingesting but
+// its value has already been spent); in ring mode the published slot is
+// restarted with fresh randomness the moment its value is used, so the
+// slot holds a suffix-only sketch that would answer near-zero — Query
+// returns 0 explicitly, and ring-backed point queries must go through a
 // problem-specific frozen construction instead (robust.HeavyHitters,
 // Theorem 6.5). Returns 0 if the inner instances cannot point-query.
 //
@@ -122,6 +124,9 @@ func (s *Switcher) Estimate() float64 { return s.out }
 // pays for. Theorem-backed adversarially robust point queries exist only
 // in the frozen-ring construction.
 func (s *Switcher) Query(item uint64) float64 {
+	if s.ring {
+		return 0
+	}
 	pq, ok := s.instances[s.published].(sketch.PointQuerier)
 	if !ok {
 		return 0
@@ -130,9 +135,12 @@ func (s *Switcher) Query(item uint64) float64 {
 }
 
 // TopK implements sketch.TopKQuerier from the published copy; see Query
-// for which instance answers and why. Returns nil if the inner instances
-// cannot enumerate candidates.
+// for which instance answers and why. Returns nil in ring mode and if the
+// inner instances cannot enumerate candidates.
 func (s *Switcher) TopK(k int) []sketch.ItemWeight {
+	if s.ring {
+		return nil
+	}
 	tk, ok := s.instances[s.published].(sketch.TopKQuerier)
 	if !ok {
 		return nil

@@ -289,10 +289,14 @@ func (s *shard) publish() {
 	}
 }
 
-// shardOf routes an item to its shard; the salted mix keeps routing
-// independent of the estimators' own hash functions.
+// shardIndex routes an item to its shard index; the salted mix keeps
+// routing independent of the estimators' own hash functions.
+func (e *Engine) shardIndex(item uint64) int {
+	return int(dist.SplitMix64(item^e.salt) % uint64(len(e.shards)))
+}
+
 func (e *Engine) shardOf(item uint64) *shard {
-	return e.shards[dist.SplitMix64(item^e.salt)%uint64(len(e.shards))]
+	return e.shards[e.shardIndex(item)]
 }
 
 // Update implements sketch.Estimator. It appends to the item's shard batch
@@ -475,6 +479,11 @@ var ErrNoPointQueries = errors.New("engine: shard estimators do not support poin
 // QueryBatch fails with ErrNoPointQueries when they do not.
 func (e *Engine) QueryBatch(items []uint64, k int) (estimate float64, points []float64, topk []sketch.ItemWeight, err error) {
 	points = make([]float64, len(items))
+	ownedBy := make([][]int, len(e.shards)) // item indices per owning shard
+	for j, item := range items {
+		o := e.shardIndex(item)
+		ownedBy[o] = append(ownedBy[o], j)
+	}
 	var merged []sketch.ItemWeight
 	err = e.Visit(func(i int, est sketch.Estimator) error {
 		if len(items) > 0 {
@@ -482,11 +491,8 @@ func (e *Engine) QueryBatch(items []uint64, k int) (estimate float64, points []f
 			if !ok {
 				return ErrNoPointQueries
 			}
-			owner := e.shards[i]
-			for j, item := range items {
-				if e.shardOf(item) == owner {
-					points[j] = pq.Query(item)
-				}
+			for _, j := range ownedBy[i] {
+				points[j] = pq.Query(items[j])
 			}
 		}
 		if k > 0 {

@@ -220,11 +220,17 @@ func (s *Server) specMatches(t *tenant, raw TenantSpec) error {
 		{"shards", raw.Shards != 0, rts.Shards, t.ts.Shards},
 		{"batch", raw.Batch != 0, rts.Batch, t.ts.Batch},
 		{"flip_budget", raw.FlipBudget != 0, rts.FlipBudget, t.ts.FlipBudget},
-		{"seed", raw.Seed != 0, rts.Seed, t.ts.Seed},
 	} {
 		if f.set && f.got != f.want {
 			return fmt.Errorf("%w: key %q was created with %s=%v, not %v", errConflict, t.key, f.name, f.want, f.got)
 		}
+	}
+	// The seed never goes in an error: echoing the stored value would hand
+	// any client that can name the key the tenant's resolved seed — the
+	// state compromise the seed-leak adversary needs (KeyStats zeroes Seed
+	// for the same reason).
+	if raw.Seed != 0 && rts.Seed != t.ts.Seed {
+		return fmt.Errorf("%w: key %q was created with a different seed", errConflict, t.key)
 	}
 	return nil
 }

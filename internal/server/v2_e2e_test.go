@@ -3,6 +3,7 @@ package server_test
 import (
 	"context"
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/client"
@@ -61,8 +62,12 @@ func TestV2CreateTenantEcho(t *testing.T) {
 	if _, err := c.CreateTenant(ctx, "hh", client.TenantSpec{Seed: 99}); err != nil {
 		t.Errorf("re-declare with the tenant's own seed failed: %v", err)
 	}
+	// The 409 must not disclose the stored seed: echoing it would hand a
+	// probing client the per-tenant randomness in one request.
 	if _, err := c.CreateTenant(ctx, "hh", client.TenantSpec{Seed: 100}); client.StatusCode(err) != 409 {
 		t.Errorf("conflicting seed: err = %v, want HTTP 409", err)
+	} else if strings.Contains(err.Error(), "99") {
+		t.Errorf("seed conflict error leaks the stored seed: %v", err)
 	}
 	// A tenant created without an explicit seed stores the server root,
 	// so naming that root later is also idempotent.
