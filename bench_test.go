@@ -413,6 +413,33 @@ func BenchmarkPolicyIngestRing(b *testing.B)      { benchPolicyIngest(b, "ring")
 func BenchmarkPolicyIngestSwitching(b *testing.B) { benchPolicyIngest(b, "switching") }
 func BenchmarkPolicyIngestPaths(b *testing.B)     { benchPolicyIngest(b, "paths") }
 
+// benchModelIngest — the stream-model column of the same trade-off: the
+// per-update cost of an f2+paths shard estimator under each declared
+// model, built exactly as a sketchd tenant builds it. The update stream
+// is insertion-only for every cell so the numbers are apples to apples;
+// the non-insertion cells differ by their flip-bound sizing (declared λ
+// vs Lemma 8.2 vs the insertion-only log bound) and by publishing the
+// moment ‖f‖₂² through the Indyk inner estimator.
+func benchModelIngest(b *testing.B, model string, alpha float64) {
+	cfg := server.Config{Shards: 1, Eps: 0.3, Delta: 0.05, N: 1 << 20, Seed: 1}
+	ec, err := server.EngineConfig(server.TenantSpec{
+		Sketch: "f2", Policy: "paths", Model: model, Alpha: alpha,
+	}, cfg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	est := ec.Factory(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est.Update(dist.SplitMix64(uint64(i)), 1)
+	}
+	b.ReportMetric(float64(est.SpaceBytes()), "bytes")
+}
+
+func BenchmarkModelIngestInsertion(b *testing.B)       { benchModelIngest(b, "insertion", 0) }
+func BenchmarkModelIngestTurnstile(b *testing.B)       { benchModelIngest(b, "turnstile", 0) }
+func BenchmarkModelIngestBoundedDeletion(b *testing.B) { benchModelIngest(b, "bounded_deletion", 4) }
+
 // benchTopKQuery — structured-query read cost: a countsketch tenant's
 // engine (built exactly as sketchd builds it, per-tenant spec included)
 // answers top-10 queries over a pre-ingested Zipf stream. Each iteration

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"net/http/httptest"
 	"os"
 	"strings"
@@ -14,23 +15,26 @@ import (
 	"repro/internal/engine"
 	"repro/internal/game"
 	"repro/internal/hash"
+	"repro/internal/robust"
 	"repro/internal/server"
 	"repro/internal/sketch"
 )
 
-// The campaign subcommand sweeps adversary × target × sketch × policy:
-// every adaptive strategy in internal/adversary plays the full
+// The campaign subcommand sweeps adversary × target × sketch × policy ×
+// model: every adaptive strategy in internal/adversary plays the full
 // query→adapt→update game against every layer of the production stack —
 // bare estimator, sharded engine, and a sketchd tenant over loopback
-// HTTP — for every requested sketch × robustness-policy combination in
-// the server registry, and the outcomes land in a JSON report. The
-// expected picture, which the nightly CI run asserts on a fixed subset:
-// adaptive attacks break the policy-free static combinations and bounce
-// off the robust ones (switching, ring, paths alike), on every target —
-// and the report's space/error columns let switching and paths be
-// compared empirically under the same attack.
+// HTTP — for every requested sketch × robustness-policy × stream-model
+// combination the server registry hosts, and the outcomes land in a JSON
+// report. The expected picture, which the nightly CI run asserts on a
+// fixed subset: adaptive attacks break the policy-free static
+// combinations and bounce off the robust ones (switching, ring, paths
+// alike), on every target; the deletion-driven pump adversary holds
+// against turnstile and bounded-deletion cells sized for it — and the
+// report's space/error columns let switching and paths be compared
+// empirically under the same attack.
 //
-// Usage: go run ./cmd/experiments campaign -sketches f2,kmv -policies none,ring,paths -o report.json
+// Usage: go run ./cmd/experiments campaign -sketches f2,kmv -policies none,ring,paths -models insertion,turnstile -o report.json
 //
 // Pre-matrix aliases (robust-f2, …) are accepted in -sketches and pin
 // their own policy, ignoring -policies.
@@ -41,6 +45,7 @@ type campaignResult struct {
 	Target     string  `json:"target"`
 	Sketch     string  `json:"sketch"`
 	Policy     string  `json:"policy"`
+	Model      string  `json:"model"`
 	Robust     bool    `json:"robust"`
 	Skipped    string  `json:"skipped,omitempty"`
 	Steps      int     `json:"steps,omitempty"`
@@ -57,6 +62,8 @@ type campaignReport struct {
 	Steps    int              `json:"steps"`
 	Shards   int              `json:"shards"`
 	Policies []string         `json:"policies"`
+	Models   []string         `json:"models"`
+	Alpha    float64          `json:"alpha"`
 	Results  []campaignResult `json:"results"`
 }
 
@@ -81,21 +88,29 @@ type campaignTarget struct {
 	close func()
 }
 
-// campaignCombo is one (sketch, policy) cell of the sweep grid.
+// campaignCombo is one (sketch, policy, model) cell of the sweep grid:
+// the TenantSpec that declares it plus the resolved cell metadata.
 type campaignCombo struct {
-	sketch, policy string
-	info           server.Info
+	ts   server.TenantSpec
+	info server.Info
 }
 
-// resolveCombos expands the -sketches and -policies flags into the swept
-// (sketch, policy) cells: aliases pin their own policy, base names cross
-// with the policy list, and "all" expands to the registry (skipping
-// combinations the policy layer rejects, e.g. cc×ring — entropy is not
-// monotone). An explicitly requested invalid combination exits loudly.
-func resolveCombos(sketches, policies string) ([]campaignCombo, []string) {
+// resolveCombos expands the -sketches, -policies and -models flags into
+// the swept (sketch, policy, model) cells: aliases pin their own policy,
+// base names cross with the policy and model lists, and "all" on any axis
+// expands to the registry (skipping cells the policy/model layer rejects
+// — cc×ring, ring under deletions, non-Fp sketches under non-insertion
+// models). A grid with any expanded axis (an "all", or a multi-valued
+// model list) skips its invalid cells; a fully explicit single invalid
+// combination exits loudly.
+func resolveCombos(sketches, policies, models string, alpha float64) ([]campaignCombo, []string, []string) {
 	policyList := splitList(policies)
 	if policies == "all" {
 		policyList = server.Policies()
+	}
+	modelList := splitList(models)
+	if models == "all" {
+		modelList = robust.ModelKinds()
 	}
 	var names []string
 	if sketches == "all" {
@@ -105,29 +120,44 @@ func resolveCombos(sketches, policies string) ([]campaignCombo, []string) {
 	} else {
 		names = splitList(sketches)
 	}
+	// With more than one model requested the grid is a cross-product, so
+	// structurally invalid cells are expected and skipped.
+	expanded := sketches == "all" || policies == "all" || models == "all" || len(modelList) > 1
+	specFor := func(sketch, policy, model string) server.TenantSpec {
+		ts := server.TenantSpec{Sketch: sketch, Policy: policy, Model: model}
+		if model == "bounded_deletion" {
+			ts.Alpha = alpha
+		}
+		return ts
+	}
 	var combos []campaignCombo
 	for _, name := range names {
 		if info, err := server.InfoFor(name, ""); err != nil {
 			fmt.Fprintf(os.Stderr, "%v\n", err)
 			os.Exit(2)
 		} else if info.Name != name || info.Policy != "none" {
-			// An alias: one pinned cell, the policy grid does not apply.
-			combos = append(combos, campaignCombo{sketch: name, policy: "", info: info})
+			// An alias: one pinned cell, the policy grid does not apply. The
+			// pinned policies are insertion-only cells (ring, or entropy's
+			// switching), so the model grid does not apply either.
+			combos = append(combos, campaignCombo{ts: server.TenantSpec{Sketch: name}, info: info})
 			continue
 		}
 		for _, pol := range policyList {
-			info, err := server.InfoFor(name, pol)
-			if err != nil {
-				if sketches == "all" || policies == "all" {
-					continue // invalid cell of an auto-expanded grid
+			for _, model := range modelList {
+				ts := specFor(name, pol, model)
+				info, err := server.InfoForSpec(ts)
+				if err != nil {
+					if expanded {
+						continue // invalid cell of an auto-expanded grid
+					}
+					fmt.Fprintf(os.Stderr, "%v\n", err)
+					os.Exit(2)
 				}
-				fmt.Fprintf(os.Stderr, "%v\n", err)
-				os.Exit(2)
+				combos = append(combos, campaignCombo{ts: ts, info: info})
 			}
-			combos = append(combos, campaignCombo{sketch: name, policy: pol, info: info})
 		}
 	}
-	return combos, policyList
+	return combos, policyList, modelList
 }
 
 func runCampaign(args []string) {
@@ -137,6 +167,8 @@ func runCampaign(args []string) {
 		targets     = fs.String("targets", "estimator,engine,http", "comma-separated target kinds")
 		sketches    = fs.String("sketches", "f2,kmv,countsketch,robust-f2,robust-f0,robust-hh", "comma-separated sketch types (base names or robust-* aliases), or 'all' for the full registry (entropy types are slow)")
 		policies    = fs.String("policies", "none", "comma-separated robustness policies crossed with every base sketch in -sketches (aliases pin their own), or 'all'")
+		models      = fs.String("models", "insertion", "comma-separated stream models crossed with every base sketch × policy cell (insertion, turnstile, bounded_deletion), or 'all'")
+		alpha       = fs.Float64("alpha", 4, "deletion budget α of the bounded_deletion cells (Definition 8.1)")
 		steps       = fs.Int("steps", 3000, "max adversary rounds per combination")
 		eps         = fs.Float64("eps", 0.3, "the 1±ε acceptance envelope (additive ε bits for entropy types)")
 		delta       = fs.Float64("delta", 0.05, "per-keyspace failure probability")
@@ -150,13 +182,13 @@ func runCampaign(args []string) {
 
 	// Validate the sweep axes up front: a typo must exit loudly, not run a
 	// sweep of zero campaigns that CI would read as green.
-	knownAdversaries := map[string]bool{"ams": true, "chaser": true, "ramp": true, "seedleak": true}
+	knownAdversaries := map[string]bool{"ams": true, "chaser": true, "ramp": true, "seedleak": true, "pump": true}
 	knownTargets := map[string]bool{"estimator": true, "engine": true, "http": true}
 	advList := splitList(*adversaries)
 	targetList := splitList(*targets)
 	for _, a := range advList {
 		if !knownAdversaries[a] {
-			fmt.Fprintf(os.Stderr, "unknown adversary %q (have: ams, chaser, ramp, seedleak)\n", a)
+			fmt.Fprintf(os.Stderr, "unknown adversary %q (have: ams, chaser, ramp, seedleak, pump)\n", a)
 			os.Exit(2)
 		}
 	}
@@ -166,9 +198,9 @@ func runCampaign(args []string) {
 			os.Exit(2)
 		}
 	}
-	combos, policyList := resolveCombos(*sketches, *policies)
+	combos, policyList, modelList := resolveCombos(*sketches, *policies, *models, *alpha)
 
-	report := campaignReport{Eps: *eps, Steps: *steps, Shards: *shards, Policies: policyList}
+	report := campaignReport{Eps: *eps, Steps: *steps, Shards: *shards, Policies: policyList, Models: modelList, Alpha: *alpha}
 	failed := 0
 	for _, combo := range combos {
 		for _, targetKind := range targetList {
@@ -189,8 +221,8 @@ func runCampaign(args []string) {
 				case res.Broken:
 					verdict = fmt.Sprintf("BROKEN at %d", res.BrokenAt)
 				}
-				fmt.Fprintf(os.Stderr, "  %-9s vs %-9s %-12s %-10s %s\n",
-					advName, targetKind, res.Sketch, res.Policy, verdict)
+				fmt.Fprintf(os.Stderr, "  %-9s vs %-9s %-12s %-10s %-16s %s\n",
+					advName, targetKind, res.Sketch, res.Policy, res.Model, verdict)
 			}
 		}
 	}
@@ -247,9 +279,9 @@ type comboConfig struct {
 func buildTarget(c comboConfig) (campaignTarget, error) {
 	cfg := server.Config{
 		Shards: c.shards, Eps: c.eps, Delta: c.delta, N: 1 << 20, Seed: c.seed,
-		DefaultSketch: c.combo.sketch, DefaultPolicy: c.combo.policy,
+		DefaultSketch: c.combo.ts.Sketch, DefaultPolicy: c.combo.ts.Policy,
 	}
-	ts := server.TenantSpec{Sketch: c.combo.sketch, Policy: c.combo.policy}
+	ts := c.combo.ts
 	switch c.target {
 	case "estimator":
 		cfg.Shards = 1
@@ -336,6 +368,15 @@ func buildAdversary(c comboConfig, ct campaignTarget) (game.Adversary, string) {
 		}
 		warm := c.steps / 2
 		return adversary.NewSeedLeak(hl.Hash(), warm, c.steps-warm), ""
+	case "pump":
+		if c.combo.info.Model == "insertion" {
+			return nil, "pump deletes; insertion-only cells reject negative deltas (use -models turnstile or bounded_deletion)"
+		}
+		alpha := math.Inf(1)
+		if c.combo.info.Model == "bounded_deletion" {
+			alpha = c.combo.ts.Alpha
+		}
+		return adversary.NewPump(c.steps, alpha, c.seed+13), ""
 	}
 	return nil, fmt.Sprintf("unknown adversary %q", c.adv)
 }
@@ -343,7 +384,8 @@ func buildAdversary(c comboConfig, ct campaignTarget) (game.Adversary, string) {
 func runCampaignCombo(c comboConfig) campaignResult {
 	out := campaignResult{
 		Adversary: c.adv, Target: c.target,
-		Sketch: c.combo.info.Name, Policy: c.combo.info.Policy, Robust: c.combo.info.Robust,
+		Sketch: c.combo.info.Name, Policy: c.combo.info.Policy,
+		Model: c.combo.info.Model, Robust: c.combo.info.Robust,
 	}
 	ct, err := buildTarget(c)
 	if err != nil {
@@ -356,9 +398,16 @@ func runCampaignCombo(c comboConfig) campaignResult {
 		out.Skipped = skip
 		return out
 	}
-	check := game.RelCheck(c.eps)
+	checkEps := c.eps
+	if c.combo.info.Robust && c.combo.info.Model != "insertion" {
+		// Non-insertion robust cells publish the moment ‖f‖_p^p: the inner
+		// (1±ε)-on-the-norm guarantee is (1±ε)^p on the moment, so widen
+		// the envelope accordingly (p ≤ 2 throughout the registry).
+		checkEps = c.eps * (2 + c.eps)
+	}
+	check := game.RelCheck(checkEps)
 	if c.combo.info.Additive {
-		check = game.AdditiveCheck(c.eps)
+		check = game.AdditiveCheck(checkEps)
 	}
 	res, err := game.RunTarget(ct.tgt, adv, c.combo.info.Truth, check, game.Config{
 		MaxSteps: c.steps, StopOnBreak: true, Warmup: c.warmup,

@@ -139,6 +139,9 @@ func widthFor(p float64, n uint64) int {
 
 // runTurnstile exercises Theorem 1.6 on the canonical insert-then-delete
 // hard instance, with the flip budget λ measured from the stream class.
+// The estimator is assembled the way a sketchd tenant is: a declared
+// stream model picks the problem (LpProblemFor) and a policy wraps it —
+// the constructor robust.NewTurnstileFp is exactly this composition.
 func runTurnstile() {
 	const eps = 0.5
 	const n = 1500
@@ -146,24 +149,41 @@ func runTurnstile() {
 		func(f *stream.Freq) float64 { return f.Fp(2) })
 	lambda := core.FlipNumber(seq, eps/20) + 8
 	fmt.Printf("insert-then-delete over %d items: F2 flip number (ε/20) = %d\n", n, lambda-8)
-	alg := robust.NewTurnstileFp(2, eps, lambda, 2*n, float64(n), 3000, 7)
+	prob, err := robust.LpProblemFor(2, robust.TurnstileModel(lambda))
+	if err != nil {
+		panic(err)
+	}
+	alg, err := robust.Policy{Kind: robust.Paths, StreamLen: 2 * n, KCap: 3000}.Wrap(eps, 0.001, n, 7, prob)
+	if err != nil {
+		panic(err)
+	}
 	res := game.Run(alg, game.FromGenerator(stream.NewInsertDelete(n)),
 		func(f *stream.Freq) float64 { return f.Fp(2) },
 		game.RelCheck(2*eps), game.Config{Warmup: 50})
-	fmt.Printf("robust turnstile F2 (λ budget %d): %d updates, max rel.err %.1f%%, space %d KiB\n",
-		lambda, res.Steps, 100*res.MaxRelErr, alg.SpaceBytes()/1024)
+	fmt.Printf("robust turnstile F2 (model %s): %d updates, max rel.err %.1f%%, space %d KiB\n",
+		prob.Model, res.Steps, 100*res.MaxRelErr, alg.SpaceBytes()/1024)
 	fmt.Println("(failures near full cancellation are excluded by the warmup/rounding floor)")
 }
 
 // runBoundedDeletion sweeps α for Theorem 1.11: the flip budget — and so
-// the space — grows linearly in α, while accuracy holds throughout.
+// the space — grows linearly in α, while accuracy holds throughout. Like
+// runTurnstile, each estimator is the model-API composition a
+// model=bounded_deletion tenant hosts (robust.NewBoundedDeletionFp is
+// the pinned constructor form of the same thing).
 func runBoundedDeletion() {
 	const eps, p = 0.5, 1.0
 	fmt.Printf("robust F1 on α-bounded-deletion streams (ε = %.1f):\n\n", eps)
 	fmt.Printf("  %6s %14s %12s %14s %10s\n", "α", "flip bound", "max rel.err", "space (KiB)", "broken")
 	for _, alpha := range []float64{1.5, 2, 4, 8} {
 		lambda := robust.BoundedDeletionLambda(p, alpha, eps, 256, 4000)
-		alg := robust.NewBoundedDeletionFp(p, alpha, eps, 256, 4000, 4000, 2500, 17)
+		prob, err := robust.LpProblemFor(p, robust.BoundedDeletionModel(alpha))
+		if err != nil {
+			panic(err)
+		}
+		alg, err := robust.Policy{Kind: robust.Paths, StreamLen: 4000, MaxCount: 4000, KCap: 2500}.Wrap(eps, 0.001, 256, 17, prob)
+		if err != nil {
+			panic(err)
+		}
 		res := game.Run(alg,
 			game.FromGenerator(stream.NewBoundedDeletion(256, 4000, p, alpha, 0.4, 19)),
 			func(f *stream.Freq) float64 { return f.Fp(p) },

@@ -31,11 +31,21 @@
 //     robust estimators. robust.Policy names a transformation (none,
 //     switching, ring, paths) and composes with any robust.Problem (the
 //     per-statistic sizing: inner factory, ε₀ divisor, flip bound, value
-//     range) through one constructor, Policy.Wrap — the full sketch ×
-//     policy matrix from four problem descriptors. The per-theorem
-//     constructors (NewFp, NewF0, NewEntropy, …) are thin instances of
-//     it, and every wrapper reports its flip-budget consumption through
-//     sketch.RobustnessReporter.
+//     range — plus the stream model) through one constructor,
+//     Policy.Wrap — the full sketch × policy × model matrix from four
+//     problem descriptors. robust.Model declares which streams the
+//     guarantee quantifies over and selects the flip bound that sizes
+//     the wrapper: InsertionModel (Proposition 3.4), TurnstileModel(λ)
+//     (the Theorem 1.6 flip class S_λ), or BoundedDeletionModel(α)
+//     (Lemma 8.2); LpProblemFor(p, model) builds the matching Fp
+//     problem, switching to a signed inner sketch for the non-insertion
+//     models, and invalid compositions (ring under deletions, non-Fp
+//     statistics under a signed model) are rejected at Wrap time. The
+//     per-theorem constructors (NewFp, NewF0, NewEntropy,
+//     NewTurnstileFp, NewBoundedDeletionFp, …) are thin instances of
+//     it — the model tests pin the latter two update-for-update against
+//     the composition — and every wrapper reports its flip-budget
+//     consumption through sketch.RobustnessReporter.
 //   - internal/engine — a sharded, batched, concurrent ingest pipeline
 //     that hash-routes updates to per-shard estimator instances (static
 //     or robust), coalesces duplicates per batch, and recombines the
@@ -44,11 +54,17 @@
 //     drops into any harness in the repository.
 //   - internal/server, internal/client — sketchd, the multi-tenant
 //     network sketch service (cmd/sketchd): declarative tenants (POST
-//     /v2/keys with a TenantSpec — each tenant a sketch × policy
-//     combination sized from its own ε, δ, n, shards and flip budget,
-//     with the server Config demoted to defaults and caps; the old
-//     robust-* names resolve as aliases and the ?sketch=/?policy= v1
-//     form stays as a thin alias), structured queries (POST /v2/query:
+//     /v2/keys with a TenantSpec — each tenant a sketch × policy ×
+//     stream-model combination sized from its own ε, δ, n, shards and
+//     flip budget, plus λ for model=turnstile and α for
+//     model=bounded_deletion, with the server Config demoted to
+//     defaults and caps; the old robust-* names resolve as aliases and
+//     the ?sketch=/?policy= v1 form stays as a thin alias; tenants
+//     default to model=insertion and then reject negative deltas with
+//     400 before anything from the batch is applied, while
+//     turnstile/bounded-deletion tenants accept signed updates and
+//     expose mass/deleted_mass telemetry), structured queries (POST
+//     /v2/query:
 //     estimate | point | topk batches answered with ε-derived error
 //     bounds and flip-budget state — the Section 6 point-query and heavy
 //     hitters machinery over HTTP, frozen-ring-backed for
@@ -64,16 +80,23 @@
 //     The game's Target interface runs the same adversaries against a
 //     bare estimator, a sharded engine, or a sketchd tenant over HTTP
 //     (client.NewGameTarget); `go run ./cmd/experiments campaign` sweeps
-//     adversary × target × sketch × policy (tenants declared over the v2
-//     surface) and emits a JSON report. TestAdaptiveAMSCampaignOverHTTP
-//     (attack_e2e_test.go) is the end-to-end regression: the adaptive
-//     AMS attack breaks a static f2 tenant over loopback HTTP while
-//     ring, switching and paths guard tenants on the same stream stay
-//     within ε; TestAdaptivePointQueryCampaignOverHTTP
-//     (pointquery_e2e_test.go) is its point-query counterpart — a greedy
-//     collision finder breaks a static countsketch tenant's point
-//     queries via its own answers while the Theorem 6.5 frozen-ring
-//     tenant holds ε·‖f‖₂.
+//     adversary × target × sketch × policy × model (tenants declared
+//     over the v2 surface) and emits a JSON report. The Pump adversary
+//     drives the signed-update cells: it oscillates a heavy coordinate
+//     through genuine deletions, adapting to the published estimates
+//     while staying inside the declared stream class.
+//     TestAdaptiveAMSCampaignOverHTTP (attack_e2e_test.go) is the
+//     end-to-end regression: the adaptive AMS attack breaks a static f2
+//     tenant over loopback HTTP while ring, switching and paths guard
+//     tenants on the same stream stay within ε;
+//     TestAdaptivePointQueryCampaignOverHTTP (pointquery_e2e_test.go)
+//     is its point-query counterpart — a greedy collision finder breaks
+//     a static countsketch tenant's point queries via its own answers
+//     while the Theorem 6.5 frozen-ring tenant holds ε·‖f‖₂; and
+//     TestTurnstileModelCampaignOverHTTP (turnstile_e2e_test.go) is the
+//     model-axis regression — a model=turnstile tenant holds its moment
+//     envelope through a deletion-heavy Pump campaign that the
+//     insertion-only tenant rejects at the first negative delta.
 //
 // Verify the tree with the tier-1 command:
 //

@@ -1,0 +1,142 @@
+package adversary
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/stream"
+)
+
+// Pump is a deletion-driven adaptive adversary for the non-insertion
+// stream models: it builds one heavy coordinate and then pumps its count
+// up and down, reversing direction as soon as the published estimate
+// responds to the current half-phase. Every reversal drags the true F2
+// back across the (1±ε) milestones the estimator just crossed, so each
+// phase burns flips out of the wrapper's budget. Against an estimator
+// sized by the insertion-only flip bound (which is logarithmic in the
+// total mass, Proposition 3.4 — valid only because insertion-only
+// statistics are monotone) the oscillation exhausts the budget in O(λ)
+// phases and keeps going; a model=turnstile tenant sized by its declared
+// λ (Theorem 1.6) or a bounded-deletion tenant sized by Lemma 8.2 holds
+// for the class it declared.
+//
+// Pump honors the α-bounded-deletion invariant of Definition 8.1: it
+// tracks the F2 of its own stream f and of the insertion-only counterpart
+// h (deltas with the signs stripped), and any deletion that would violate
+// ‖f‖₂² ≥ ‖h‖₂²/α is replaced by a fresh background insertion, which
+// relaxes the constraint for later rounds. α = +Inf or α ≤ 0 disables the
+// constraint — the pure turnstile regime — but counts never go negative,
+// so every Pump stream is also a valid α-bounded stream for the α it was
+// built with.
+type Pump struct {
+	m     int
+	alpha float64
+	rng   *rand.Rand
+
+	step int
+	amp  int64 // half-phase amplitude; heavy count oscillates in [amp, 2·amp]
+
+	heavy  int64   // current count of the heavy item (item 1)
+	hHeavy int64   // insertions ever applied to the heavy item
+	f2     float64 // Σ f_i² of the emitted stream
+	h2     float64 // Σ h_i² of the insertion-only counterpart
+	nextBG uint64  // next fresh background item id
+
+	dir    int64   // +1 growing, −1 shrinking; 0 during build-up
+	refEst float64 // published estimate at the start of the phase
+}
+
+// NewPump returns a Pump that plays m rounds under the α-bounded-deletion
+// constraint; pass math.Inf(1) for an unconstrained turnstile stream.
+func NewPump(m int, alpha float64, seed int64) *Pump {
+	if m < 1 {
+		panic("adversary: pump needs m >= 1")
+	}
+	amp := int64(m / 16)
+	if amp < 4 {
+		amp = 4
+	}
+	return &Pump{m: m, alpha: alpha, rng: rand.New(rand.NewSource(seed)), amp: amp, nextBG: 1 << 32}
+}
+
+// insertHeavy emits +1 on the heavy item, maintaining the F2 accounting.
+func (p *Pump) insertHeavy() stream.Update {
+	p.f2 += float64(2*p.heavy + 1)
+	p.heavy++
+	p.h2 += float64(2*p.hHeavy + 1)
+	p.hHeavy++
+	return stream.Update{Item: 1, Delta: 1}
+}
+
+// insertFresh emits +1 on a never-seen background item: both ‖f‖₂² and
+// ‖h‖₂² grow by exactly 1, pulling their ratio toward 1 and away from the
+// α boundary.
+func (p *Pump) insertFresh() stream.Update {
+	item := p.nextBG
+	p.nextBG++
+	p.f2++
+	p.h2++
+	return stream.Update{Item: item, Delta: 1}
+}
+
+// deleteHeavy reports whether a −1 on the heavy item keeps the stream in
+// its declared class, and emits it when so. A deletion shrinks ‖f‖₂² but
+// still grows the absolute-value stream's ‖h‖₂² (h takes the |delta|), so
+// it tightens Definition 8.1 from both sides.
+func (p *Pump) deleteHeavy() (stream.Update, bool) {
+	if p.heavy <= 0 {
+		return stream.Update{}, false
+	}
+	afterF := p.f2 - float64(2*p.heavy-1)
+	afterH := p.h2 + float64(2*p.hHeavy+1)
+	if p.alpha > 0 && !math.IsInf(p.alpha, 1) && afterF < afterH/p.alpha {
+		return stream.Update{}, false // Definition 8.1 would be violated
+	}
+	p.f2 = afterF
+	p.heavy--
+	p.h2 = afterH
+	p.hHeavy++
+	return stream.Update{Item: 1, Delta: -1}, true
+}
+
+// Next implements game.Adversary.
+func (p *Pump) Next(last float64, step int) (stream.Update, bool) {
+	if p.step >= p.m {
+		return stream.Update{}, false
+	}
+	p.step++
+
+	// Build-up: establish the heavy coordinate before pumping.
+	if p.dir == 0 {
+		if p.heavy < 2*p.amp {
+			return p.insertHeavy(), true
+		}
+		p.dir, p.refEst = -1, last
+	}
+
+	// Reverse at the hard bounds, or as soon as the published estimate has
+	// visibly followed the current half-phase — the adaptive part: the
+	// reversal is timed by the estimator's own answers, so phases line up
+	// with its output flips rather than with a fixed schedule.
+	responded := math.Abs(last-p.refEst) > 0.25*math.Max(math.Abs(p.refEst), 1)
+	if p.dir < 0 && (p.heavy <= p.amp || responded) {
+		p.dir, p.refEst = +1, last
+	} else if p.dir > 0 && (p.heavy >= 2*p.amp || responded) {
+		p.dir, p.refEst = -1, last
+	}
+
+	if p.dir < 0 {
+		if u, ok := p.deleteHeavy(); ok {
+			return u, true
+		}
+		// Deletion forbidden by the α budget (or the count is at zero):
+		// spend the round relaxing the constraint instead.
+		return p.insertFresh(), true
+	}
+	if p.rng.Intn(16) == 0 {
+		// Occasional background insertion so the support keeps growing and
+		// the heavy item never carries the whole norm.
+		return p.insertFresh(), true
+	}
+	return p.insertHeavy(), true
+}

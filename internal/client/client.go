@@ -21,8 +21,9 @@ import (
 type Update = server.UpdateItem
 
 // TenantSpec mirrors the declarative tenant description of POST /v2/keys:
-// the sketch × policy combination plus the tenant's own (ε, δ, n, shards,
-// batch, flip budget, seed). See server.TenantSpec for field semantics.
+// the sketch × policy × stream-model combination plus the tenant's own
+// (ε, δ, n, shards, batch, flip budget, λ, α, seed). See server.TenantSpec
+// for field semantics.
 type TenantSpec = server.TenantSpec
 
 // Query and Answer mirror the typed query surface of POST /v2/query.
@@ -275,6 +276,18 @@ func (c *Client) Add(ctx context.Context, key string, items ...uint64) error {
 	ups := make([]Update, len(items))
 	for i, it := range items {
 		ups[i] = Update{Item: it, Delta: 1}
+	}
+	return c.Update(ctx, key, ups)
+}
+
+// Delete is Update with delta −1 for each item. Insertion-only tenants
+// (model "insertion", the default) reject the whole batch with HTTP 400
+// and apply nothing; declare the tenant with model "turnstile" or
+// "bounded_deletion" to make deletions part of its guarantee.
+func (c *Client) Delete(ctx context.Context, key string, items ...uint64) error {
+	ups := make([]Update, len(items))
+	for i, it := range items {
+		ups[i] = Update{Item: it, Delta: -1}
 	}
 	return c.Update(ctx, key, ups)
 }

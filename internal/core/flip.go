@@ -76,6 +76,17 @@ func FlipBoundEntropyExp(eps float64, n uint64, maxCount float64) int {
 	return int(math.Ceil(math.Log(float64(n)*maxCount+4)/math.Log1p(tau))) + 2
 }
 
+// FlipBoundTurnstile bounds the flip number of the class S_λ of turnstile
+// streams (Theorem 1.6): the class is defined by its declared Fp flip
+// number, so the bound is the caller-supplied λ itself, floored at 1 (a
+// non-constant statistic flips at least once).
+func FlipBoundTurnstile(lambda int) int {
+	if lambda < 1 {
+		return 1
+	}
+	return lambda
+}
+
 // FlipBoundBoundedDeletion bounds the flip number of ‖·‖_p on Fp
 // α-bounded-deletion streams (Lemma 8.2): every (1±ε) movement of ‖f‖_p
 // forces ‖h‖_p^p to grow by a (1 + ε^p/α) factor, which can happen at most

@@ -136,6 +136,10 @@ var flipBounds = []struct {
 	{"Lp(p=2)", func(eps float64, n uint64) int { return FlipBoundLp(2, eps, n, 8) }},
 	{"EntropyExp", func(eps float64, n uint64) int { return FlipBoundEntropyExp(eps, n, 8) }},
 	{"BoundedDeletion(α=4)", func(eps float64, n uint64) int { return FlipBoundBoundedDeletion(2, 4, eps, n, 8) }},
+	// The turnstile class bound is the declared λ itself — constant in
+	// (ε, n), which is trivially non-decreasing; it rides the table for
+	// positivity coverage.
+	{"Turnstile(λ=64)", func(eps float64, n uint64) int { return FlipBoundTurnstile(64) }},
 }
 
 // TestFlipBoundsMonotoneInInvEpsAndN: every theoretical flip bound is a
@@ -207,6 +211,76 @@ func TestFlipNumberOfMonotoneSequenceWithinBounds(t *testing.T) {
 				t.Errorf("%s ε=%v: flip number %d of the geometric climb exceeds bound %d",
 					tc.name, eps, emp, tc.bound)
 			}
+		}
+	}
+}
+
+// TestFlipBoundTurnstileMonotoneInLambda: S_λ is defined by its declared
+// flip number, so the bound must be the identity on λ ≥ 1 (a larger
+// declared class admits more flips) and floored at 1 below.
+func TestFlipBoundTurnstileMonotoneInLambda(t *testing.T) {
+	cases := []struct {
+		name   string
+		lambda int
+		want   int
+	}{
+		{"negative floors to 1", -5, 1},
+		{"zero floors to 1", 0, 1},
+		{"one", 1, 1},
+		{"small", 8, 8},
+		{"moderate", 64, 64},
+		{"large", 1 << 16, 1 << 16},
+	}
+	prev := 0
+	for _, tc := range cases {
+		got := FlipBoundTurnstile(tc.lambda)
+		if got != tc.want {
+			t.Errorf("%s: FlipBoundTurnstile(%d) = %d, want %d", tc.name, tc.lambda, got, tc.want)
+		}
+		if got < prev {
+			t.Errorf("%s: bound decreased in λ: %d after %d", tc.name, got, prev)
+		}
+		prev = got
+	}
+}
+
+// TestFlipBoundBoundedDeletionMonotoneInAlpha: Lemma 8.2's bound is
+// O(p·α·ε^{−p}·log n) — each (1±ε) movement of ‖f‖_p forces a
+// (1 + ε^p/α) growth of ‖h‖_p^p, so a weaker invariant (larger α) must
+// admit at least as many flips, at every (p, ε, n) cell of the grid.
+func TestFlipBoundBoundedDeletionMonotoneInAlpha(t *testing.T) {
+	alphaGrid := []float64{1, 1.5, 2, 4, 8, 32, 1024}
+	cells := []struct {
+		p   float64
+		eps float64
+		n   uint64
+	}{
+		{1, 0.1, 1 << 10},
+		{1, 0.3, 1 << 16},
+		{1.5, 0.2, 1 << 12},
+		{2, 0.1, 1 << 16},
+		{2, 0.5, 1 << 20},
+	}
+	for _, c := range cells {
+		prev := 0
+		for _, alpha := range alphaGrid {
+			b := FlipBoundBoundedDeletion(c.p, alpha, c.eps, c.n, 8)
+			if b < 1 {
+				t.Errorf("p=%v ε=%v n=%d α=%v: bound %d is not positive", c.p, c.eps, c.n, alpha, b)
+			}
+			if b < prev {
+				t.Errorf("p=%v ε=%v n=%d: bound decreased in α: %d at α=%v after %d",
+					c.p, c.eps, c.n, b, alpha, prev)
+			}
+			prev = b
+		}
+		// α = 1 (no effective deletions) must not beat the insertion-only
+		// moment bound at the same granularity by more than its +2 slack.
+		insOnly := FlipBoundFp(c.p, c.eps, c.n, 8)
+		atOne := FlipBoundBoundedDeletion(c.p, 1, c.eps, c.n, 8)
+		if atOne+2 < insOnly {
+			t.Errorf("p=%v ε=%v n=%d: α=1 bound %d far below insertion-only bound %d",
+				c.p, c.eps, c.n, atOne, insOnly)
 		}
 	}
 }

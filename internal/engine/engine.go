@@ -140,6 +140,7 @@ type Engine struct {
 	coalesce  bool
 	pool      sync.Pool
 	liveBufs  atomic.Int64 // batch buffers checked out of the pool
+	deleted   atomic.Int64 // Σ|delta| over accepted negative deltas
 	closeOnce sync.Once
 }
 
@@ -323,6 +324,9 @@ func (e *Engine) TryUpdate(item uint64, delta int64) bool {
 		s.pending = e.getBuf()
 	}
 	s.pending = append(s.pending, Update{Item: item, Delta: delta})
+	if delta < 0 {
+		e.deleted.Add(-delta)
+	}
 	if len(s.pending) < e.batch {
 		s.mu.Unlock()
 		return true
@@ -451,6 +455,26 @@ func (e *Engine) SpaceBytes() int {
 
 // Shards returns the shard count.
 func (e *Engine) Shards() int { return len(e.shards) }
+
+// Mass returns the net signed stream mass Σdelta across shards, read from
+// the shards' last published snapshots. Like Peek it never blocks ingest,
+// so it may lag by at most RefreshEvery updates per shard plus the batch
+// buffers; call Flush first for an exact happened-before reading.
+func (e *Engine) Mass() int64 {
+	var total int64
+	for _, s := range e.shards {
+		total += s.pubMass.Load()
+	}
+	return total
+}
+
+// DeletedMass returns the total magnitude Σ|delta| of negative deltas
+// accepted since the engine started — the deletion side of the signed
+// mass. It is counted at the accept point (exact and current, unlike the
+// published Mass snapshot): zero on an insertion-only tenant by
+// construction, and the stream-model telemetry for turnstile and
+// bounded-deletion tenants.
+func (e *Engine) DeletedMass() int64 { return e.deleted.Load() }
 
 // ErrNoPointQueries is returned by QueryPoints and TopK when the shard
 // estimators do not implement the point-query surface (sketch.PointQuerier

@@ -1,11 +1,7 @@
 package robust
 
 import (
-	"math"
-	"math/rand"
-
 	"repro/internal/core"
-	"repro/internal/fp"
 )
 
 // NewBoundedDeletionFp returns the adversarially robust Fp estimator for
@@ -14,17 +10,20 @@ import (
 // (λ = O(p·α·ε^{−p}·log n) — every (1±ε) movement of ‖f‖_p forces the
 // absolute-value stream's moment to grow by a (1 + ε^p/α) factor). The
 // published value tracks the moment ‖f‖_p^p as in the theorem statement.
-// kCap as in NewFpPaths; pass 0 for the honest sizing.
+// kCap as in NewFpPaths; pass 0 for the honest sizing. It is the paths
+// instance of the generic policy layer over the bounded-deletion moment
+// problem — update-for-update identical to the pre-model hand-built
+// construction (pinned by TestBoundedDeletionFpAliasMatchesConstructor).
 func NewBoundedDeletionFp(p, alpha, eps float64, n, m uint64, maxCount float64, kCap int, seed int64) *core.Paths {
-	lambda := core.FlipBoundBoundedDeletion(p, alpha, eps/20, n, maxCount)
-	t := float64(n) * math.Pow(maxCount, p)
-	lnInvDelta0 := core.PathsLnInvDelta(m, lambda, eps, t, math.Log(1000))
-	k := int(math.Ceil(3 / (eps / 6 * eps / 6) * 0.3 * lnInvDelta0 * math.Log2E))
-	if kCap > 0 && k > kCap {
-		k = kCap
+	prob, err := LpProblemFor(p, BoundedDeletionModel(alpha))
+	if err != nil {
+		panic("robust: " + err.Error())
 	}
-	inner := fp.NewIndyk(p, k, rand.New(rand.NewSource(seed)))
-	return core.NewPaths(eps, momentAdapter{inner})
+	est, err := Policy{Kind: Paths, StreamLen: m, MaxCount: maxCount, KCap: kCap}.Wrap(eps, 0.001, n, seed, prob)
+	if err != nil {
+		panic("robust: " + err.Error())
+	}
+	return est.(*core.Paths)
 }
 
 // BoundedDeletionLambda exposes the Lemma 8.2 flip bound for the

@@ -49,15 +49,22 @@ func NewFpPaths(p, eps float64, n, m uint64, maxCount float64, kCap int, seed in
 // class S_λ of turnstile streams with Fp flip number at most λ: the
 // computation-paths reduction with the caller-supplied flip budget. The
 // published value tracks the moment F_p = ‖f‖_p^p, as in Theorem 4.3.
-// kCap as in NewFpPaths.
+// kCap as in NewFpPaths. It is the paths instance of the generic policy
+// layer over the turnstile moment problem — update-for-update identical
+// to the pre-model hand-built construction (pinned by
+// TestTurnstileFpAliasMatchesConstructor); maxT overrides the problem's
+// natural value bound, preserving the old signature.
 func NewTurnstileFp(p, eps float64, lambda int, m uint64, maxT float64, kCap int, seed int64) *core.Paths {
-	lnInvDelta0 := core.PathsLnInvDelta(m, lambda, eps, maxT, math.Log(1000))
-	k := int(math.Ceil(3 / (eps / 6 * eps / 6) * 0.3 * lnInvDelta0 * math.Log2E))
-	if kCap > 0 && k > kCap {
-		k = kCap
+	prob, err := LpProblemFor(p, TurnstileModel(lambda))
+	if err != nil {
+		panic("robust: " + err.Error())
 	}
-	inner := fp.NewIndyk(p, k, rand.New(rand.NewSource(seed)))
-	return core.NewPaths(eps, momentAdapter{inner})
+	prob.MaxValue = func(uint64, float64) float64 { return maxT }
+	est, err := Policy{Kind: Paths, StreamLen: m, KCap: kCap}.Wrap(eps, 0.001, m, seed, prob)
+	if err != nil {
+		panic("robust: " + err.Error())
+	}
+	return est.(*core.Paths)
 }
 
 // momentAdapter publishes the moment ‖f‖_p^p from a norm-semantics sketch.

@@ -1,0 +1,176 @@
+package robust
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fp"
+	"repro/internal/stream"
+)
+
+// oldTurnstileFp is the pre-model hand-built construction of NewTurnstileFp,
+// kept verbatim as the pin the refactored policy-layer constructor must
+// match update-for-update.
+func oldTurnstileFp(p, eps float64, lambda int, m uint64, maxT float64, kCap int, seed int64) *core.Paths {
+	lnInvDelta0 := core.PathsLnInvDelta(m, lambda, eps, maxT, math.Log(1000))
+	k := int(math.Ceil(3 / (eps / 6 * eps / 6) * 0.3 * lnInvDelta0 * math.Log2E))
+	if kCap > 0 && k > kCap {
+		k = kCap
+	}
+	inner := fp.NewIndyk(p, k, rand.New(rand.NewSource(seed)))
+	return core.NewPaths(eps, momentAdapter{inner})
+}
+
+// oldBoundedDeletionFp is the pre-model hand-built construction of
+// NewBoundedDeletionFp, kept verbatim as the pin.
+func oldBoundedDeletionFp(p, alpha, eps float64, n, m uint64, maxCount float64, kCap int, seed int64) *core.Paths {
+	lambda := core.FlipBoundBoundedDeletion(p, alpha, eps/20, n, maxCount)
+	t := float64(n) * math.Pow(maxCount, p)
+	lnInvDelta0 := core.PathsLnInvDelta(m, lambda, eps, t, math.Log(1000))
+	k := int(math.Ceil(3 / (eps / 6 * eps / 6) * 0.3 * lnInvDelta0 * math.Log2E))
+	if kCap > 0 && k > kCap {
+		k = kCap
+	}
+	inner := fp.NewIndyk(p, k, rand.New(rand.NewSource(seed)))
+	return core.NewPaths(eps, momentAdapter{inner})
+}
+
+// pinIdentical drives both estimators through the same stream and requires
+// bitwise-identical estimates at every step plus identical space.
+func pinIdentical(t *testing.T, name string, viaModel, viaOld *core.Paths, gen stream.Generator) {
+	t.Helper()
+	step := 0
+	for {
+		u, ok := gen.Next()
+		if !ok {
+			break
+		}
+		viaModel.Update(u.Item, u.Delta)
+		viaOld.Update(u.Item, u.Delta)
+		a, b := viaModel.Estimate(), viaOld.Estimate()
+		if a != b {
+			t.Fatalf("%s: estimates diverge at step %d: model-API %v vs hand-built %v", name, step, a, b)
+		}
+		step++
+	}
+	if a, b := viaModel.SpaceBytes(), viaOld.SpaceBytes(); a != b {
+		t.Errorf("%s: space diverges: model-API %d vs hand-built %d bytes", name, a, b)
+	}
+}
+
+func TestTurnstileFpAliasMatchesConstructor(t *testing.T) {
+	// The misc.go experiment cell: p=2 over the insert-then-delete hard
+	// instance, with the declared flip budget of the class.
+	const n = 600
+	eps := 0.5
+	seq := stream.Trajectory(stream.Collect(stream.NewInsertDelete(n), 0), func(f *stream.Freq) float64 { return f.Fp(2) })
+	lambda := core.FlipNumber(seq, eps/20) + 8
+	viaModel := NewTurnstileFp(2, eps, lambda, 2*n, float64(n), 3000, 7)
+	viaOld := oldTurnstileFp(2, eps, lambda, 2*n, float64(n), 3000, 7)
+	pinIdentical(t, "turnstile", viaModel, viaOld, stream.NewInsertDelete(n))
+
+	// The new constructor additionally installs the declared budget, so
+	// robustness introspection reports the class promise.
+	rb := viaModel.Robustness()
+	if rb.Budget != lambda {
+		t.Errorf("turnstile: flip budget %d not installed, got %d", lambda, rb.Budget)
+	}
+}
+
+func TestBoundedDeletionFpAliasMatchesConstructor(t *testing.T) {
+	// The misc.go experiment cell: p=1 bounded-deletion streams across a
+	// spread of α, uncapped and capped.
+	eps := 0.5
+	for _, alpha := range []float64{1.5, 4} {
+		viaModel := NewBoundedDeletionFp(1, alpha, eps, 256, 4000, 4000, 2500, 17)
+		viaOld := oldBoundedDeletionFp(1, alpha, eps, 256, 4000, 4000, 2500, 17)
+		pinIdentical(t, "bounded-deletion", viaModel, viaOld, stream.NewBoundedDeletion(256, 4000, 1, alpha, 0.4, 19))
+	}
+}
+
+func TestLpProblemForValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		p    float64
+		m    Model
+		ok   bool
+	}{
+		{"insertion p=2", 2, InsertionModel(), true},
+		{"turnstile p=2 λ=8", 2, TurnstileModel(8), true},
+		{"turnstile λ=0", 2, TurnstileModel(0), false},
+		{"turnstile stray alpha", 2, Model{Kind: ModelTurnstile, Lambda: 4, Alpha: 2}, false},
+		{"bounded-deletion p=1 α=4", 1, BoundedDeletionModel(4), true},
+		{"bounded-deletion p=0.5", 0.5, BoundedDeletionModel(4), false},
+		{"bounded-deletion α<1", 1, BoundedDeletionModel(0.5), false},
+		{"bounded-deletion α=NaN", 1, BoundedDeletionModel(math.NaN()), false},
+		{"bounded-deletion α=+Inf", 1, BoundedDeletionModel(math.Inf(1)), false},
+		{"insertion stray lambda", 2, Model{Lambda: 3}, false},
+	}
+	for _, tc := range cases {
+		_, err := LpProblemFor(tc.p, tc.m)
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: expected an error", tc.name)
+		}
+	}
+}
+
+func TestRingRejectsNonInsertionModels(t *testing.T) {
+	for _, m := range []Model{TurnstileModel(8), BoundedDeletionModel(4)} {
+		prob, err := LpProblemFor(2, m)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if err := (Policy{Kind: Ring}).Check(prob); err == nil {
+			t.Errorf("%s: ring must be rejected for non-insertion models", m)
+		}
+		for _, pol := range []Policy{{Kind: None}, {Kind: Switching}, {Kind: Paths}} {
+			if err := pol.Check(prob); err != nil {
+				t.Errorf("%s: policy %s unexpectedly rejected: %v", m, pol, err)
+			}
+		}
+	}
+}
+
+// TestTurnstileModelHoldsEnvelopeOnDeletions: the model-API turnstile
+// estimator, wrapped exactly as a tenant builds it, stays within its ε
+// envelope of the true moment on a deletion-heavy oblivious stream — the
+// library-level counterpart of the e2e HTTP test.
+func TestTurnstileModelHoldsEnvelopeOnDeletions(t *testing.T) {
+	const n = 400
+	eps := 0.5
+	prob, err := LpProblemFor(2, TurnstileModel(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := Policy{Kind: Paths, StreamLen: 2 * n, KCap: 4096}.Wrap(eps, 0.05, n, 5, prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := stream.NewFreq()
+	gen := stream.NewInsertDelete(n)
+	step := 0
+	for {
+		u, ok := gen.Next()
+		if !ok {
+			break
+		}
+		est.Update(u.Item, u.Delta)
+		f.Apply(u)
+		step++
+		if step < 50 {
+			continue
+		}
+		truth := f.Fp(2)
+		got := est.Estimate()
+		// Moment semantics: (1±ε) on the norm is (1±ε)² on F2; allow the
+		// rounding layer's extra ε/2 on top.
+		if truth > 0 && math.Abs(got-truth) > 1.4*truth {
+			t.Fatalf("step %d: estimate %v strays from moment %v", step, got, truth)
+		}
+	}
+}

@@ -133,6 +133,14 @@ type Problem struct {
 	// but can be arbitrarily wrong otherwise (entropy).
 	Monotone bool
 
+	// Model is the stream class the problem's flip bound (and the static
+	// guarantee of its inner instances) is sound for. The zero value is
+	// the insertion-only model, so pre-model problems are unchanged.
+	// Non-insertion models reject ring mode in Check: the restart
+	// optimization tracks a suffix, which deletions can make arbitrarily
+	// wrong even for Monotone-flagged statistics.
+	Model Model
+
 	// EpsScale converts the caller's ε into the multiplicative domain the
 	// rounding machinery works in, applied by Wrap before anything else.
 	// Zero means 1 (already multiplicative). Entropy sets ln 2: its ε is
@@ -177,10 +185,16 @@ func (pol Policy) Check(prob Problem) error {
 	if prob.Inner == nil {
 		return fmt.Errorf("robust: problem %q has no inner factory", prob.Name)
 	}
+	if err := prob.Model.Validate(); err != nil {
+		return err
+	}
 	switch pol.Kind {
 	case None, Switching, Paths:
 		return nil
 	case Ring:
+		if prob.Model.Kind != ModelInsertion {
+			return fmt.Errorf("robust: policy ring requires insertion-only streams (%s admits deletions, under which a restarted instance's suffix view is unbounded) — use switching or paths", prob.Model)
+		}
 		if !prob.Monotone && prob.NewRing == nil {
 			return fmt.Errorf("robust: policy ring requires a monotone statistic (%s is not; restarted instances would track a suffix) — use switching or paths", prob.Name)
 		}

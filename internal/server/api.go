@@ -166,8 +166,33 @@ type TenantSpec struct {
 
 	// FlipBudget is the flip number λ for the switching and paths
 	// policies, capped at MaxTenantFlipBudget. Zero picks the server
-	// default.
+	// default. On a model=turnstile tenant it is unified with Lambda —
+	// the declared flip bound of the class is the budget — so setting
+	// both to different values is a 400.
 	FlipBudget int `json:"flip_budget,omitempty"`
+
+	// Model is the stream class the tenant declares: "insertion" (the
+	// default — deltas are never negative, and the server enforces it
+	// with a 400 on any negative delta), "turnstile" (Theorem 1.6's
+	// class S_λ of arbitrary-sign streams with declared flip bound
+	// Lambda), or "bounded_deletion" (Definition 8.1's Fp α-bounded-
+	// deletion streams, parameterized by Alpha). Robust non-insertion
+	// models are hosted only by sketches with the matching theory
+	// (the f2 column, via the Fp moment problem); invalid sketch ×
+	// policy × model cells are rejected at create time.
+	Model string `json:"model,omitempty"`
+
+	// Lambda is the declared Fp flip bound λ ≥ 1 of a model=turnstile
+	// tenant (the class S_λ is defined by it; the robustness guarantee is
+	// conditional on the stream honoring it). Capped at
+	// MaxTenantFlipBudget; zero inherits FlipBudget. Only valid with
+	// model=turnstile.
+	Lambda int `json:"lambda,omitempty"`
+
+	// Alpha is the bounded-deletion parameter α ≥ 1 of Definition 8.1:
+	// at every prefix ‖f‖_p^p ≥ (1/α)·‖h‖_p^p. Required (and only valid)
+	// with model=bounded_deletion; capped at MaxTenantAlpha.
+	Alpha float64 `json:"alpha,omitempty"`
 
 	// Seed overrides the server's root randomness seed for this tenant
 	// (the tenant's shard seeds derive from it and the key). Tenants on
@@ -266,6 +291,7 @@ type QueryResponse struct {
 	Key    string `json:"key"`
 	Sketch string `json:"sketch"`
 	Policy string `json:"policy"`
+	Model  string `json:"model"`
 
 	// Answers holds one typed answer per request query, in order.
 	Answers []Answer `json:"answers"`
@@ -282,8 +308,16 @@ type KeyStats struct {
 	Key        string `json:"key"`
 	Sketch     string `json:"sketch"`
 	Policy     string `json:"policy"`
+	Model      string `json:"model"`
 	Shards     int    `json:"shards"`
 	SpaceBytes int    `json:"space_bytes"`
+
+	// Mass is the tenant's net signed stream mass Σdelta (from the
+	// engine's last published snapshots, so it may lag ingest slightly);
+	// DeletedMass is the exact magnitude of the negative side — zero on
+	// an insertion-only tenant by construction.
+	Mass        int64 `json:"mass"`
+	DeletedMass int64 `json:"deleted_mass,omitempty"`
 
 	// Spec is the tenant's fully resolved spec — every default applied,
 	// every cap enforced — so a client can read back exactly what its

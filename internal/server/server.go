@@ -12,13 +12,18 @@
 // that motivates mergeable sketches.
 //
 // Tenants are declared with a TenantSpec (POST /v2/keys): a sketch ×
-// policy combination — any base sketch in the registry composed with any
-// robustness policy of internal/robust (none, switching, ring, paths),
+// policy × model combination — any base sketch in the registry composed
+// with any robustness policy of internal/robust (none, switching, ring,
+// paths) and a stream model (insertion, turnstile, bounded_deletion),
 // plus the pre-matrix aliases robust-f2, robust-f0, robust-hh and
 // robust-entropy — together with the tenant's own (ε, δ, n, shards,
-// batch, flip budget, seed). The paper's framework sizes each robust
+// batch, flip budget, λ/α, seed). The paper's framework sizes each robust
 // instance from its statistic's own parameters, so accuracy accounting is
-// per tenant; the server Config supplies only defaults and caps. The
+// per tenant; the server Config supplies only defaults and caps. Invalid
+// cells — ring × any non-insertion model, non-Fp sketches under a
+// non-insertion model — are rejected at create time, and insertion-only
+// tenants reject negative deltas with a 400 instead of silently voiding
+// their guarantee. The
 // ?sketch=/?policy= query-parameter form of POST /v1/keys remains as a
 // thin alias. Structured reads go through POST /v2/query: a batch of
 // typed queries (estimate | point | topk) with typed answers carrying the
@@ -220,6 +225,9 @@ func (s *Server) specMatches(t *tenant, raw TenantSpec) error {
 		{"shards", raw.Shards != 0, rts.Shards, t.ts.Shards},
 		{"batch", raw.Batch != 0, rts.Batch, t.ts.Batch},
 		{"flip_budget", raw.FlipBudget != 0, rts.FlipBudget, t.ts.FlipBudget},
+		{"model", raw.Model != "", rts.Model, t.ts.Model},
+		{"lambda", raw.Lambda != 0, rts.Lambda, t.ts.Lambda},
+		{"alpha", raw.Alpha != 0, rts.Alpha, t.ts.Alpha},
 	} {
 		if f.set && f.got != f.want {
 			return fmt.Errorf("%w: key %q was created with %s=%v, not %v", errConflict, t.key, f.name, f.want, f.got)
@@ -388,6 +396,23 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		fail(w, http.StatusBadRequest, err)
 		return
+	}
+	// Insertion-only tenants reject negative deltas before anything is
+	// applied: a deletion entering an insertion-only construction does not
+	// error anywhere downstream — it silently voids the robustness
+	// guarantee the tenant was created for. The whole batch is pre-scanned
+	// so the 400 leaves no partial state (Accepted stays 0, nothing to
+	// retry — the request itself is wrong, not the timing).
+	if !t.spec.signed {
+		for i, u := range req.Updates {
+			if u.Delta < 0 {
+				writeJSON(w, http.StatusBadRequest, ErrorResponse{
+					Error: fmt.Sprintf("update %d: negative delta %d on insertion-only tenant %q (model=%s): deletions void the insertion-only guarantee; declare the tenant with model=turnstile or model=bounded_deletion — nothing was applied",
+						i, u.Delta, t.key, t.ts.Model),
+				})
+				return
+			}
+		}
 	}
 	// TryUpdate instead of Update: a request that lost the race against
 	// Drain (or a concurrent DELETE of the key) finds the engine closed
@@ -585,8 +610,9 @@ func (t *tenant) stats() KeyStats {
 	echo := t.ts
 	echo.Seed = 0
 	ks := KeyStats{
-		Key: t.key, Sketch: t.spec.Name, Policy: t.spec.Policy,
+		Key: t.key, Sketch: t.spec.Name, Policy: t.spec.Policy, Model: t.ts.Model,
 		Shards: t.eng.Shards(), SpaceBytes: t.eng.SpaceBytes(),
+		Mass: t.eng.Mass(), DeletedMass: t.eng.DeletedMass(),
 		Spec: &echo, PointQueries: t.spec.points,
 	}
 	if r, ok := t.eng.Robustness(); ok {

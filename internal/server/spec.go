@@ -52,11 +52,17 @@ type spec struct {
 	robust   bool
 	additive bool
 	points   bool
-	combine  engine.Combiner
-	factory  func(ts TenantSpec) sketch.Factory
-	truth    func(f *stream.Freq) float64
-	l2Of     func(estimate float64) float64
-	codec    *sketch.Codec
+	// model is the stream class the cell is sound for (zero value:
+	// insertion-only); signed marks cells that accept negative deltas —
+	// insertion-only cells reject them with a 400 at the update handler,
+	// because a deletion silently voids an insertion-only guarantee.
+	model   robust.Model
+	signed  bool
+	combine engine.Combiner
+	factory func(ts TenantSpec) sketch.Factory
+	truth   func(f *stream.Freq) float64
+	l2Of    func(estimate float64) float64
+	codec   *sketch.Codec
 }
 
 // Mergeable reports whether the spec supports /v1/snapshot + /v1/merge.
@@ -140,6 +146,22 @@ type base struct {
 	// L2 norm for the point-query error bound; nil for bases whose policy
 	// column does not point-query.
 	robustL2Of func(float64) float64
+
+	// signed marks bases whose static estimator is linear in delta, so a
+	// policy-none tenant can host signed (turnstile / bounded-deletion)
+	// streams obliviously. Non-linear bases (KMV, CC) are insertion-only
+	// in every cell.
+	signed bool
+
+	// modelProblem derives the robust.Problem for a non-insertion stream
+	// model; nil for bases without a non-insertion robust theory (the
+	// paper's Theorems 1.6 / 1.11 cover Fp only). modelCombine /
+	// modelTruth describe the statistic those cells publish (the moment
+	// ‖f‖_p^p, per Theorem 4.3 — additive over the shard partition, so
+	// the combiner differs from the insertion column's norm).
+	modelProblem func(robust.Model) (robust.Problem, error)
+	modelCombine engine.Combiner
+	modelTruth   func(f *stream.Freq) float64
 }
 
 // bases is the registry of hostable base sketch types. A new mergeable
@@ -166,6 +188,12 @@ var bases = map[string]base{
 		problem:       robust.LpProblem(2),
 		robustCombine: engine.Norm(2), // per-shard L2 norms → global L2 norm
 		robustTruth:   (*stream.Freq).L2,
+		signed:        true, // the static F2 sketch is linear in delta
+		modelProblem: func(m robust.Model) (robust.Problem, error) {
+			return robust.LpProblemFor(2, m)
+		},
+		modelCombine: engine.Sum, // moment semantics: F2 = Σf_i² adds over shards
+		modelTruth:   f2Truth,
 	},
 	"kmv": {
 		static: spec{
@@ -205,6 +233,7 @@ var bases = map[string]base{
 		robustCombine: engine.Norm(2), // robustified estimate is the L2 norm
 		robustTruth:   (*stream.Freq).L2,
 		robustL2Of:    func(est float64) float64 { return est },
+		signed:        true, // CountSketch is linear in delta (static cells only)
 	},
 	"cc": {
 		static: spec{
@@ -271,8 +300,15 @@ const (
 	MaxTenantBatch = 1 << 16
 
 	// MaxTenantFlipBudget caps TenantSpec.FlipBudget: the dense-switching
-	// ensemble multiplies space by λ.
+	// ensemble multiplies space by λ. TenantSpec.Lambda (a turnstile
+	// tenant's declared flip bound, which becomes its budget) shares the
+	// cap.
 	MaxTenantFlipBudget = 1 << 20
+
+	// MaxTenantAlpha caps TenantSpec.Alpha. Lemma 8.2's flip bound grows
+	// linearly in α, so an enormous α is an enormous implied flip class;
+	// the cap keeps the declared class meaningful at server scale.
+	MaxTenantAlpha = 1 << 20
 )
 
 // normalize validates a raw TenantSpec and fills every unset field from
@@ -287,6 +323,11 @@ func (ts TenantSpec) normalize(cfg Config) (TenantSpec, error) {
 	bad := func(field string, format string, args ...any) (TenantSpec, error) {
 		return TenantSpec{}, fmt.Errorf("tenant spec: %s %s", field, fmt.Sprintf(format, args...))
 	}
+	// Captured before the defaults below fill it: the turnstile λ/budget
+	// unification must distinguish an explicitly requested budget (which
+	// may conflict with lambda) from an inherited one (which lambda
+	// overrides).
+	explicitBudget := ts.FlipBudget != 0
 	if ts.Shards != 0 && (ts.Shards < 1 || ts.Shards > MaxTenantShards) {
 		return bad("shards", "must be in [1, %d], got %d", MaxTenantShards, ts.Shards)
 	}
@@ -295,6 +336,30 @@ func (ts TenantSpec) normalize(cfg Config) (TenantSpec, error) {
 	}
 	if ts.FlipBudget != 0 && (ts.FlipBudget < 1 || ts.FlipBudget > MaxTenantFlipBudget) {
 		return bad("flip_budget", "must be in [1, %d], got %d", MaxTenantFlipBudget, ts.FlipBudget)
+	}
+	switch ts.Model {
+	case "", "insertion", "turnstile", "bounded_deletion":
+	default:
+		return bad("model", "unknown stream model %q (have: %s)", ts.Model, strings.Join(robust.ModelKinds(), ", "))
+	}
+	if ts.Lambda != 0 {
+		if ts.Model != "turnstile" {
+			return bad("lambda", "only applies to model=turnstile (a declared S_λ flip bound), got model %q", ts.Model)
+		}
+		if ts.Lambda < 1 || ts.Lambda > MaxTenantFlipBudget {
+			return bad("lambda", "must be in [1, %d], got %d", MaxTenantFlipBudget, ts.Lambda)
+		}
+	}
+	if ts.Alpha != 0 {
+		if ts.Model != "bounded_deletion" {
+			return bad("alpha", "only applies to model=bounded_deletion (the Definition 8.1 invariant parameter), got model %q", ts.Model)
+		}
+		if math.IsNaN(ts.Alpha) || math.IsInf(ts.Alpha, 0) || ts.Alpha < 1 || ts.Alpha > MaxTenantAlpha {
+			return bad("alpha", "must be a finite value in [1, %d], got %v", MaxTenantAlpha, ts.Alpha)
+		}
+	}
+	if ts.Model == "bounded_deletion" && ts.Alpha == 0 {
+		return bad("alpha", "is required for model=bounded_deletion (the Definition 8.1 invariant parameter α ≥ 1)")
 	}
 	if ts.Eps == 0 {
 		ts.Eps = cfg.Eps
@@ -324,7 +389,35 @@ func (ts TenantSpec) normalize(cfg Config) (TenantSpec, error) {
 	if ts.FlipBudget == 0 {
 		ts.FlipBudget = cfg.FlipBudget
 	}
+	if ts.Model == "" {
+		ts.Model = "insertion"
+	}
+	// A turnstile tenant's declared flip bound IS its flip budget — the
+	// class S_λ is defined by λ, and the guarantee covers exactly λ flips.
+	// Unify the two fields: an unset lambda inherits the budget, an unset
+	// budget inherits lambda, and two explicit disagreeing values are a
+	// contradiction, not a preference.
+	if ts.Model == "turnstile" {
+		if ts.Lambda == 0 {
+			ts.Lambda = ts.FlipBudget
+		} else if explicitBudget && ts.FlipBudget != ts.Lambda {
+			return bad("lambda", "=%d conflicts with flip_budget=%d — a turnstile tenant's declared flip bound is its flip budget; set one, or both equal", ts.Lambda, ts.FlipBudget)
+		}
+		ts.FlipBudget = ts.Lambda
+	}
 	return ts, nil
+}
+
+// model converts the resolved spec's model fields into a robust.Model.
+// Call on a normalized spec (Model filled, parameters validated).
+func (ts TenantSpec) model() robust.Model {
+	switch ts.Model {
+	case "turnstile":
+		return robust.TurnstileModel(ts.Lambda)
+	case "bounded_deletion":
+		return robust.BoundedDeletionModel(ts.Alpha)
+	}
+	return robust.InsertionModel()
 }
 
 // resolve maps a raw TenantSpec onto a hostable spec plus the fully
@@ -359,12 +452,24 @@ func resolve(raw TenantSpec, cfg Config) (spec, TenantSpec, error) {
 		policyName = "none"
 	}
 	ts.Sketch, ts.Policy = name, policyName
+	model := ts.model()
 	pol, err := robust.ParsePolicy(policyName)
 	if err != nil {
 		return spec{}, TenantSpec{}, err
 	}
 	if pol.Kind == robust.None {
-		return b.static, ts, nil
+		sp := b.static
+		if model.Kind != robust.ModelInsertion {
+			// A static non-insertion tenant is the oblivious baseline for
+			// signed streams: sound only when the estimator is linear in
+			// delta, so deletions are handled natively.
+			if !b.signed {
+				return spec{}, TenantSpec{}, fmt.Errorf("sketch %q is insertion-only (its static estimator is not linear in delta) and cannot host model=%s", name, ts.Model)
+			}
+			sp.model = model
+			sp.signed = true
+		}
+		return sp, ts, nil
 	}
 	pol.Budget = ts.FlipBudget
 	if pol.Kind == robust.Paths {
@@ -373,32 +478,52 @@ func resolve(raw TenantSpec, cfg Config) (spec, TenantSpec, error) {
 		// ensembles run at moderate per-copy δ.
 		pol.KCap = cfg.PathsKCap
 	}
-	if err := pol.Check(b.problem); err != nil {
-		return spec{}, TenantSpec{}, err
-	}
-	prob := b.problem
-	return spec{
+	sp := spec{
 		Name:     name,
 		Policy:   policyName,
 		robust:   true,
 		additive: b.robustAdditive,
 		points:   b.static.points,
+		model:    model,
 		combine:  b.robustCombine,
 		truth:    b.robustTruth,
 		l2Of:     b.robustL2Of,
-		factory: func(ts TenantSpec) sketch.Factory {
-			shardDelta := ts.Delta / float64(ts.Shards)
-			return func(seed int64) sketch.Estimator {
-				est, err := pol.Wrap(ts.Eps, shardDelta, uint64(ts.N), seed, prob)
-				if err != nil {
-					// resolve validated the combination; a failure here is a
-					// programming error, not a request error.
-					panic("server: " + err.Error())
-				}
-				return est
+	}
+	prob := b.problem
+	if model.Kind != robust.ModelInsertion {
+		if b.modelProblem == nil {
+			return spec{}, TenantSpec{}, fmt.Errorf("sketch %q has no robust theory for model=%s (the paper's non-insertion theorems — 1.6 and 1.11 — cover Fp only); use sketch f2, or model=insertion", name, ts.Model)
+		}
+		prob, err = b.modelProblem(model)
+		if err != nil {
+			return spec{}, TenantSpec{}, err
+		}
+		// Non-insertion robust cells publish the moment ‖f‖_p^p
+		// (Theorem 4.3), not the norm: moment combiner and truth, relative
+		// ε on the moment, no point-query surface.
+		sp.signed = true
+		sp.additive = false
+		sp.points = false
+		sp.l2Of = nil
+		sp.combine = b.modelCombine
+		sp.truth = b.modelTruth
+	}
+	if err := pol.Check(prob); err != nil {
+		return spec{}, TenantSpec{}, err
+	}
+	sp.factory = func(ts TenantSpec) sketch.Factory {
+		shardDelta := ts.Delta / float64(ts.Shards)
+		return func(seed int64) sketch.Estimator {
+			est, err := pol.Wrap(ts.Eps, shardDelta, uint64(ts.N), seed, prob)
+			if err != nil {
+				// resolve validated the combination; a failure here is a
+				// programming error, not a request error.
+				panic("server: " + err.Error())
 			}
-		},
-	}, ts, nil
+			return est
+		}
+	}
+	return sp, ts, nil
 }
 
 // Info describes a hostable sketch × policy combination for harnesses
@@ -424,6 +549,14 @@ type Info struct {
 	// topk queries over POST /v2/query.
 	PointQueries bool
 
+	// Model is the stream-class name of the resolved cell (insertion,
+	// turnstile, bounded_deletion).
+	Model string
+
+	// Signed reports whether the cell accepts negative deltas;
+	// insertion-only cells 400 on them at the update handler.
+	Signed bool
+
 	// Additive says the combination's ε is an additive error (entropy, in
 	// bits) rather than a relative one.
 	Additive bool
@@ -440,6 +573,8 @@ func infoOf(sp spec) Info {
 		Robust:       sp.robust,
 		Mergeable:    sp.Mergeable(),
 		PointQueries: sp.points,
+		Model:        sp.model.Kind.String(),
+		Signed:       sp.signed,
 		Additive:     sp.additive,
 		Truth:        sp.truth,
 	}
@@ -448,7 +583,15 @@ func infoOf(sp spec) Info {
 // InfoFor resolves one sketch × policy combination (aliases accepted),
 // using default server parameters for validation.
 func InfoFor(name, policy string) (Info, error) {
-	sp, _, err := resolve(TenantSpec{Sketch: name, Policy: policy}, Config{}.withDefaults())
+	return InfoForSpec(TenantSpec{Sketch: name, Policy: policy})
+}
+
+// InfoForSpec resolves a full TenantSpec — the sketch × policy × model
+// cell plus its class parameters — using default server parameters for
+// validation. It is how out-of-process harnesses (the campaign runner)
+// learn a cell's truth function and validity without creating a tenant.
+func InfoForSpec(ts TenantSpec) (Info, error) {
+	sp, _, err := resolve(ts, Config{}.withDefaults())
 	if err != nil {
 		return Info{}, err
 	}

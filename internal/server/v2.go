@@ -173,7 +173,7 @@ func (s *Server) handleV2Query(w http.ResponseWriter, r *http.Request) {
 		topItems[i] = ItemWeight{Item: U64(iw.Item), Weight: iw.Weight}
 	}
 
-	resp := QueryResponse{Key: t.key, Sketch: t.spec.Name, Policy: t.spec.Policy}
+	resp := QueryResponse{Key: t.key, Sketch: t.spec.Name, Policy: t.spec.Policy, Model: t.ts.Model}
 	nextPoint := 0
 	for _, q := range req.Queries {
 		switch q.Kind {

@@ -71,10 +71,61 @@ func TestTenantSpecNormalize(t *testing.T) {
 		{Shards: -1}, {Shards: MaxTenantShards + 1},
 		{Batch: -5}, {Batch: MaxTenantBatch + 1},
 		{FlipBudget: -2}, {FlipBudget: MaxTenantFlipBudget + 1},
+		{Model: "cash_register"},
+		{Model: "turnstile", Lambda: -3},
+		{Model: "turnstile", Lambda: MaxTenantFlipBudget + 1},
+		{Model: "turnstile", Alpha: 2},
+		{Model: "turnstile", Lambda: 64, FlipBudget: 32}, // λ/budget conflict
+		{Model: "bounded-deletion"},                      // wrong separator
+		{Model: "bounded_deletion"},                      // α required
+		{Model: "bounded_deletion", Alpha: 0.5},          // α < 1
+		{Model: "bounded_deletion", Alpha: -4},
+		{Model: "bounded_deletion", Alpha: math.NaN()},
+		{Model: "bounded_deletion", Alpha: math.Inf(1)},
+		{Model: "bounded_deletion", Alpha: MaxTenantAlpha * 2},
+		{Model: "bounded_deletion", Alpha: 4, Lambda: 8},
+		{Model: "insertion", Lambda: 8},
+		{Model: "insertion", Alpha: 2},
+		{Lambda: 8}, // λ without declaring turnstile
+		{Alpha: 2},  // α without declaring bounded_deletion
 	} {
 		if _, err := bad.normalize(cfg); err == nil {
 			t.Errorf("malformed spec %+v accepted", bad)
 		}
+	}
+
+	// Model defaults and the turnstile λ/budget unification.
+	ts, err = TenantSpec{}.normalize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Model != "insertion" {
+		t.Errorf("zero spec normalized to model %q, want insertion", ts.Model)
+	}
+	ts, err = TenantSpec{Model: "turnstile"}.normalize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Lambda != cfg.FlipBudget || ts.FlipBudget != ts.Lambda {
+		t.Errorf("turnstile spec without λ got Lambda=%d FlipBudget=%d, want both %d", ts.Lambda, ts.FlipBudget, cfg.FlipBudget)
+	}
+	ts, err = TenantSpec{Model: "turnstile", Lambda: 48}.normalize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.FlipBudget != 48 {
+		t.Errorf("turnstile λ=48 got FlipBudget=%d, want the declared flip bound to be the budget", ts.FlipBudget)
+	}
+	// An explicit budget that agrees with λ is not a conflict.
+	if _, err := (TenantSpec{Model: "turnstile", Lambda: 48, FlipBudget: 48}).normalize(cfg); err != nil {
+		t.Errorf("agreeing λ and flip_budget rejected: %v", err)
+	}
+	ts, err = TenantSpec{Model: "bounded_deletion", Alpha: 4}.normalize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Alpha != 4 || ts.Model != "bounded_deletion" {
+		t.Errorf("bounded_deletion α=4 normalized to %+v", ts)
 	}
 
 	// Caps bound client requests, not operator flags: a server run with
@@ -145,6 +196,12 @@ func FuzzTenantSpecDecode(f *testing.F) {
 	f.Add([]byte(`{"key":"k","spec":{"n":"18446744073709551615","shards":9999}}`))
 	f.Add([]byte(`{"spec":{}}`))
 	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"key":"k","spec":{"sketch":"f2","policy":"paths","model":"turnstile","lambda":64}}`))
+	f.Add([]byte(`{"key":"k","spec":{"sketch":"f2","model":"bounded_deletion","alpha":-4}}`))
+	f.Add([]byte(`{"key":"k","spec":{"model":"bounded_deletion","alpha":"NaN"}}`))
+	f.Add([]byte(`{"key":"k","spec":{"model":"turnstile","lambda":0,"flip_budget":8}}`))
+	f.Add([]byte(`{"key":"k","spec":{"model":"insertion","alpha":2}}`))
+	f.Add([]byte(`{"key":"k","spec":{"sketch":"kmv","model":"turnstile"}}`))
 	cfg := Config{}.withDefaults()
 	f.Fuzz(func(t *testing.T, data []byte) {
 		req, err := decodeCreateTenant(data)
@@ -172,6 +229,31 @@ func FuzzTenantSpecDecode(f *testing.F) {
 		}
 		if ts.FlipBudget < 1 || ts.FlipBudget > MaxTenantFlipBudget {
 			t.Fatalf("resolved flip budget %d escaped validation (input %q)", ts.FlipBudget, data)
+		}
+		switch ts.Model {
+		case "insertion":
+			if ts.Lambda != 0 || ts.Alpha != 0 {
+				t.Fatalf("insertion tenant resolved with λ=%d α=%v (input %q)", ts.Lambda, ts.Alpha, data)
+			}
+			if sp.model.Kind != 0 {
+				t.Fatalf("insertion tenant resolved to model kind %v (input %q)", sp.model.Kind, data)
+			}
+		case "turnstile":
+			if ts.Lambda < 1 || ts.Lambda > MaxTenantFlipBudget || ts.Lambda != ts.FlipBudget {
+				t.Fatalf("turnstile tenant resolved with λ=%d budget=%d (input %q)", ts.Lambda, ts.FlipBudget, data)
+			}
+			if !sp.signed {
+				t.Fatalf("turnstile tenant resolved unsigned (input %q)", data)
+			}
+		case "bounded_deletion":
+			if math.IsNaN(ts.Alpha) || math.IsInf(ts.Alpha, 0) || ts.Alpha < 1 || ts.Alpha > MaxTenantAlpha {
+				t.Fatalf("resolved α %v escaped validation (input %q)", ts.Alpha, data)
+			}
+			if !sp.signed {
+				t.Fatalf("bounded-deletion tenant resolved unsigned (input %q)", data)
+			}
+		default:
+			t.Fatalf("resolved model %q escaped validation (input %q)", ts.Model, data)
 		}
 		if sp.Name != ts.Sketch || sp.Policy != ts.Policy {
 			t.Fatalf("spec/tenant-spec identity mismatch: %s+%s vs %s+%s", sp.Name, sp.Policy, ts.Sketch, ts.Policy)
