@@ -342,11 +342,15 @@ func BenchmarkEngineIngestZipfSharded8(b *testing.B) {
 }
 
 // benchSketchdIngest — client-side load benchmark for the sketchd
-// service: parallel producers push batched JSON updates through
-// internal/client into one keyspace on a loopback server. ns/op is per
-// stream update (batches of 512 amortize the HTTP round trip); compare
-// against the in-process engine benchmarks above for the wire tax.
-func benchSketchdIngest(b *testing.B, sketchType string) {
+// service: parallel producers push batched updates through
+// internal/client into one keyspace on a loopback server, over the given
+// wire codec. ns/op is per stream update (batches of 512 amortize the
+// HTTP round trip); compare the Binary cells against their JSON
+// baselines for the codec tax, and against the in-process engine
+// benchmarks above for the wire tax. Run with -benchmem: the B/op and
+// allocs/op columns are the per-update allocation cost of the whole
+// client→HTTP→server→engine spine.
+func benchSketchdIngest(b *testing.B, sketchType string, codec client.Codec) {
 	if testing.Short() {
 		b.Skip("loopback-HTTP load benchmark: binds a TCP listener and spins a real server; skipped under -short")
 	}
@@ -354,7 +358,7 @@ func benchSketchdIngest(b *testing.B, sketchType string) {
 	hs := httptest.NewServer(srv.Handler())
 	defer hs.Close()
 	defer srv.Drain()
-	c := client.New(hs.URL, hs.Client())
+	c := client.New(hs.URL, hs.Client(), client.WithCodec(codec))
 	ctx := context.Background()
 	if err := c.CreateKey(ctx, "load", sketchType); err != nil {
 		b.Fatal(err)
@@ -384,8 +388,20 @@ func benchSketchdIngest(b *testing.B, sketchType string) {
 	})
 }
 
-func BenchmarkSketchdIngestCountSketch(b *testing.B) { benchSketchdIngest(b, "countsketch") }
-func BenchmarkSketchdIngestRobustF2(b *testing.B)    { benchSketchdIngest(b, "robust-f2") }
+// The named cells pin their codec: the JSON cells are the debug/compat
+// baseline, the Binary cells ride the negotiated default frames.
+func BenchmarkSketchdIngestCountSketch(b *testing.B) {
+	benchSketchdIngest(b, "countsketch", client.CodecJSON)
+}
+func BenchmarkSketchdIngestRobustF2(b *testing.B) {
+	benchSketchdIngest(b, "robust-f2", client.CodecJSON)
+}
+func BenchmarkSketchdIngestBinaryCountSketch(b *testing.B) {
+	benchSketchdIngest(b, "countsketch", client.CodecBinary)
+}
+func BenchmarkSketchdIngestBinaryRobustF2(b *testing.B) {
+	benchSketchdIngest(b, "robust-f2", client.CodecBinary)
+}
 
 // benchPolicyIngest — robust-ingest throughput per policy: the per-update
 // cost of one policy-wrapped f2 shard estimator, built exactly as a

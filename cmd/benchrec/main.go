@@ -6,6 +6,12 @@
 // measurement of its own) and parses the result lines, including
 // ReportMetric columns like the policy benchmarks' working-state bytes.
 //
+// The runner always passes -benchmem, so every recorded cell carries
+// B/op and allocs/op next to ns/op — the zero-alloc ingest spine is a
+// recorded number (BenchmarkEngineSteadyState: 0 allocs/op), not a
+// claim, and an allocation regression shows up as a JSON diff exactly
+// like a throughput regression.
+//
 // Usage:
 //
 //	go run ./cmd/benchrec                      # update BENCH_ingest.json
@@ -91,14 +97,15 @@ func parse(output string) []benchResult {
 
 func main() {
 	var (
-		bench     = flag.String("bench", "BenchmarkSketchdIngest|BenchmarkPolicyIngest|BenchmarkModelIngest|BenchmarkTopKQuery", "benchmark name regex passed to the runner")
-		benchtime = flag.String("benchtime", "200ms", "per-benchmark measuring time (or '3x' iteration form)")
-		pkg       = flag.String("pkg", ".", "package directory holding the benchmarks")
+		bench     = flag.String("bench", "BenchmarkSketchdIngest|BenchmarkPolicyIngest|BenchmarkModelIngest|BenchmarkTopKQuery|BenchmarkEngineSteadyState", "benchmark name regex passed to the runner")
+		benchtime = flag.String("benchtime", "1s", "per-benchmark measuring time (or '3x' iteration form)")
+		pkg       = flag.String("pkg", ". ./internal/engine", "space-separated package directories holding the benchmarks")
 		out       = flag.String("o", "BENCH_ingest.json", "output path, or '-' for stdout")
 	)
 	flag.Parse()
 
-	cmd := exec.Command("go", "test", "-run", "^$", "-bench", *bench, "-benchtime", *benchtime, *pkg)
+	args := append([]string{"test", "-run", "^$", "-bench", *bench, "-benchtime", *benchtime, "-benchmem"}, strings.Fields(*pkg)...)
+	cmd := exec.Command("go", args...)
 	raw, err := cmd.CombinedOutput()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchmark run failed: %v\n%s", err, raw)

@@ -176,9 +176,21 @@ func runCampaign(args []string) {
 		warmup      = fs.Int("warmup", 32, "rounds exempt from the check (rounding granularity on tiny truths)")
 		amsT        = fs.Int("ams-t", 64, "row count the AMS attack assumes of its victim")
 		seed        = fs.Int64("seed", 1, "root randomness seed")
+		codecName   = fs.String("codec", "binary", "wire codec of the http target's client: binary (negotiated frames) or json (the compat path)")
 		out         = fs.String("o", "", "write the JSON report here (default stdout)")
 	)
 	_ = fs.Parse(args)
+
+	var codec client.Codec
+	switch *codecName {
+	case "binary":
+		codec = client.CodecBinary
+	case "json":
+		codec = client.CodecJSON
+	default:
+		fmt.Fprintf(os.Stderr, "unknown codec %q (have: binary, json)\n", *codecName)
+		os.Exit(2)
+	}
 
 	// Validate the sweep axes up front: a typo must exit loudly, not run a
 	// sweep of zero campaigns that CI would read as green.
@@ -208,7 +220,7 @@ func runCampaign(args []string) {
 				res := runCampaignCombo(comboConfig{
 					adv: advName, target: targetKind, combo: combo,
 					steps: *steps, eps: *eps, delta: *delta, shards: *shards,
-					warmup: *warmup, amsT: *amsT, seed: *seed,
+					warmup: *warmup, amsT: *amsT, seed: *seed, codec: codec,
 				})
 				report.Results = append(report.Results, res)
 				verdict := "held"
@@ -270,6 +282,7 @@ type comboConfig struct {
 	warmup      int
 	amsT        int
 	seed        int64
+	codec       client.Codec
 }
 
 // buildTarget constructs the system under test for one combination. Every
@@ -324,7 +337,7 @@ func buildTarget(c comboConfig) (campaignTarget, error) {
 		srv := server.New(cfg)
 		hs := httptest.NewServer(srv.Handler())
 		ctx := context.Background()
-		cl := client.New(hs.URL, hs.Client())
+		cl := client.New(hs.URL, hs.Client(), client.WithCodec(c.codec))
 		// The v2 declarative surface: the tenant's spec carries its own
 		// sketch × policy cell, so the sweep no longer leans on the
 		// server-wide defaults to shape the keyspace.

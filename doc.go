@@ -50,8 +50,18 @@
 //     that hash-routes updates to per-shard estimator instances (static
 //     or robust), coalesces duplicates per batch, and recombines the
 //     per-shard estimates into the global statistic (sums, power sums, or
-//     the entropy chain rule). It implements sketch.Estimator, so it
-//     drops into any harness in the repository.
+//     the entropy chain rule). Batch buffers are pooled end to end, so
+//     the steady-state ingest path allocates nothing per update
+//     (TestSteadyStateZeroAllocs pins 0 allocs/op). It implements
+//     sketch.Estimator, so it drops into any harness in the repository.
+//   - internal/wire — the binary frame codec of the ingest spine:
+//     length-prefixed, versioned frames for update batches and the v2
+//     query/answer envelopes (fixed u64 item ids — no 2^53 JSON cliff —
+//     with zigzag-varint deltas), encoded into and decoded from
+//     caller-supplied buffers. Clients and servers negotiate it per
+//     request via Content-Type/Accept ("application/x-sketch-frame");
+//     JSON stays as the debug/compat codec with identical semantics,
+//     pinned byte-for-byte by the cross-codec snapshot tests.
 //   - internal/server, internal/client — sketchd, the multi-tenant
 //     network sketch service (cmd/sketchd): declarative tenants (POST
 //     /v2/keys with a TenantSpec — each tenant a sketch × policy ×
@@ -68,13 +78,19 @@
 //     estimate | point | topk batches answered with ε-derived error
 //     bounds and flip-budget state — the Section 6 point-query and heavy
 //     hitters machinery over HTTP, frozen-ring-backed for
-//     countsketch+ring), batched JSON ingest with string-or-number
-//     uint64 item ids, blocking and lock-free reads, binary
-//     snapshot/merge between seed-compatible tenants, per-keyspace
-//     engines created on demand under a quota, and graceful drain
-//     (client.RetryTail resends only the unapplied tail of a straddled
-//     batch). The robust policies make the shared endpoint safe to query
-//     adaptively — the paper's threat model, realized as a service.
+//     countsketch+ring), batched ingest under both codecs (binary
+//     frames on POST /v2/update, JSON with string-or-number uint64 item
+//     ids on /v1/update and /v2/update alike — one shared apply core,
+//     so codec choice never changes semantics), blocking and lock-free
+//     reads, binary snapshot/merge between seed-compatible tenants,
+//     per-keyspace engines created on demand under a quota, and
+//     graceful drain (client.RetryTail resends only the unapplied tail
+//     of a straddled batch, under either codec — error replies are
+//     always JSON). The Go client sends frames by default
+//     (client.WithCodec opts out) and drains every response body so
+//     keep-alive connections survive error storms. The robust policies
+//     make the shared endpoint safe to query adaptively — the paper's
+//     threat model, realized as a service.
 //   - internal/stream, internal/game, internal/adversary — stream
 //     generators, the adaptive adversary game loop, and concrete attacks.
 //     The game's Target interface runs the same adversaries against a

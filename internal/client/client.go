@@ -1,6 +1,16 @@
 // Package client is the Go client for sketchd (internal/server): batched
 // ingest, blocking and lock-free reads, and binary snapshot/merge state
 // transfer between servers. All methods are safe for concurrent use.
+//
+// By default the client speaks the negotiated binary framing of
+// internal/wire on the hot endpoints — update batches go to POST
+// /v2/update as updates frames, query batches to POST /v2/query as query
+// frames with frame answers — and falls back to nothing: servers of this
+// repository always understand frames, and every other endpoint stays
+// JSON. WithCodec(CodecJSON) pins the JSON codec instead (debug/compat;
+// byte-identical semantics, including the partial-batch Accepted protocol
+// RetryTail consumes, which works unchanged under either codec because
+// error responses are always JSON).
 package client
 
 import (
@@ -13,8 +23,10 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"sync"
 
 	"repro/internal/server"
+	"repro/internal/wire"
 )
 
 // Update mirrors the wire type: f[Item] += Delta.
@@ -36,19 +48,53 @@ type (
 // a topk answer.
 type ItemWeight = server.ItemWeight
 
+// Codec selects the wire encoding for update and query batches.
+type Codec int
+
+const (
+	// CodecBinary frames update and query batches with internal/wire
+	// (Content-Type/Accept: application/x-sketch-frame). The default.
+	CodecBinary Codec = iota
+
+	// CodecJSON sends JSON bodies — the debug/compat codec, semantically
+	// identical to binary.
+	CodecJSON
+)
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithCodec selects the update/query codec (default CodecBinary).
+func WithCodec(codec Codec) Option {
+	return func(c *Client) { c.codec = codec }
+}
+
 // Client talks to one sketchd instance.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	codec Codec
+
+	// encPool recycles frame-encode buffers across Update/Query calls, so
+	// a steady-state producer allocates no encode buffers per batch.
+	encPool sync.Pool
 }
 
 // New returns a client for the sketchd instance at base (e.g.
 // "http://127.0.0.1:8080"). Pass nil to use http.DefaultClient.
-func New(base string, hc *http.Client) *Client {
+func New(base string, hc *http.Client, opts ...Option) *Client {
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+	c := &Client{base: strings.TrimRight(base, "/"), hc: hc}
+	c.encPool.New = func() any {
+		b := make([]byte, 0, 8<<10)
+		return &b
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
 }
 
 // apiError turns a non-2xx reply into an error carrying the server's
@@ -87,8 +133,14 @@ func AcceptedCount(err error) int {
 }
 
 // do issues the request and decodes a JSON reply into out (unless out is
-// nil) or returns the raw body when raw is non-nil.
-func (c *Client) do(ctx context.Context, method, path string, q url.Values, body []byte, contentType string, out any, raw *[]byte) error {
+// nil) or returns the raw body when raw is non-nil. Whatever the outcome,
+// the response body is read to EOF and closed before returning — a body
+// left undrained would kill its keep-alive connection, and a client
+// riding out a sustained error storm (the insertion-model 400s, a drain's
+// 503s) must keep reusing connections rather than opening one per
+// failure. Error replies are JSON under every codec, so the ErrorResponse
+// decode here never depends on accept.
+func (c *Client) do(ctx context.Context, method, path string, q url.Values, body []byte, contentType, accept string, out any, raw *[]byte) error {
 	u := c.base + path
 	if len(q) > 0 {
 		u += "?" + q.Encode()
@@ -99,6 +151,9 @@ func (c *Client) do(ctx context.Context, method, path string, q url.Values, body
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -150,7 +205,7 @@ func (c *Client) CreateKeyPolicy(ctx context.Context, key, sketch, policy string
 	if policy != "" {
 		q.Set("policy", policy)
 	}
-	return c.do(ctx, http.MethodPost, "/v1/keys", q, nil, "", nil, nil)
+	return c.do(ctx, http.MethodPost, "/v1/keys", q, nil, "", "", nil, nil)
 }
 
 // CreateTenant declares keyspace key from a TenantSpec (POST /v2/keys):
@@ -165,7 +220,7 @@ func (c *Client) CreateTenant(ctx context.Context, key string, spec TenantSpec) 
 		return nil, err
 	}
 	var ks server.KeyStats
-	if err := c.do(ctx, http.MethodPost, "/v2/keys", nil, body, "application/json", &ks, nil); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v2/keys", nil, body, "application/json", "", &ks, nil); err != nil {
 		return nil, err
 	}
 	return &ks, nil
@@ -175,17 +230,106 @@ func (c *Client) CreateTenant(ctx context.Context, key string, spec TenantSpec) 
 // key and returns the full response: one typed answer per query in
 // request order, each carrying the tenant's ε-derived error bound, plus
 // the tenant's flip-budget state. Every answer in a batch reflects the
-// same flushed stream prefix.
+// same flushed stream prefix. Under the default binary codec the batch
+// is a query frame and the answer is negotiated back as a frame via
+// Accept; under CodecJSON both directions are JSON. The decoded response
+// is identical either way — including errors: a batch the frame codec
+// cannot express (an unknown kind string) is sent as JSON instead, so
+// the server stays the single validation authority and the caller sees
+// its 400, not a client-side guess.
 func (c *Client) Query(ctx context.Context, key string, queries []Query) (*server.QueryResponse, error) {
-	body, err := json.Marshal(server.QueryRequest{Key: key, Queries: queries})
+	wq := wire.QueryRequest{Key: key, Queries: make([]wire.Query, len(queries))}
+	framable := c.codec != CodecJSON
+	for i, q := range queries {
+		if !framable {
+			break
+		}
+		switch q.Kind {
+		case server.QueryEstimate:
+			wq.Queries[i] = wire.Query{Kind: wire.KindEstimate}
+		case server.QueryPoint:
+			wq.Queries[i] = wire.Query{Kind: wire.KindPoint, Item: uint64(q.Item)}
+		case server.QueryTopK:
+			wq.Queries[i] = wire.Query{Kind: wire.KindTopK, K: q.K}
+		default:
+			framable = false
+		}
+	}
+	if !framable {
+		body, err := json.Marshal(server.QueryRequest{Key: key, Queries: queries})
+		if err != nil {
+			return nil, err
+		}
+		var resp server.QueryResponse
+		if err := c.do(ctx, http.MethodPost, "/v2/query", nil, body, "application/json", "", &resp, nil); err != nil {
+			return nil, err
+		}
+		return &resp, nil
+	}
+	bp := c.encPool.Get().(*[]byte)
+	frame := wire.AppendQuery((*bp)[:0], &wq)
+	var raw []byte
+	err := c.do(ctx, http.MethodPost, "/v2/query", nil, frame, wire.ContentType, wire.ContentType, nil, &raw)
+	*bp = frame[:0]
+	c.encPool.Put(bp)
 	if err != nil {
 		return nil, err
 	}
-	var resp server.QueryResponse
-	if err := c.do(ctx, http.MethodPost, "/v2/query", nil, body, "application/json", &resp, nil); err != nil {
-		return nil, err
+	wresp, err := wire.DecodeAnswer(raw)
+	if err != nil {
+		return nil, fmt.Errorf("sketchd: bad answer frame: %w", err)
 	}
-	return &resp, nil
+	return queryResponseFromFrame(wresp), nil
+}
+
+// queryResponseFromFrame converts a decoded answer frame into the
+// canonical JSON-shaped response, so callers see one type regardless of
+// codec.
+func queryResponseFromFrame(wr *wire.QueryResponse) *server.QueryResponse {
+	resp := &server.QueryResponse{
+		Key:    wr.Key,
+		Sketch: wr.Sketch,
+		Policy: wr.Policy,
+		Model:  wr.Model,
+	}
+	resp.Answers = make([]Answer, 0, len(wr.Answers))
+	for _, wa := range wr.Answers {
+		a := Answer{
+			Value:      wa.Value,
+			ErrorBound: wa.ErrorBound,
+			Additive:   wa.Additive,
+		}
+		switch wa.Kind {
+		case wire.KindEstimate:
+			a.Kind = server.QueryEstimate
+		case wire.KindPoint:
+			a.Kind = server.QueryPoint
+		case wire.KindTopK:
+			a.Kind = server.QueryTopK
+		}
+		if wa.HasItem {
+			item := server.U64(wa.Item)
+			a.Item = &item
+		}
+		if len(wa.Items) > 0 {
+			a.Items = make([]ItemWeight, len(wa.Items))
+			for i, iw := range wa.Items {
+				a.Items[i] = ItemWeight{Item: server.U64(iw.Item), Weight: iw.Weight}
+			}
+		}
+		resp.Answers = append(resp.Answers, a)
+	}
+	if r := wr.Robustness; r != nil {
+		resp.Robustness = &server.RobustnessStats{
+			Policy:    r.Policy,
+			Copies:    r.Copies,
+			Switches:  r.Switches,
+			Budget:    r.Budget,
+			Remaining: r.Remaining,
+			Exhausted: r.Exhausted,
+		}
+	}
+	return resp
 }
 
 // QueryPoint returns the point estimate of f[item] for keyspace key,
@@ -218,20 +362,33 @@ func (c *Client) TopK(ctx context.Context, key string, k int) ([]ItemWeight, err
 
 // DeleteKey tears keyspace key down, freeing its quota slot.
 func (c *Client) DeleteKey(ctx context.Context, key string) error {
-	return c.do(ctx, http.MethodDelete, "/v1/keys", keyQuery(key), nil, "", nil, nil)
+	return c.do(ctx, http.MethodDelete, "/v1/keys", keyQuery(key), nil, "", "", nil, nil)
 }
 
 // Update sends one batch of updates to keyspace key (created on demand
-// with the server's default sketch type if absent). If the batch
-// straddles a server drain the call fails with a 503; AcceptedCount on
-// the error says how many updates were applied, so retry with
-// updates[AcceptedCount(err):] only.
+// with the server's default sketch type if absent). Under the default
+// binary codec the batch goes to POST /v2/update as an updates frame
+// encoded into a pooled buffer; under CodecJSON it goes to POST
+// /v1/update as before. If the batch straddles a server drain the call
+// fails with a 503; AcceptedCount on the error says how many updates
+// were applied, so retry with updates[AcceptedCount(err):] only — the
+// protocol is codec-independent because error replies are always JSON.
 func (c *Client) Update(ctx context.Context, key string, updates []Update) error {
-	body, err := json.Marshal(server.UpdateRequest{Updates: updates})
-	if err != nil {
-		return err
+	if c.codec == CodecJSON {
+		body, err := json.Marshal(server.UpdateRequest{Updates: updates})
+		if err != nil {
+			return err
+		}
+		return c.do(ctx, http.MethodPost, "/v1/update", keyQuery(key), body, "application/json", "", nil, nil)
 	}
-	return c.do(ctx, http.MethodPost, "/v1/update", keyQuery(key), body, "application/json", nil, nil)
+	bp := c.encPool.Get().(*[]byte)
+	frame := wire.AppendUpdatesFunc((*bp)[:0], len(updates), func(i int) wire.Update {
+		return wire.Update{Item: updates[i].Item, Delta: updates[i].Delta}
+	})
+	err := c.do(ctx, http.MethodPost, "/v2/update", keyQuery(key), frame, wire.ContentType, "", nil, nil)
+	*bp = frame[:0]
+	c.encPool.Put(bp)
+	return err
 }
 
 // RetryTail resends the suffix of a partially applied batch after Update
@@ -296,7 +453,7 @@ func (c *Client) Delete(ctx context.Context, key string, items ...uint64) error 
 // every update the server accepted before the call.
 func (c *Client) Estimate(ctx context.Context, key string) (float64, error) {
 	var resp server.EstimateResponse
-	err := c.do(ctx, http.MethodGet, "/v1/estimate", keyQuery(key), nil, "", &resp, nil)
+	err := c.do(ctx, http.MethodGet, "/v1/estimate", keyQuery(key), nil, "", "", &resp, nil)
 	return resp.Estimate, err
 }
 
@@ -304,7 +461,7 @@ func (c *Client) Estimate(ctx context.Context, key string) (float64, error) {
 // blocks ingest, may lag Estimate slightly.
 func (c *Client) Peek(ctx context.Context, key string) (float64, error) {
 	var resp server.EstimateResponse
-	err := c.do(ctx, http.MethodGet, "/v1/peek", keyQuery(key), nil, "", &resp, nil)
+	err := c.do(ctx, http.MethodGet, "/v1/peek", keyQuery(key), nil, "", "", &resp, nil)
 	return resp.Estimate, err
 }
 
@@ -312,20 +469,20 @@ func (c *Client) Peek(ctx context.Context, key string) (float64, error) {
 // types only).
 func (c *Client) Snapshot(ctx context.Context, key string) ([]byte, error) {
 	var raw []byte
-	err := c.do(ctx, http.MethodGet, "/v1/snapshot", keyQuery(key), nil, "", nil, &raw)
+	err := c.do(ctx, http.MethodGet, "/v1/snapshot", keyQuery(key), nil, "", "", nil, &raw)
 	return raw, err
 }
 
 // Merge folds a snapshot (typically from another sketchd sharing the same
 // -seed and -shards) into keyspace key, creating it if absent.
 func (c *Client) Merge(ctx context.Context, key string, snapshot []byte) error {
-	return c.do(ctx, http.MethodPost, "/v1/merge", keyQuery(key), snapshot, "application/octet-stream", nil, nil)
+	return c.do(ctx, http.MethodPost, "/v1/merge", keyQuery(key), snapshot, "application/octet-stream", "", nil, nil)
 }
 
 // Stats returns server-wide stats and the keyspace listing.
 func (c *Client) Stats(ctx context.Context) (*server.StatsResponse, error) {
 	var resp server.StatsResponse
-	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, nil, "", &resp, nil); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, nil, "", "", &resp, nil); err != nil {
 		return nil, err
 	}
 	return &resp, nil

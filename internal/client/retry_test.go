@@ -4,20 +4,34 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"testing"
 
 	"repro/internal/client"
 	"repro/internal/server"
+	"repro/internal/wire"
 )
+
+// codecs parameterizes the retry-protocol tests: the Accepted contract is
+// codec-independent (error replies are always JSON), so RetryTail must
+// behave identically whichever codec carried the batch.
+var codecs = []struct {
+	name  string
+	codec client.Codec
+}{
+	{"binary", client.CodecBinary},
+	{"json", client.CodecJSON},
+}
 
 // drainingUpdateServer simulates the server-side partial-batch protocol:
 // the first failAfter requests apply only a prefix of each batch and
 // answer 503 with the applied count (exactly what a drain straddling the
 // batch produces), after which batches are accepted whole. Every applied
 // update is recorded, so the test can detect double counting — the bug
-// RetryTail exists to prevent.
+// RetryTail exists to prevent. It serves both ingest codecs: JSON on
+// /v1/update and binary frames on /v2/update, like the real server.
 type drainingUpdateServer struct {
 	failures int // remaining requests to fail
 	prefix   int // updates applied before each failure
@@ -26,75 +40,101 @@ type drainingUpdateServer struct {
 }
 
 func (d *drainingUpdateServer) handler(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Path != "/v1/update" {
+	var updates []client.Update
+	switch r.URL.Path {
+	case "/v1/update":
+		var req server.UpdateRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		updates = req.Updates
+	case "/v2/update":
+		if r.Header.Get("Content-Type") != wire.ContentType {
+			http.Error(w, "unexpected content type", http.StatusUnsupportedMediaType)
+			return
+		}
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		us, err := wire.DecodeUpdates(body, nil)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		for _, u := range us {
+			updates = append(updates, client.Update{Item: u.Item, Delta: u.Delta})
+		}
+	default:
 		http.NotFound(w, r)
 		return
 	}
 	d.requests++
-	var req server.UpdateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
 	if d.failures > 0 {
 		d.failures--
 		n := d.prefix
-		if n > len(req.Updates) {
-			n = len(req.Updates)
+		if n > len(updates) {
+			n = len(updates)
 		}
-		d.applied = append(d.applied, req.Updates[:n]...)
+		d.applied = append(d.applied, updates[:n]...)
 		w.WriteHeader(http.StatusServiceUnavailable)
 		_ = json.NewEncoder(w).Encode(server.ErrorResponse{
-			Error:    fmt.Sprintf("server is draining (accepted %d of %d updates)", n, len(req.Updates)),
+			Error:    fmt.Sprintf("server is draining (accepted %d of %d updates)", n, len(updates)),
 			Accepted: n,
 		})
 		return
 	}
-	d.applied = append(d.applied, req.Updates...)
-	_ = json.NewEncoder(w).Encode(server.UpdateResponse{Accepted: len(req.Updates)})
+	d.applied = append(d.applied, updates...)
+	_ = json.NewEncoder(w).Encode(server.UpdateResponse{Accepted: len(updates)})
 }
 
 // TestRetryTailResendsOnlyUnappliedSuffix: after a partial batch failure,
 // RetryTail must resend exactly the unapplied tail — the applied prefix
 // is in the drained state, and re-sending it would double count.
 func TestRetryTailResendsOnlyUnappliedSuffix(t *testing.T) {
-	d := &drainingUpdateServer{failures: 1, prefix: 60}
-	hs := httptest.NewServer(http.HandlerFunc(d.handler))
-	defer hs.Close()
-	c := client.New(hs.URL, hs.Client())
-	ctx := context.Background()
+	for _, tc := range codecs {
+		t.Run(tc.name, func(t *testing.T) {
+			d := &drainingUpdateServer{failures: 1, prefix: 60}
+			hs := httptest.NewServer(http.HandlerFunc(d.handler))
+			defer hs.Close()
+			c := client.New(hs.URL, hs.Client(), client.WithCodec(tc.codec))
+			ctx := context.Background()
 
-	var batch []client.Update
-	for i := uint64(0); i < 100; i++ {
-		batch = append(batch, client.Update{Item: i, Delta: 1})
-	}
-	err := c.Update(ctx, "k", batch)
-	if client.StatusCode(err) != 503 {
-		t.Fatalf("first update: err = %v, want HTTP 503", err)
-	}
-	if got := client.AcceptedCount(err); got != 60 {
-		t.Fatalf("AcceptedCount = %d, want 60", got)
-	}
+			var batch []client.Update
+			for i := uint64(0); i < 100; i++ {
+				batch = append(batch, client.Update{Item: i, Delta: 1})
+			}
+			err := c.Update(ctx, "k", batch)
+			if client.StatusCode(err) != 503 {
+				t.Fatalf("first update: err = %v, want HTTP 503", err)
+			}
+			if got := client.AcceptedCount(err); got != 60 {
+				t.Fatalf("AcceptedCount = %d, want 60", got)
+			}
 
-	tail, err := c.RetryTail(ctx, "k", batch, err)
-	if err != nil {
-		t.Fatalf("RetryTail: %v", err)
-	}
-	if tail != nil {
-		t.Fatalf("RetryTail reported success but returned a tail of %d updates", len(tail))
-	}
-	if d.requests != 2 {
-		t.Fatalf("RetryTail issued %d requests, want exactly 1 resend", d.requests-1)
-	}
-	// Every update applied exactly once, in order: no loss, no double
-	// counting.
-	if len(d.applied) != len(batch) {
-		t.Fatalf("server applied %d updates, want %d", len(d.applied), len(batch))
-	}
-	for i, u := range d.applied {
-		if u.Item != uint64(i) {
-			t.Fatalf("update %d applied as item %d: prefix re-sent or tail dropped", i, u.Item)
-		}
+			tail, err := c.RetryTail(ctx, "k", batch, err)
+			if err != nil {
+				t.Fatalf("RetryTail: %v", err)
+			}
+			if tail != nil {
+				t.Fatalf("RetryTail reported success but returned a tail of %d updates", len(tail))
+			}
+			if d.requests != 2 {
+				t.Fatalf("RetryTail issued %d requests, want exactly 1 resend", d.requests-1)
+			}
+			// Every update applied exactly once, in order: no loss, no
+			// double counting.
+			if len(d.applied) != len(batch) {
+				t.Fatalf("server applied %d updates, want %d", len(d.applied), len(batch))
+			}
+			for i, u := range d.applied {
+				if u.Item != uint64(i) {
+					t.Fatalf("update %d applied as item %d: prefix re-sent or tail dropped", i, u.Item)
+				}
+			}
+		})
 	}
 }
 
@@ -102,39 +142,43 @@ func TestRetryTailResendsOnlyUnappliedSuffix(t *testing.T) {
 // each retry that fails again reports its own applied prefix, and feeding
 // the returned tail back in converges with every update applied once.
 func TestRetryTailAcrossRepeatedFailures(t *testing.T) {
-	d := &drainingUpdateServer{failures: 3, prefix: 25}
-	hs := httptest.NewServer(http.HandlerFunc(d.handler))
-	defer hs.Close()
-	c := client.New(hs.URL, hs.Client())
-	ctx := context.Background()
+	for _, tc := range codecs {
+		t.Run(tc.name, func(t *testing.T) {
+			d := &drainingUpdateServer{failures: 3, prefix: 25}
+			hs := httptest.NewServer(http.HandlerFunc(d.handler))
+			defer hs.Close()
+			c := client.New(hs.URL, hs.Client(), client.WithCodec(tc.codec))
+			ctx := context.Background()
 
-	var batch []client.Update
-	for i := uint64(0); i < 100; i++ {
-		batch = append(batch, client.Update{Item: i, Delta: 1})
-	}
-	err := c.Update(ctx, "k", batch)
-	tail := batch
-	for attempts := 0; err != nil; attempts++ {
-		if attempts > 10 {
-			t.Fatal("RetryTail did not converge")
-		}
-		if client.StatusCode(err) != 503 {
-			t.Fatalf("unexpected failure: %v", err)
-		}
-		tail, err = c.RetryTail(ctx, "k", tail, err)
-	}
-	if len(d.applied) != len(batch) {
-		t.Fatalf("server applied %d updates, want %d", len(d.applied), len(batch))
-	}
-	for i, u := range d.applied {
-		if u.Item != uint64(i) {
-			t.Fatalf("update %d applied as item %d", i, u.Item)
-		}
-	}
+			var batch []client.Update
+			for i := uint64(0); i < 100; i++ {
+				batch = append(batch, client.Update{Item: i, Delta: 1})
+			}
+			err := c.Update(ctx, "k", batch)
+			tail := batch
+			for attempts := 0; err != nil; attempts++ {
+				if attempts > 10 {
+					t.Fatal("RetryTail did not converge")
+				}
+				if client.StatusCode(err) != 503 {
+					t.Fatalf("unexpected failure: %v", err)
+				}
+				tail, err = c.RetryTail(ctx, "k", tail, err)
+			}
+			if len(d.applied) != len(batch) {
+				t.Fatalf("server applied %d updates, want %d", len(d.applied), len(batch))
+			}
+			for i, u := range d.applied {
+				if u.Item != uint64(i) {
+					t.Fatalf("update %d applied as item %d", i, u.Item)
+				}
+			}
 
-	// A nil error is a no-op success.
-	if tail, err := c.RetryTail(ctx, "k", batch, nil); err != nil || tail != nil {
-		t.Errorf("RetryTail(nil) = (%v, %v), want (nil, nil)", tail, err)
+			// A nil error is a no-op success.
+			if tail, err := c.RetryTail(ctx, "k", batch, nil); err != nil || tail != nil {
+				t.Errorf("RetryTail(nil) = (%v, %v), want (nil, nil)", tail, err)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,69 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/sketch"
+)
+
+// nullEst is a do-nothing estimator: benchmarking the engine against it
+// isolates the pipeline's own routing→append→coalesce→handoff cost from
+// estimator cost.
+type nullEst struct{}
+
+func (nullEst) Update(uint64, int64) {}
+func (nullEst) Estimate() float64    { return 0 }
+func (nullEst) SpaceBytes() int      { return 0 }
+
+// TestSteadyStateZeroAllocs pins the zero-allocation contract of the ingest
+// spine: once the batch-buffer pool is warm, Update must not allocate — not
+// in the producer (append + handoff), not in the worker (coalesce + apply +
+// publish). The assertion uses testing.Benchmark so the measurement is the
+// same one `go test -bench -benchmem` reports.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc contract is checked in non-race runs")
+	}
+	e := New(Config{
+		Shards:  2,
+		Batch:   256,
+		Seed:    1,
+		Factory: func(int64) sketch.Estimator { return nullEst{} },
+	})
+	defer e.Close()
+	// Warm the pools and the coalescing scratch past their growth phase.
+	for i := 0; i < 1<<14; i++ {
+		e.Update(uint64(i), 1)
+	}
+	e.Flush()
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e.Update(uint64(i), 1)
+		}
+	})
+	if a := res.AllocsPerOp(); a != 0 {
+		t.Fatalf("steady-state Update: %d allocs/op (%d B/op), want 0", a, res.AllocedBytesPerOp())
+	}
+}
+
+// BenchmarkEngineSteadyState measures the pipeline against the null
+// estimator — the engine's own overhead per update. Run with -benchmem:
+// the allocs/op column must read 0.
+func BenchmarkEngineSteadyState(b *testing.B) {
+	e := New(Config{
+		Shards:  2,
+		Batch:   256,
+		Seed:    1,
+		Factory: func(int64) sketch.Estimator { return nullEst{} },
+	})
+	defer e.Close()
+	for i := 0; i < 1<<14; i++ {
+		e.Update(uint64(i), 1)
+	}
+	e.Flush()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Update(uint64(i), 1)
+	}
+}

@@ -86,7 +86,7 @@ type Config struct {
 }
 
 type op struct {
-	batch []Update
+	batch *[]Update
 	visit func(est sketch.Estimator) // if non-nil: run against the estimator
 	sync  *sync.WaitGroup            // if non-nil: refresh published state, then Done
 }
@@ -102,7 +102,7 @@ type shard struct {
 	// for other producers to keep appending.
 	mu      sync.Mutex
 	sendMu  sync.Mutex
-	pending []Update
+	pending *[]Update
 	closed  bool
 
 	est  sketch.Estimator // owned by the worker goroutine
@@ -145,15 +145,19 @@ type Engine struct {
 }
 
 // getBuf checks a batch buffer out of the pool, counting it as
-// outstanding until putBuf returns it.
-func (e *Engine) getBuf() []Update {
+// outstanding until putBuf returns it. The pool traffics in *[]Update:
+// storing the slice header itself would box it into an interface on every
+// Put — one heap allocation per recycled batch — while the pointer is
+// already heap-allocated once and reused for the buffer's lifetime.
+func (e *Engine) getBuf() *[]Update {
 	e.liveBufs.Add(1)
-	return e.pool.Get().([]Update)
+	return e.pool.Get().(*[]Update)
 }
 
 // putBuf returns a batch buffer to the pool.
-func (e *Engine) putBuf(b []Update) {
-	e.pool.Put(b[:0])
+func (e *Engine) putBuf(b *[]Update) {
+	*b = (*b)[:0]
+	e.pool.Put(b)
 	e.liveBufs.Add(-1)
 }
 
@@ -186,7 +190,7 @@ func New(cfg Config) *Engine {
 		combine:  cfg.Combine,
 		coalesce: !cfg.DisableCoalesce,
 	}
-	e.pool.New = func() any { return make([]Update, 0, cfg.Batch) }
+	e.pool.New = func() any { b := make([]Update, 0, cfg.Batch); return &b }
 	for i := 0; i < cfg.Shards; i++ {
 		s := &shard{
 			ops:  make(chan op, cfg.Queue),
@@ -208,16 +212,16 @@ func (e *Engine) run(s *shard) {
 	sinceRefresh := 0
 	first := true
 	for o := range s.ops {
-		sinceRefresh += len(o.batch) // count pre-coalesce stream updates
-		b := o.batch
-		if e.coalesce {
-			b = s.coalesceBatch(b)
-		}
-		for _, u := range b {
-			s.est.Update(u.Item, u.Delta)
-			s.mass += u.Delta
-		}
 		if o.batch != nil {
+			b := *o.batch
+			sinceRefresh += len(b) // count pre-coalesce stream updates
+			if e.coalesce {
+				b = s.coalesceBatch(b)
+			}
+			for _, u := range b {
+				s.est.Update(u.Item, u.Delta)
+				s.mass += u.Delta
+			}
 			e.putBuf(o.batch)
 		}
 		if o.visit != nil {
@@ -278,7 +282,13 @@ func (s *shard) publish() {
 	s.pubSpace.Store(int64(s.est.SpaceBytes()))
 	if rr, ok := s.est.(sketch.RobustnessReporter); ok {
 		r := rr.Robustness()
-		s.pubPolicy.Store(&r.Policy)
+		// The policy name almost never changes; re-storing the cached
+		// pointer (instead of &r.Policy, which escapes) keeps the refresh
+		// allocation-free in steady state.
+		if p := s.pubPolicy.Load(); p == nil || *p != r.Policy {
+			policy := r.Policy
+			s.pubPolicy.Store(&policy)
+		}
 		s.pubCopies.Store(int64(r.Copies))
 		s.pubSwitches.Store(int64(r.Switches))
 		s.pubBudget.Store(int64(r.Budget))
@@ -323,11 +333,11 @@ func (e *Engine) TryUpdate(item uint64, delta int64) bool {
 	if s.pending == nil {
 		s.pending = e.getBuf()
 	}
-	s.pending = append(s.pending, Update{Item: item, Delta: delta})
+	*s.pending = append(*s.pending, Update{Item: item, Delta: delta})
 	if delta < 0 {
 		e.deleted.Add(-delta)
 	}
-	if len(s.pending) < e.batch {
+	if len(*s.pending) < e.batch {
 		s.mu.Unlock()
 		return true
 	}

@@ -22,13 +22,34 @@ import (
 // sketch also tracks a bounded pool of candidate heavy items so the heavy
 // hitters *set* can be emitted without enumerating the universe, and its
 // rows double as AMS estimators of F2.
+//
+// The candidate pool carries one int64 per item: the net delta observed
+// since the item was admitted. It is retention metadata only — a cheap
+// running magnitude that lets the pool prune without re-querying every
+// candidate through the sketch (the pre-refactor prune cost rows hash
+// evaluations per pool entry, which dominated distinct-heavy ingest) —
+// and is never used to answer queries: Query, TopK, and HeavyHitters
+// always read the counters. An item admitted late starts its tally at
+// its admission-time delta, so the tally lower-bounds |f_i| on insertion
+// streams; a recurring heavy item outgrows one-shot items either way,
+// which is all retention needs.
 type CountSketch struct {
 	rows, w int
 	hs      []hash.Poly
 	c       [][]int64
 
-	cands   map[uint64]struct{}
+	cands   map[uint64]int64
 	candCap int
+
+	qbuf []float64   // Query scratch: per-row estimates awaiting the median
+	pbuf []candEntry // prune scratch: the pool staged for selection
+}
+
+// candEntry is the prune scratch element: one pool item with its running
+// net-delta tally.
+type candEntry struct {
+	item   uint64
+	weight int64
 }
 
 // Sizing holds CountSketch dimensions.
@@ -67,7 +88,7 @@ func NewCountSketch(s Sizing, rng *rand.Rand) *CountSketch {
 		cs.hs = append(cs.hs, hash.NewPoly(4, rng))
 		cs.c = append(cs.c, make([]int64, s.Width))
 	}
-	cs.cands = make(map[uint64]struct{})
+	cs.cands = make(map[uint64]int64)
 	return cs
 }
 
@@ -77,33 +98,102 @@ func (cs *CountSketch) Update(item uint64, delta int64) {
 		sign, b := cs.hs[r].SignBucket(item, cs.w)
 		cs.c[r][b] += sign * delta
 	}
-	cs.cands[item] = struct{}{}
+	cs.cands[item] += delta
 	if len(cs.cands) > 2*cs.candCap {
 		cs.pruneCandidates()
 	}
 }
 
-// pruneCandidates keeps the candCap candidates with the largest estimated
-// magnitudes.
+// pruneCandidates keeps the candCap candidates with the largest running
+// net-delta magnitudes (ties broken by ascending item id, so pruning is
+// deterministic for a fixed update sequence regardless of map iteration
+// order). Survivors keep their tallies. This is the ingest hot path's
+// only super-constant work, so it stays off the sketch counters entirely:
+// one pass over the pool, one expected-linear selection on the scratch
+// slice (the survivor *set* is what matters — the pool is a map, so no
+// full sort and none of sort.Slice's reflection), no hashing.
 func (cs *CountSketch) pruneCandidates() {
-	type ce struct {
-		item uint64
-		est  float64
+	all := cs.pbuf[:0]
+	for it, w := range cs.cands {
+		all = append(all, candEntry{item: it, weight: w})
 	}
-	all := make([]ce, 0, len(cs.cands))
-	for it := range cs.cands {
-		all = append(all, ce{it, math.Abs(cs.Query(it))})
+	if len(all) > cs.candCap {
+		selectTop(all, cs.candCap)
+		all = all[:cs.candCap]
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].est > all[j].est })
-	cs.cands = make(map[uint64]struct{}, cs.candCap)
-	for i := 0; i < cs.candCap && i < len(all); i++ {
-		cs.cands[all[i].item] = struct{}{}
+	clear(cs.cands)
+	for _, e := range all {
+		cs.cands[e.item] = e.weight
 	}
+	cs.pbuf = all
+}
+
+// entryLess is the deterministic retention order: decreasing net-delta
+// magnitude, ties by ascending item id. Items are unique within the
+// pool, so this is a strict total order.
+func entryLess(a, b candEntry) bool {
+	wa, wb := abs64(a.weight), abs64(b.weight)
+	if wa != wb {
+		return wa > wb
+	}
+	return a.item < b.item
+}
+
+// selectTop partitions all so that all[:k] holds exactly the k first
+// entries of the entryLess order (in unspecified internal order):
+// iterative quickselect with median-of-three pivoting, expected O(n).
+func selectTop(all []candEntry, k int) {
+	idx, lo, hi := k-1, 0, len(all)
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		if entryLess(all[mid], all[lo]) {
+			all[lo], all[mid] = all[mid], all[lo]
+		}
+		if entryLess(all[hi-1], all[lo]) {
+			all[lo], all[hi-1] = all[hi-1], all[lo]
+		}
+		if entryLess(all[hi-1], all[mid]) {
+			all[mid], all[hi-1] = all[hi-1], all[mid]
+		}
+		pivot := all[mid]
+		i, j := lo, hi-1
+		for i <= j {
+			for entryLess(all[i], pivot) {
+				i++
+			}
+			for entryLess(pivot, all[j]) {
+				j--
+			}
+			if i <= j {
+				all[i], all[j] = all[j], all[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case idx <= j:
+			hi = j + 1
+		case idx >= i:
+			lo = i
+		default:
+			return
+		}
+	}
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
 }
 
 // Query returns the point-query estimate of f_item.
 func (cs *CountSketch) Query(item uint64) float64 {
-	ests := make([]float64, cs.rows)
+	if cap(cs.qbuf) < cs.rows {
+		cs.qbuf = make([]float64, cs.rows)
+	}
+	ests := cs.qbuf[:cs.rows]
 	for r := 0; r < cs.rows; r++ {
 		sign, b := cs.hs[r].SignBucket(item, cs.w)
 		ests[r] = float64(sign * cs.c[r][b])
@@ -183,16 +273,17 @@ func (cs *CountSketch) Clone() *CountSketch {
 		copy(row, cs.c[r])
 		cp.c = append(cp.c, row)
 	}
-	cp.cands = make(map[uint64]struct{}, len(cs.cands))
-	for it := range cs.cands {
-		cp.cands[it] = struct{}{}
+	cp.cands = make(map[uint64]int64, len(cs.cands))
+	for it, w := range cs.cands {
+		cp.cands[it] = w
 	}
 	return cp
 }
 
-// SpaceBytes charges counters, hash seeds and the candidate pool.
+// SpaceBytes charges counters, hash seeds and the candidate pool (item id
+// plus retention tally per entry).
 func (cs *CountSketch) SpaceBytes() int {
-	total := 8 * len(cs.cands)
+	total := 16 * len(cs.cands)
 	for r := 0; r < cs.rows; r++ {
 		total += 8*cs.w + cs.hs[r].SpaceBytes()
 	}

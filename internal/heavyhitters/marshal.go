@@ -10,14 +10,16 @@ import (
 
 const (
 	csFormatV1 = 1
+	csFormatV2 = 2 // adds per-candidate retention tallies after the id list
 	cmFormatV1 = 1
 )
 
 // MarshalBinary encodes the sketch state (hash functions, counters, and
-// the candidate pool, so heavy hitters survive the round trip).
+// the candidate pool with its retention tallies, so heavy hitters — and
+// their pruning behaviour — survive the round trip).
 func (cs *CountSketch) MarshalBinary() ([]byte, error) {
 	var w codec.Writer
-	w.U8(csFormatV1)
+	w.U8(csFormatV2)
 	w.U64(uint64(cs.rows))
 	w.U64(uint64(cs.w))
 	w.U64(uint64(cs.candCap))
@@ -33,14 +35,20 @@ func (cs *CountSketch) MarshalBinary() ([]byte, error) {
 	// would make two encodings of identical state differ byte-for-byte.
 	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
 	w.U64s(cands)
+	weights := make([]int64, len(cands))
+	for i, it := range cands {
+		weights[i] = cs.cands[it]
+	}
+	w.I64s(weights)
 	return w.Bytes(), nil
 }
 
 // UnmarshalBinary decodes state produced by MarshalBinary, replacing cs.
 func (cs *CountSketch) UnmarshalBinary(data []byte) error {
 	r := codec.NewReader(data)
-	if v := r.U8(); v != csFormatV1 && r.Err() == nil {
-		return fmt.Errorf("heavyhitters: unsupported CountSketch format version %d", v)
+	version := r.U8()
+	if version != csFormatV1 && version != csFormatV2 && r.Err() == nil {
+		return fmt.Errorf("heavyhitters: unsupported CountSketch format version %d", version)
 	}
 	rows := int(r.U64())
 	w := int(r.U64())
@@ -62,13 +70,26 @@ func (cs *CountSketch) UnmarshalBinary(data []byte) error {
 		c = append(c, row)
 	}
 	cands := r.U64s()
+	var weights []int64
+	if version >= csFormatV2 {
+		weights = r.I64s()
+		if r.Err() == nil && len(weights) != len(cands) {
+			return fmt.Errorf("heavyhitters: %d candidate weights for %d candidates", len(weights), len(cands))
+		}
+	}
 	if err := r.Done(); err != nil {
 		return err
 	}
 	cs.rows, cs.w, cs.candCap, cs.hs, cs.c = rows, w, candCap, hs, c
-	cs.cands = make(map[uint64]struct{}, len(cands))
-	for _, it := range cands {
-		cs.cands[it] = struct{}{}
+	cs.cands = make(map[uint64]int64, len(cands))
+	for i, it := range cands {
+		// V1 snapshots carry no tallies; re-admit at zero and let future
+		// updates rebuild them.
+		var wt int64
+		if weights != nil {
+			wt = weights[i]
+		}
+		cs.cands[it] = wt
 	}
 	return nil
 }

@@ -12,12 +12,13 @@ func (cs *CountSketch) Fresh() *CountSketch {
 	for r := 0; r < cs.rows; r++ {
 		cp.c = append(cp.c, make([]int64, cs.w))
 	}
-	cp.cands = make(map[uint64]struct{})
+	cp.cands = make(map[uint64]int64)
 	return cp
 }
 
-// Merge adds other's counters into cs and unions the candidate pools
-// (pruning if oversized). Both sketches must share hash functions (be
+// Merge adds other's counters into cs and unions the candidate pools,
+// summing retention tallies (pruning if oversized). Both sketches must
+// share hash functions (be
 // Fresh copies of one origin); the merged counters equal the sketch of
 // the concatenated streams.
 func (cs *CountSketch) Merge(other *CountSketch) error {
@@ -34,8 +35,8 @@ func (cs *CountSketch) Merge(other *CountSketch) error {
 			cs.c[r][b] += other.c[r][b]
 		}
 	}
-	for it := range other.cands {
-		cs.cands[it] = struct{}{}
+	for it, w := range other.cands {
+		cs.cands[it] += w
 	}
 	if len(cs.cands) > 2*cs.candCap {
 		cs.pruneCandidates()

@@ -1,0 +1,45 @@
+package heavyhitters
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestSelectTopMatchesSort: the quickselect prune must retain exactly
+// the set a full sort would — including heavy magnitude ties, where the
+// ascending-item rule decides — across sizes that hit every selection
+// branch (k at the edges, duplicates, tiny slices).
+func TestSelectTopMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(300)
+		k := 1 + rng.Intn(n)
+		entries := make([]candEntry, n)
+		for i := range entries {
+			// Small weight range forces magnitude ties; items unique.
+			entries[i] = candEntry{item: uint64(i), weight: int64(rng.Intn(9) - 4)}
+		}
+		rng.Shuffle(n, func(i, j int) { entries[i], entries[j] = entries[j], entries[i] })
+
+		want := append([]candEntry(nil), entries...)
+		sort.Slice(want, func(i, j int) bool { return entryLess(want[i], want[j]) })
+		wantSet := make(map[uint64]bool, k)
+		for _, e := range want[:k] {
+			wantSet[e.item] = true
+		}
+
+		got := append([]candEntry(nil), entries...)
+		selectTop(got, k)
+		for i, e := range got[:k] {
+			if !wantSet[e.item] {
+				t.Fatalf("trial %d (n=%d, k=%d): selectTop kept item %d (pos %d), not in the sort-order top %d",
+					trial, n, k, e.item, i, k)
+			}
+			delete(wantSet, e.item)
+		}
+		if len(wantSet) != 0 {
+			t.Fatalf("trial %d (n=%d, k=%d): selectTop dropped %d top items", trial, n, k, len(wantSet))
+		}
+	}
+}

@@ -4,12 +4,17 @@
 // over a robust or static sketch factory — created on demand from a
 // server-wide quota and torn down with a graceful drain on shutdown.
 //
-// The service exposes batched JSON ingest (POST /v1/update), blocking and
-// lock-free reads (GET /v1/estimate, GET /v1/peek), and binary state
-// transfer (GET /v1/snapshot, POST /v1/merge) for the linear static
-// sketches, which lets a fleet of sketchd instances ingest independently
-// and fold their state together — the distributed-aggregation pattern
-// that motivates mergeable sketches.
+// The service exposes batched ingest under two negotiated codecs —
+// binary update frames (POST /v2/update with Content-Type
+// application/x-sketch-frame; see internal/wire) and JSON (POST
+// /v1/update, or /v2/update without the frame Content-Type), both
+// funneling into one apply core so codec choice never changes
+// semantics — plus blocking and lock-free reads (GET /v1/estimate, GET
+// /v1/peek) and binary state transfer (GET /v1/snapshot, POST
+// /v1/merge) for the linear static sketches, which lets a fleet of
+// sketchd instances ingest independently and fold their state together
+// — the distributed-aggregation pattern that motivates mergeable
+// sketches. Error replies are always JSON, whatever the request codec.
 //
 // Tenants are declared with a TenantSpec (POST /v2/keys): a sketch ×
 // policy × model combination — any base sketch in the registry composed
@@ -47,6 +52,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/engine"
 	"repro/internal/sketch"
+	"repro/internal/wire"
 )
 
 // Config parameterizes New. The zero value is usable: every field has a
@@ -346,6 +352,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/keys", s.handleKeys)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v2/keys", s.handleV2Keys)
+	mux.HandleFunc("/v2/update", s.handleV2Update)
 	mux.HandleFunc("/v2/query", s.handleV2Query)
 	return mux
 }
@@ -386,6 +393,18 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	if !methodIs(w, r, http.MethodPost) {
 		return
 	}
+	s.handleUpdateJSON(w, r)
+}
+
+// handleUpdateJSON decodes a JSON UpdateRequest body and applies it: the
+// whole of POST /v1/update and the JSON arm of POST /v2/update. The
+// insertion-model pre-scan (a negative delta on an insertion-only tenant
+// rejects the whole batch before anything is applied — a deletion
+// entering an insertion-only construction does not error anywhere
+// downstream, it silently voids the guarantee the tenant was created
+// for) and the drain/delete protocol live in applyUpdates, shared with
+// the binary codec.
+func (s *Server) handleUpdateJSON(w http.ResponseWriter, r *http.Request) {
 	var req UpdateRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&req); err != nil {
 		fail(w, http.StatusBadRequest, fmt.Errorf("bad update body: %w", err))
@@ -397,46 +416,14 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusBadRequest, err)
 		return
 	}
-	// Insertion-only tenants reject negative deltas before anything is
-	// applied: a deletion entering an insertion-only construction does not
-	// error anywhere downstream — it silently voids the robustness
-	// guarantee the tenant was created for. The whole batch is pre-scanned
-	// so the 400 leaves no partial state (Accepted stays 0, nothing to
-	// retry — the request itself is wrong, not the timing).
-	if !t.spec.signed {
-		for i, u := range req.Updates {
-			if u.Delta < 0 {
-				writeJSON(w, http.StatusBadRequest, ErrorResponse{
-					Error: fmt.Sprintf("update %d: negative delta %d on insertion-only tenant %q (model=%s): deletions void the insertion-only guarantee; declare the tenant with model=turnstile or model=bounded_deletion — nothing was applied",
-						i, u.Delta, t.key, t.ts.Model),
-				})
-				return
-			}
-		}
+	up := updatesPool.Get().(*[]wire.Update)
+	us := (*up)[:0]
+	for _, u := range req.Updates {
+		us = append(us, wire.Update{Item: u.Item, Delta: u.Delta})
 	}
-	// TryUpdate instead of Update: a request that lost the race against
-	// Drain (or a concurrent DELETE of the key) finds the engine closed
-	// and gets a clean error, not a panicking connection. Under drain the
-	// applied prefix is in the drained state, so Accepted tells the client
-	// to retry only the tail; under delete the prefix died with the
-	// engine, so Accepted stays 0 and the client re-sends the full batch.
-	for i, u := range req.Updates {
-		if !t.eng.TryUpdate(u.Item, u.Delta) {
-			if s.draining.Load() {
-				w.Header().Set("Retry-After", "1")
-				writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{
-					Error:    fmt.Sprintf("%v (accepted %d of %d updates)", errDraining, i, len(req.Updates)),
-					Accepted: i,
-				})
-			} else {
-				writeJSON(w, http.StatusGone, ErrorResponse{
-					Error: fmt.Sprintf("keyspace %q was deleted concurrently; re-send the full batch", t.key),
-				})
-			}
-			return
-		}
-	}
-	writeJSON(w, http.StatusOK, UpdateResponse{Accepted: len(req.Updates)})
+	s.applyUpdates(w, t, us)
+	*up = us[:0]
+	updatesPool.Put(up)
 }
 
 // estimateWith answers /v1/estimate and /v1/peek with the given read.

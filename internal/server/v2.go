@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+
+	"repro/internal/wire"
 )
 
 // The /v2 surface: declarative tenant creation (POST /v2/keys, a typed
@@ -43,23 +45,32 @@ func decodeCreateTenant(data []byte) (CreateTenantRequest, error) {
 	return req, nil
 }
 
-// decodeQueryRequest parses and validates a POST /v2/query body: a known
-// kind on every query, a k within bounds on topk queries (zero takes the
-// default), and a non-empty batch — an empty batch is a client bug, not a
-// trivially satisfiable request.
+// decodeQueryRequest parses and validates a POST /v2/query JSON body.
 func decodeQueryRequest(data []byte) (QueryRequest, error) {
 	var req QueryRequest
 	if err := json.Unmarshal(data, &req); err != nil {
 		return QueryRequest{}, fmt.Errorf("bad query body: %w", err)
 	}
+	if err := validateQueryRequest(&req); err != nil {
+		return QueryRequest{}, err
+	}
+	return req, nil
+}
+
+// validateQueryRequest enforces the query-batch contract regardless of
+// codec (the binary path funnels through it too, so both codecs reject
+// with identical messages): a known kind on every query, a k within
+// bounds on topk queries (zero takes the default), and a non-empty batch
+// — an empty batch is a client bug, not a trivially satisfiable request.
+func validateQueryRequest(req *QueryRequest) error {
 	if req.Key == "" {
-		return QueryRequest{}, errors.New("bad query body: missing key")
+		return errors.New("bad query body: missing key")
 	}
 	if len(req.Queries) == 0 {
-		return QueryRequest{}, errors.New("bad query body: empty query batch")
+		return errors.New("bad query body: empty query batch")
 	}
 	if len(req.Queries) > maxQueryBatch {
-		return QueryRequest{}, fmt.Errorf("bad query body: %d queries exceeds the batch limit %d", len(req.Queries), maxQueryBatch)
+		return fmt.Errorf("bad query body: %d queries exceeds the batch limit %d", len(req.Queries), maxQueryBatch)
 	}
 	for i := range req.Queries {
 		q := &req.Queries[i]
@@ -70,14 +81,14 @@ func decodeQueryRequest(data []byte) (QueryRequest, error) {
 				q.K = defaultTopK
 			}
 			if q.K < 0 || q.K > maxTopK {
-				return QueryRequest{}, fmt.Errorf("query %d: topk k must be in [1, %d], got %d", i, maxTopK, q.K)
+				return fmt.Errorf("query %d: topk k must be in [1, %d], got %d", i, maxTopK, q.K)
 			}
 		default:
-			return QueryRequest{}, fmt.Errorf("query %d: unknown kind %q (have: %s, %s, %s)",
+			return fmt.Errorf("query %d: unknown kind %q (have: %s, %s, %s)",
 				i, q.Kind, QueryEstimate, QueryPoint, QueryTopK)
 		}
 	}
-	return req, nil
+	return nil
 }
 
 // handleV2Keys serves POST /v2/keys: declarative tenant creation from a
@@ -112,9 +123,17 @@ func (s *Server) handleV2Keys(w http.ResponseWriter, r *http.Request) {
 // point-querying tenant (the countsketch column); their error bound is
 // the Section 6 guarantee ε·‖f‖₂, computed from the tenant's resolved ε
 // and its current norm estimate. Queries keep working on a draining
-// server — they are reads, like /v1/estimate.
+// server — they are reads, like /v1/estimate. The body codec is
+// negotiated by Content-Type (JSON or a query frame) and the answer
+// codec by Accept; both arms share validateQueryRequest and the answer
+// assembly below, so codec choice never changes semantics.
 func (s *Server) handleV2Query(w http.ResponseWriter, r *http.Request) {
 	if !methodIs(w, r, http.MethodPost) {
+		return
+	}
+	isFrame, err := requestIsFrame(r)
+	if err != nil {
+		failMedia(w, err)
 		return
 	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
@@ -122,8 +141,18 @@ func (s *Server) handleV2Query(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusBadRequest, err)
 		return
 	}
-	req, err := decodeQueryRequest(body)
-	if err != nil {
+	var req QueryRequest
+	if isFrame {
+		var wq wire.QueryRequest
+		if err := wire.DecodeQuery(body, &wq); err != nil {
+			fail(w, http.StatusBadRequest, fmt.Errorf("bad query frame: %w", err))
+			return
+		}
+		if req, err = queryFromFrame(&wq); err != nil {
+			fail(w, http.StatusBadRequest, err)
+			return
+		}
+	} else if req, err = decodeQueryRequest(body); err != nil {
 		fail(w, http.StatusBadRequest, err)
 		return
 	}
@@ -202,5 +231,5 @@ func (s *Server) handleV2Query(w http.ResponseWriter, r *http.Request) {
 	if rb, ok := t.eng.Robustness(); ok {
 		resp.Robustness = t.robustnessStats(rb)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeQueryResponse(w, r, &resp)
 }

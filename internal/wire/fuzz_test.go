@@ -1,0 +1,103 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// FuzzWireFrameDecode feeds arbitrary bytes to all three frame decoders.
+// The contract under attack: never panic, never allocate for lengths the
+// input cannot back, and fail only with the package's typed errors
+// (everything wraps ErrShortFrame/ErrBadMagic/ErrBadVersion/ErrBadType/
+// ErrWrongType/ErrBadLength/ErrOversized/ErrCorrupt). Inputs that decode
+// cleanly must re-encode to an equivalent frame (round-trip identity on
+// the decoded form).
+func FuzzWireFrameDecode(f *testing.F) {
+	// Valid frames of each type seed the corpus so mutation explores the
+	// payload grammar, not just the header.
+	f.Add(AppendUpdates(nil, []Update{{Item: 1, Delta: -2}, {Item: 1 << 60, Delta: 1}}))
+	f.Add(AppendQuery(nil, &QueryRequest{Key: "k", Queries: []Query{
+		{Kind: KindEstimate}, {Kind: KindPoint, Item: 7}, {Kind: KindTopK, K: 3},
+	}}))
+	f.Add(AppendAnswer(nil, &QueryResponse{
+		Key: "k", Sketch: "countsketch", Policy: "none", Model: "insertion",
+		Answers: []Answer{
+			{Kind: KindPoint, HasItem: true, Item: 9, Value: 1.5, ErrorBound: 0.25},
+			{Kind: KindTopK, Items: []ItemWeight{{Item: 2, Weight: -3}}},
+		},
+		Robustness: &Robustness{Policy: "switching", Copies: 4, Switches: 1, Budget: 3, Remaining: 2},
+	}))
+	// Degenerate headers.
+	f.Add([]byte{})
+	f.Add([]byte{'S', 'K'})
+	f.Add([]byte{'S', 'K', Version, byte(FrameUpdates), 0, 0, 0, 0})
+	f.Add([]byte{'S', 'K', Version, byte(FrameUpdates), 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{'S', 'K', 9, 9, 1, 0, 0, 0, 0})
+
+	typed := func(t *testing.T, what string, err error) {
+		for _, sentinel := range []error{
+			ErrShortFrame, ErrBadMagic, ErrBadVersion, ErrBadType,
+			ErrWrongType, ErrBadLength, ErrOversized, ErrCorrupt,
+		} {
+			if errors.Is(err, sentinel) {
+				return
+			}
+		}
+		t.Fatalf("%s returned an untyped error: %v", what, err)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if us, err := DecodeUpdates(data, nil); err != nil {
+			typed(t, "DecodeUpdates", err)
+		} else {
+			re := AppendUpdates(nil, us)
+			if us2, err := DecodeUpdates(re, nil); err != nil || len(us2) != len(us) {
+				t.Fatalf("updates re-encode broke: %v (%d vs %d)", err, len(us2), len(us))
+			}
+		}
+
+		var q QueryRequest
+		if err := DecodeQuery(data, &q); err != nil {
+			typed(t, "DecodeQuery", err)
+		} else {
+			var q2 QueryRequest
+			if err := DecodeQuery(AppendQuery(nil, &q), &q2); err != nil {
+				t.Fatalf("query re-encode broke: %v", err)
+			}
+			if q2.Key != q.Key || len(q2.Queries) != len(q.Queries) {
+				t.Fatalf("query round trip changed: %+v vs %+v", q2, q)
+			}
+		}
+
+		if resp, err := DecodeAnswer(data); err != nil {
+			typed(t, "DecodeAnswer", err)
+		} else {
+			resp2, err := DecodeAnswer(AppendAnswer(nil, resp))
+			if err != nil {
+				t.Fatalf("answer re-encode broke: %v", err)
+			}
+			if resp2.Key != resp.Key || len(resp2.Answers) != len(resp.Answers) ||
+				(resp2.Robustness == nil) != (resp.Robustness == nil) {
+				t.Fatalf("answer round trip changed shape")
+			}
+		}
+
+		// The sniffer agrees with the decoders on header validity.
+		if ft, err := Type(data); err == nil {
+			if len(data) < HeaderSize {
+				t.Fatal("Type accepted a short buffer")
+			}
+			if n := binary.LittleEndian.Uint32(data[4:8]); int(n) != len(data)-HeaderSize {
+				t.Fatal("Type accepted a mismatched payload length")
+			}
+			switch ft {
+			case FrameUpdates, FrameQuery, FrameAnswer:
+			default:
+				t.Fatalf("Type returned unknown frame type %v", ft)
+			}
+		} else {
+			typed(t, "Type", err)
+		}
+	})
+}

@@ -1,0 +1,573 @@
+// Package wire defines the compact binary framing sketchd negotiates as
+// an alternative to its JSON bodies: length-prefixed, versioned frames
+// for update batches and for the v2 query/answer envelopes. It follows
+// the little-endian conventions of internal/codec (the sketch snapshot
+// format): fixed-width words for values that are usually large (item
+// identifiers are full u64s — no 2^53 float hazard, so no string-or-number
+// workaround), varints for values that are usually small (counts, deltas,
+// string lengths).
+//
+// Every frame is
+//
+//	offset 0: magic   'S' 'K'        (2 bytes)
+//	offset 2: version                (1 byte, currently 1)
+//	offset 3: type                   (1 byte: 1 updates, 2 query, 3 answer)
+//	offset 4: payload length         (u32 little-endian)
+//	offset 8: payload                (payload length bytes)
+//
+// and a decoder rejects — with a typed error, never a panic — anything
+// whose header or payload disagrees with that contract: short buffers,
+// wrong magic, unknown versions or types, length prefixes that disagree
+// with the bytes actually present, counts that promise more elements than
+// the payload can hold, and trailing garbage.
+//
+// Encoders append to caller-supplied buffers and decoders fill
+// caller-supplied slices, so a steady-state client/server pair recycles
+// its buffers through pools and the codec layer allocates nothing.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ContentType is the negotiated media type for binary frames: a request
+// with this Content-Type carries a frame body, and a request with it in
+// Accept asks for frame responses. (Error responses are always JSON —
+// clients need the structured error contract regardless of codec.)
+const ContentType = "application/x-sketch-frame"
+
+// Frame header layout.
+const (
+	magic0     = 'S'
+	magic1     = 'K'
+	Version    = 1
+	HeaderSize = 8
+
+	// MaxPayload caps the declared payload length a decoder will accept
+	// (64 MiB — far above any real batch, far below a u32 length prefix
+	// chosen to make a server buffer 4 GiB).
+	MaxPayload = 64 << 20
+)
+
+// FrameType discriminates the payload encoding.
+type FrameType uint8
+
+// Frame types.
+const (
+	FrameUpdates FrameType = 1 // an update batch (POST /v2/update body)
+	FrameQuery   FrameType = 2 // a query envelope (POST /v2/query body)
+	FrameAnswer  FrameType = 3 // an answer envelope (POST /v2/query response)
+)
+
+func (t FrameType) String() string {
+	switch t {
+	case FrameUpdates:
+		return "updates"
+	case FrameQuery:
+		return "query"
+	case FrameAnswer:
+		return "answer"
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// Typed decode errors. Every decoder failure wraps one of these, so
+// callers can classify without string matching.
+var (
+	ErrShortFrame = errors.New("wire: buffer shorter than a frame header")
+	ErrBadMagic   = errors.New("wire: bad frame magic")
+	ErrBadVersion = errors.New("wire: unsupported frame version")
+	ErrBadType    = errors.New("wire: unknown frame type")
+	ErrWrongType  = errors.New("wire: unexpected frame type")
+	ErrBadLength  = errors.New("wire: payload length disagrees with frame")
+	ErrCorrupt    = errors.New("wire: corrupt frame payload")
+	ErrOversized  = errors.New("wire: declared payload length exceeds limit")
+)
+
+// Update is one stream update, f[Item] += Delta — the binary twin of the
+// JSON UpdateItem.
+type Update struct {
+	Item  uint64
+	Delta int64
+}
+
+// Query kinds (binary twins of the JSON "kind" strings).
+const (
+	KindEstimate uint8 = 1
+	KindPoint    uint8 = 2
+	KindTopK     uint8 = 3
+)
+
+// Query is one typed query in a batch.
+type Query struct {
+	Kind uint8
+	Item uint64 // kind point only
+	K    int    // kind topk only
+}
+
+// QueryRequest is the binary twin of the JSON POST /v2/query body.
+type QueryRequest struct {
+	Key     string
+	Queries []Query
+}
+
+// ItemWeight is one candidate heavy item with its estimated frequency.
+type ItemWeight struct {
+	Item   uint64
+	Weight float64
+}
+
+// Answer is the typed response to one Query, in request order.
+type Answer struct {
+	Kind       uint8
+	HasItem    bool // kind point: Item echoes the queried coordinate
+	Item       uint64
+	Value      float64
+	Items      []ItemWeight
+	ErrorBound float64
+	Additive   bool
+}
+
+// Robustness is the flip-budget state attached to answers from robust
+// tenants.
+type Robustness struct {
+	Policy    string
+	Copies    int
+	Switches  int
+	Budget    int // -1 = unbounded
+	Remaining int // -1 = unbounded
+	Exhausted bool
+}
+
+// QueryResponse is the binary twin of the JSON POST /v2/query response.
+type QueryResponse struct {
+	Key        string
+	Sketch     string
+	Policy     string
+	Model      string
+	Answers    []Answer
+	Robustness *Robustness // nil for static tenants
+}
+
+// ---------------------------------------------------------------------------
+// Header
+
+// beginFrame appends a frame header with a zero payload length and returns
+// the extended buffer plus the header offset, for endFrame to patch.
+func beginFrame(dst []byte, t FrameType) ([]byte, int) {
+	off := len(dst)
+	return append(dst, magic0, magic1, Version, byte(t), 0, 0, 0, 0), off
+}
+
+// endFrame patches the payload length of the header at off.
+func endFrame(dst []byte, off int) []byte {
+	binary.LittleEndian.PutUint32(dst[off+4:off+8], uint32(len(dst)-off-HeaderSize))
+	return dst
+}
+
+// Type parses b's frame header and returns its type — the sniffer a
+// dispatcher uses before committing to a payload decoder.
+func Type(b []byte) (FrameType, error) {
+	_, t, err := parseHeader(b)
+	return t, err
+}
+
+// parseHeader validates the header and the payload length against the
+// buffer, returning the payload and frame type.
+func parseHeader(b []byte) ([]byte, FrameType, error) {
+	if len(b) < HeaderSize {
+		return nil, 0, fmt.Errorf("%w: %d bytes", ErrShortFrame, len(b))
+	}
+	if b[0] != magic0 || b[1] != magic1 {
+		return nil, 0, fmt.Errorf("%w: 0x%02x%02x", ErrBadMagic, b[0], b[1])
+	}
+	if b[2] != Version {
+		return nil, 0, fmt.Errorf("%w: %d", ErrBadVersion, b[2])
+	}
+	t := FrameType(b[3])
+	if t != FrameUpdates && t != FrameQuery && t != FrameAnswer {
+		return nil, 0, fmt.Errorf("%w: %d", ErrBadType, b[3])
+	}
+	n := binary.LittleEndian.Uint32(b[4:8])
+	if n > MaxPayload {
+		return nil, 0, fmt.Errorf("%w: %d > %d", ErrOversized, n, MaxPayload)
+	}
+	if int(n) != len(b)-HeaderSize {
+		return nil, 0, fmt.Errorf("%w: header says %d, frame carries %d", ErrBadLength, n, len(b)-HeaderSize)
+	}
+	return b[HeaderSize:], t, nil
+}
+
+// expect parses the header and requires the given frame type.
+func expect(b []byte, want FrameType) ([]byte, error) {
+	payload, t, err := parseHeader(b)
+	if err != nil {
+		return nil, err
+	}
+	if t != want {
+		return nil, fmt.Errorf("%w: got %v, want %v", ErrWrongType, t, want)
+	}
+	return payload, nil
+}
+
+// ---------------------------------------------------------------------------
+// Varint / zigzag primitives (append-style encoders, offset-style decoders)
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+// zigzag folds signed deltas into uvarints so small magnitudes of either
+// sign stay short on the wire.
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+func readUvarint(p []byte, off int) (uint64, int, error) {
+	v, n := binary.Uvarint(p[off:])
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("%w: bad varint at offset %d", ErrCorrupt, off)
+	}
+	return v, off + n, nil
+}
+
+func readU64(p []byte, off int) (uint64, int, error) {
+	if off+8 > len(p) {
+		return 0, 0, fmt.Errorf("%w: truncated u64 at offset %d", ErrCorrupt, off)
+	}
+	return binary.LittleEndian.Uint64(p[off : off+8]), off + 8, nil
+}
+
+func readF64(p []byte, off int) (float64, int, error) {
+	u, off, err := readU64(p, off)
+	return math.Float64frombits(u), off, err
+}
+
+func readByte(p []byte, off int) (byte, int, error) {
+	if off >= len(p) {
+		return 0, 0, fmt.Errorf("%w: truncated byte at offset %d", ErrCorrupt, off)
+	}
+	return p[off], off + 1, nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = appendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func readString(p []byte, off int) (string, int, error) {
+	n, off, err := readUvarint(p, off)
+	if err != nil {
+		return "", 0, err
+	}
+	if n > uint64(len(p)-off) {
+		return "", 0, fmt.Errorf("%w: string length %d exceeds remaining %d bytes", ErrCorrupt, n, len(p)-off)
+	}
+	return string(p[off : off+int(n)]), off + int(n), nil
+}
+
+// ---------------------------------------------------------------------------
+// Updates frame
+
+// AppendUpdates appends a complete updates frame — header and payload —
+// to dst and returns the extended buffer. The payload is a uvarint count
+// followed by one fixed u64 item and one zigzag-varint delta per update.
+func AppendUpdates(dst []byte, us []Update) []byte {
+	return AppendUpdatesFunc(dst, len(us), func(i int) Update { return us[i] })
+}
+
+// AppendUpdatesFunc is AppendUpdates over a virtual slice: n updates
+// produced by at(0..n-1). A caller holding updates in another
+// representation (the client's JSON-shaped batches) frames them without
+// building a conversion slice first.
+func AppendUpdatesFunc(dst []byte, n int, at func(int) Update) []byte {
+	dst, hdr := beginFrame(dst, FrameUpdates)
+	dst = appendUvarint(dst, uint64(n))
+	var b [8]byte
+	for i := 0; i < n; i++ {
+		u := at(i)
+		binary.LittleEndian.PutUint64(b[:], u.Item)
+		dst = append(dst, b[:]...)
+		dst = binary.AppendUvarint(dst, zigzag(u.Delta))
+	}
+	return endFrame(dst, hdr)
+}
+
+// DecodeUpdates decodes an updates frame into dst (reused from length 0)
+// and returns the filled slice. The frame must be complete and exact:
+// header, declared count, no trailing bytes.
+func DecodeUpdates(frame []byte, dst []Update) ([]Update, error) {
+	p, err := expect(frame, FrameUpdates)
+	if err != nil {
+		return nil, err
+	}
+	count, off, err := readUvarint(p, 0)
+	if err != nil {
+		return nil, err
+	}
+	// Each update occupies at least 9 payload bytes (8 item + 1 delta):
+	// reject counts the payload cannot hold before allocating for them.
+	if count > uint64(len(p)-off)/9 {
+		return nil, fmt.Errorf("%w: count %d exceeds payload capacity", ErrCorrupt, count)
+	}
+	dst = dst[:0]
+	for i := uint64(0); i < count; i++ {
+		var item, zz uint64
+		if item, off, err = readU64(p, off); err != nil {
+			return nil, err
+		}
+		if zz, off, err = readUvarint(p, off); err != nil {
+			return nil, err
+		}
+		dst = append(dst, Update{Item: item, Delta: unzigzag(zz)})
+	}
+	if off != len(p) {
+		return nil, fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, len(p)-off)
+	}
+	return dst, nil
+}
+
+// ---------------------------------------------------------------------------
+// Query frame
+
+// AppendQuery appends a complete query frame to dst. Kind-specific fields
+// are encoded only for the kinds that carry them (a fixed u64 item for
+// point, a uvarint k for topk).
+func AppendQuery(dst []byte, req *QueryRequest) []byte {
+	dst, hdr := beginFrame(dst, FrameQuery)
+	dst = appendString(dst, req.Key)
+	dst = appendUvarint(dst, uint64(len(req.Queries)))
+	var b [8]byte
+	for _, q := range req.Queries {
+		dst = append(dst, q.Kind)
+		switch q.Kind {
+		case KindPoint:
+			binary.LittleEndian.PutUint64(b[:], q.Item)
+			dst = append(dst, b[:]...)
+		case KindTopK:
+			dst = appendUvarint(dst, uint64(q.K))
+		}
+	}
+	return endFrame(dst, hdr)
+}
+
+// DecodeQuery decodes a query frame. Unknown kind bytes are a decode
+// error here (the codec cannot know how to skip their operands); kind
+// validity beyond framing is the server's job, same as for JSON.
+func DecodeQuery(frame []byte, req *QueryRequest) error {
+	p, err := expect(frame, FrameQuery)
+	if err != nil {
+		return err
+	}
+	off := 0
+	if req.Key, off, err = readString(p, off); err != nil {
+		return err
+	}
+	count, off, err := readUvarint(p, off)
+	if err != nil {
+		return err
+	}
+	if count > uint64(len(p)-off) { // every query is ≥ 1 byte
+		return fmt.Errorf("%w: query count %d exceeds payload capacity", ErrCorrupt, count)
+	}
+	req.Queries = req.Queries[:0]
+	for i := uint64(0); i < count; i++ {
+		var q Query
+		if q.Kind, off, err = readByte(p, off); err != nil {
+			return err
+		}
+		switch q.Kind {
+		case KindEstimate:
+		case KindPoint:
+			if q.Item, off, err = readU64(p, off); err != nil {
+				return err
+			}
+		case KindTopK:
+			var k uint64
+			if k, off, err = readUvarint(p, off); err != nil {
+				return err
+			}
+			if k > math.MaxInt32 {
+				return fmt.Errorf("%w: topk k %d out of range", ErrCorrupt, k)
+			}
+			q.K = int(k)
+		default:
+			return fmt.Errorf("%w: unknown query kind %d", ErrCorrupt, q.Kind)
+		}
+		req.Queries = append(req.Queries, q)
+	}
+	if off != len(p) {
+		return fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, len(p)-off)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Answer frame
+
+// Answer flag bits.
+const (
+	ansHasItem  = 1 << 0
+	ansAdditive = 1 << 1
+)
+
+// AppendAnswer appends a complete answer frame to dst.
+func AppendAnswer(dst []byte, resp *QueryResponse) []byte {
+	dst, hdr := beginFrame(dst, FrameAnswer)
+	dst = appendString(dst, resp.Key)
+	dst = appendString(dst, resp.Sketch)
+	dst = appendString(dst, resp.Policy)
+	dst = appendString(dst, resp.Model)
+	dst = appendUvarint(dst, uint64(len(resp.Answers)))
+	var b [8]byte
+	for _, a := range resp.Answers {
+		dst = append(dst, a.Kind)
+		var flags byte
+		if a.HasItem {
+			flags |= ansHasItem
+		}
+		if a.Additive {
+			flags |= ansAdditive
+		}
+		dst = append(dst, flags)
+		if a.HasItem {
+			binary.LittleEndian.PutUint64(b[:], a.Item)
+			dst = append(dst, b[:]...)
+		}
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(a.Value))
+		dst = append(dst, b[:]...)
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(a.ErrorBound))
+		dst = append(dst, b[:]...)
+		dst = appendUvarint(dst, uint64(len(a.Items)))
+		for _, iw := range a.Items {
+			binary.LittleEndian.PutUint64(b[:], iw.Item)
+			dst = append(dst, b[:]...)
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(iw.Weight))
+			dst = append(dst, b[:]...)
+		}
+	}
+	if r := resp.Robustness; r != nil {
+		dst = append(dst, 1)
+		dst = appendString(dst, r.Policy)
+		dst = appendUvarint(dst, uint64(r.Copies))
+		dst = appendUvarint(dst, uint64(r.Switches))
+		dst = binary.AppendUvarint(dst, zigzag(int64(r.Budget)))
+		dst = binary.AppendUvarint(dst, zigzag(int64(r.Remaining)))
+		var ex byte
+		if r.Exhausted {
+			ex = 1
+		}
+		dst = append(dst, ex)
+	} else {
+		dst = append(dst, 0)
+	}
+	return endFrame(dst, hdr)
+}
+
+// DecodeAnswer decodes an answer frame.
+func DecodeAnswer(frame []byte) (*QueryResponse, error) {
+	p, err := expect(frame, FrameAnswer)
+	if err != nil {
+		return nil, err
+	}
+	resp := &QueryResponse{}
+	off := 0
+	for _, dst := range []*string{&resp.Key, &resp.Sketch, &resp.Policy, &resp.Model} {
+		if *dst, off, err = readString(p, off); err != nil {
+			return nil, err
+		}
+	}
+	count, off, err := readUvarint(p, off)
+	if err != nil {
+		return nil, err
+	}
+	if count > uint64(len(p)-off) { // every answer is ≥ 2 bytes
+		return nil, fmt.Errorf("%w: answer count %d exceeds payload capacity", ErrCorrupt, count)
+	}
+	resp.Answers = make([]Answer, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var a Answer
+		var flags byte
+		if a.Kind, off, err = readByte(p, off); err != nil {
+			return nil, err
+		}
+		if flags, off, err = readByte(p, off); err != nil {
+			return nil, err
+		}
+		a.HasItem = flags&ansHasItem != 0
+		a.Additive = flags&ansAdditive != 0
+		if a.HasItem {
+			if a.Item, off, err = readU64(p, off); err != nil {
+				return nil, err
+			}
+		}
+		if a.Value, off, err = readF64(p, off); err != nil {
+			return nil, err
+		}
+		if a.ErrorBound, off, err = readF64(p, off); err != nil {
+			return nil, err
+		}
+		var n uint64
+		if n, off, err = readUvarint(p, off); err != nil {
+			return nil, err
+		}
+		if n > uint64(len(p)-off)/16 { // each entry is exactly 16 bytes
+			return nil, fmt.Errorf("%w: topk item count %d exceeds payload capacity", ErrCorrupt, n)
+		}
+		if n > 0 {
+			a.Items = make([]ItemWeight, 0, n)
+			for j := uint64(0); j < n; j++ {
+				var iw ItemWeight
+				if iw.Item, off, err = readU64(p, off); err != nil {
+					return nil, err
+				}
+				if iw.Weight, off, err = readF64(p, off); err != nil {
+					return nil, err
+				}
+				a.Items = append(a.Items, iw)
+			}
+		}
+		resp.Answers = append(resp.Answers, a)
+	}
+	present, off, err := readByte(p, off)
+	if err != nil {
+		return nil, err
+	}
+	if present == 1 {
+		r := &Robustness{}
+		if r.Policy, off, err = readString(p, off); err != nil {
+			return nil, err
+		}
+		var u uint64
+		if u, off, err = readUvarint(p, off); err != nil {
+			return nil, err
+		}
+		r.Copies = int(u)
+		if u, off, err = readUvarint(p, off); err != nil {
+			return nil, err
+		}
+		r.Switches = int(u)
+		if u, off, err = readUvarint(p, off); err != nil {
+			return nil, err
+		}
+		r.Budget = int(unzigzag(u))
+		if u, off, err = readUvarint(p, off); err != nil {
+			return nil, err
+		}
+		r.Remaining = int(unzigzag(u))
+		var ex byte
+		if ex, off, err = readByte(p, off); err != nil {
+			return nil, err
+		}
+		r.Exhausted = ex != 0
+		resp.Robustness = r
+	} else if present != 0 {
+		return nil, fmt.Errorf("%w: bad robustness presence byte %d", ErrCorrupt, present)
+	}
+	if off != len(p) {
+		return nil, fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, len(p)-off)
+	}
+	return resp, nil
+}
