@@ -351,13 +351,29 @@ func BenchmarkEngineIngestZipfSharded8(b *testing.B) {
 // allocs/op columns are the per-update allocation cost of the whole
 // client→HTTP→server→engine spine.
 func benchSketchdIngest(b *testing.B, sketchType string, codec client.Codec) {
+	benchSketchdIngestFsync(b, sketchType, codec, "")
+}
+
+// benchSketchdIngestFsync is benchSketchdIngest with durability switched
+// on: a non-empty fsync policy opens the server over a write-ahead log in
+// a temp dir, so the WAL cells price the journal (frame re-encode + append
+// + sync policy) against their in-memory twins.
+func benchSketchdIngestFsync(b *testing.B, sketchType string, codec client.Codec, fsync string) {
 	if testing.Short() {
 		b.Skip("loopback-HTTP load benchmark: binds a TCP listener and spins a real server; skipped under -short")
 	}
-	srv := server.New(server.Config{Shards: 4, Eps: 0.3, Delta: 0.05, N: 1 << 20, Seed: 1, DefaultSketch: sketchType})
+	cfg := server.Config{Shards: 4, Eps: 0.3, Delta: 0.05, N: 1 << 20, Seed: 1, DefaultSketch: sketchType}
+	if fsync != "" {
+		cfg.DataDir = b.TempDir()
+		cfg.Fsync = fsync
+	}
+	srv, err := server.Open(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
 	hs := httptest.NewServer(srv.Handler())
 	defer hs.Close()
-	defer srv.Drain()
+	defer srv.Shutdown() // == Drain for the in-memory cells
 	c := client.New(hs.URL, hs.Client(), client.WithCodec(codec))
 	ctx := context.Background()
 	if err := c.CreateKey(ctx, "load", sketchType); err != nil {
@@ -401,6 +417,17 @@ func BenchmarkSketchdIngestBinaryCountSketch(b *testing.B) {
 }
 func BenchmarkSketchdIngestBinaryRobustF2(b *testing.B) {
 	benchSketchdIngest(b, "robust-f2", client.CodecBinary)
+}
+
+// The WAL cells measure the durability tax over the fastest in-memory
+// cell (BinaryCountSketch): every acknowledged batch is journaled before
+// its ack, under the batch (background sync) and always (sync per append)
+// policies.
+func BenchmarkSketchdIngestBinaryWALBatch(b *testing.B) {
+	benchSketchdIngestFsync(b, "countsketch", client.CodecBinary, "batch")
+}
+func BenchmarkSketchdIngestBinaryWALAlways(b *testing.B) {
+	benchSketchdIngestFsync(b, "countsketch", client.CodecBinary, "always")
 }
 
 // benchPolicyIngest — robust-ingest throughput per policy: the per-update

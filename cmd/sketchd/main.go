@@ -1,20 +1,29 @@
 // Command sketchd serves the repository's streaming estimators as a
 // multi-tenant network service: declarative per-tenant keyspaces
 // (POST /v2/keys with a TenantSpec — each tenant sized from its own ε, δ,
-// n, shards and flip budget), batched JSON ingest, structured queries
-// (POST /v2/query: estimate | point | topk answers with ε-derived error
-// bounds), blocking and lock-free estimate reads, and binary
-// snapshot/merge state transfer between instances. The flags below are
-// the server defaults and caps a TenantSpec falls back to; see
+// n, shards and flip budget), batched JSON or binary-frame ingest,
+// structured queries (POST /v2/query: estimate | point | topk answers
+// with ε-derived error bounds), blocking and lock-free estimate reads,
+// and binary snapshot/merge state transfer between instances. The flags
+// below are the server defaults and caps a TenantSpec falls back to; see
 // internal/server for the API and README.md for a walkthrough.
 //
 // Usage:
 //
 //	sketchd -addr :8080 -sketch robust-f2 -eps 0.2 -max-keys 64
+//	sketchd -addr :8080 -data-dir /var/lib/sketchd -fsync always
+//
+// With -data-dir set, sketchd is durable: every acknowledged mutation is
+// journaled to a write-ahead log before the HTTP ack, mergeable tenants
+// are checkpointed every -checkpoint-every updates, and a restart — clean
+// or after a crash — recovers every keyspace (see internal/wal and the
+// README's Durability section).
 //
 // On SIGINT/SIGTERM the server drains gracefully: in-flight requests
-// finish, new writes get a retryable 503, and every keyspace engine is
-// flushed and closed so late reads still see the full ingested stream.
+// finish, new writes get a retryable 503, every keyspace engine is
+// flushed and closed so late reads still see the full ingested stream,
+// and (when durable) final checkpoints land before exit. A second signal
+// during the drain kills the process immediately.
 package main
 
 import (
@@ -22,6 +31,7 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -32,62 +42,110 @@ import (
 )
 
 func main() {
-	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		maxKeys = flag.Int("max-keys", 64, "server-wide keyspace quota")
-		shards  = flag.Int("shards", 4, "engine shards per keyspace")
-		batch   = flag.Int("batch", 256, "engine batch size")
-		queue   = flag.Int("queue", 8, "engine queue depth (batches per shard)")
-		eps     = flag.Float64("eps", 0.2, "default per-keyspace accuracy target ε (overridable per tenant via TenantSpec)")
-		delta   = flag.Float64("delta", 0.05, "default per-keyspace failure probability δ (split δ/shards per shard instance; overridable per tenant)")
-		n       = flag.Uint64("n", 1<<32, "universe size bound for the robust constructors")
-		seed    = flag.Int64("seed", 1, "root randomness seed (servers exchanging snapshots must share it)")
-		sketch  = flag.String("sketch", "robust-f2", "default sketch type for new keyspaces (base types f2, kmv, countsketch, cc, or a robust-* alias)")
-		policy  = flag.String("policy", "none", "default robustness policy for keyspaces created with a base sketch type (none, switching, ring, paths; robust-* aliases pin their own)")
-		budget  = flag.Int("flip-budget", 64, "flip budget λ for the switching and paths policies (published-output changes the robustness guarantee covers; /v1/stats reports consumption)")
-		drainT  = flag.Duration("drain-timeout", 10*time.Second, "maximum time to wait for in-flight requests on shutdown")
-	)
-	flag.Parse()
-
-	srv := server.New(server.Config{
-		MaxKeys:       *maxKeys,
-		Shards:        *shards,
-		Batch:         *batch,
-		Queue:         *queue,
-		Eps:           *eps,
-		Delta:         *delta,
-		N:             *n,
-		Seed:          *seed,
-		DefaultSketch: *sketch,
-		DefaultPolicy: *policy,
-		FlipBudget:    *budget,
-	})
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
-
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if err := run(ctx, stop, os.Args[1:], nil); err != nil {
+		log.Fatalf("sketchd: %v", err)
+	}
+}
 
+// run is the whole server lifecycle, factored out of main so tests can
+// drive it: parse args, open (and recover) the server, serve until ctx
+// is cancelled, then drain and shut down. stop restores default signal
+// handling; run calls it as soon as ctx fires, so a second SIGINT or
+// SIGTERM during a stuck drain force-kills the process instead of being
+// swallowed by the still-installed handler. If ready is non-nil, the
+// bound listen address is sent on it once the server is accepting.
+func run(ctx context.Context, stop func(), args []string, ready chan<- net.Addr) error {
+	fs := flag.NewFlagSet("sketchd", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", ":8080", "listen address")
+		maxKeys   = fs.Int("max-keys", 64, "server-wide keyspace quota")
+		shards    = fs.Int("shards", 4, "engine shards per keyspace")
+		batch     = fs.Int("batch", 256, "engine batch size")
+		queue     = fs.Int("queue", 8, "engine queue depth (batches per shard)")
+		eps       = fs.Float64("eps", 0.2, "default per-keyspace accuracy target ε (overridable per tenant via TenantSpec)")
+		delta     = fs.Float64("delta", 0.05, "default per-keyspace failure probability δ (split δ/shards per shard instance; overridable per tenant)")
+		n         = fs.Uint64("n", 1<<32, "universe size bound for the robust constructors")
+		seed      = fs.Int64("seed", 1, "root randomness seed (servers exchanging snapshots must share it)")
+		sketch    = fs.String("sketch", "robust-f2", "default sketch type for new keyspaces (base types f2, kmv, countsketch, cc, or a robust-* alias)")
+		policy    = fs.String("policy", "none", "default robustness policy for keyspaces created with a base sketch type (none, switching, ring, paths; robust-* aliases pin their own)")
+		budget    = fs.Int("flip-budget", 64, "flip budget λ for the switching and paths policies (published-output changes the robustness guarantee covers; /v1/stats reports consumption)")
+		drainT    = fs.Duration("drain-timeout", 10*time.Second, "maximum time to wait for in-flight requests on shutdown")
+		dataDir   = fs.String("data-dir", "", "durability directory for the write-ahead log and checkpoints (empty: in-memory only)")
+		fsync     = fs.String("fsync", "always", "WAL sync policy: always (every ack survives power loss), batch (background sync, bounded loss window), none (OS page cache)")
+		ckptEvery = fs.Int("checkpoint-every", 1<<17, "applied updates between automatic checkpoints of a mergeable keyspace (bounds replay-on-boot)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv, err := server.Open(server.Config{
+		MaxKeys:         *maxKeys,
+		Shards:          *shards,
+		Batch:           *batch,
+		Queue:           *queue,
+		Eps:             *eps,
+		Delta:           *delta,
+		N:               *n,
+		Seed:            *seed,
+		DefaultSketch:   *sketch,
+		DefaultPolicy:   *policy,
+		FlipBudget:      *budget,
+		DataDir:         *dataDir,
+		Fsync:           *fsync,
+		CheckpointEvery: *ckptEvery,
+	})
+	if err != nil {
+		return err
+	}
+	if srv.Durable() {
+		rec := srv.Recovery()
+		log.Printf("sketchd: recovered %d keyspaces from %s (%d updates replayed, %d torn WAL bytes truncated, %d segments quarantined, %d checkpoints skipped)",
+			rec.Tenants, *dataDir, rec.ReplayedUpdates, rec.WAL.TruncatedBytes, rec.WAL.DroppedSegments, rec.SkippedCheckpoints)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		srv.Drain()
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)
-	go func() { errc <- hs.ListenAndServe() }()
-	log.Printf("sketchd listening on %s (default sketch %s, default policy %s, ε=%g δ=%g, %d shards/key, quota %d keys)",
-		*addr, *sketch, *policy, *eps, *delta, *shards, *maxKeys)
+	go func() { errc <- hs.Serve(ln) }()
+	log.Printf("sketchd listening on %s (default sketch %s, default policy %s, ε=%g δ=%g, %d shards/key, quota %d keys, durable=%v)",
+		ln.Addr(), *sketch, *policy, *eps, *delta, *shards, *maxKeys, srv.Durable())
+	if ready != nil {
+		ready <- ln.Addr()
+	}
 
 	select {
 	case err := <-errc:
-		log.Fatalf("sketchd: %v", err)
+		srv.Drain()
+		return err
 	case <-ctx.Done():
 	}
+	// Restore default signal handling before draining, not after: the
+	// drain below can take up to -drain-timeout, and an operator's (or
+	// init system's) second signal during it must kill the process, not
+	// vanish into an already-fired NotifyContext.
+	stop()
 
 	log.Printf("sketchd: signal received, draining (timeout %s)", *drainT)
 	// Drain first: every keyspace engine is flushed and closed, so
 	// in-flight and late writes get retryable 503s (not panics or
 	// connection errors) while reads keep serving the final state; then
-	// Shutdown stops the listener and waits for in-flight requests.
+	// Shutdown stops the listener and waits for in-flight requests; then
+	// the durable layer writes final checkpoints and closes the log.
 	srv.Drain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainT)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("sketchd: shutdown: %v", err)
 	}
+	if err := srv.Shutdown(); err != nil {
+		return err
+	}
 	log.Printf("sketchd: drained, exiting")
+	return nil
 }

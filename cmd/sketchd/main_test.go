@@ -1,0 +1,146 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// startRun drives run in a goroutine and hands back the bound address,
+// the cancel that simulates the first signal, a counter of stop calls,
+// and the error channel run's return lands on.
+func startRun(t *testing.T, args ...string) (net.Addr, context.CancelFunc, *atomic.Int32, chan error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	var stops atomic.Int32
+	ready := make(chan net.Addr, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, func() { stops.Add(1) }, args, ready)
+	}()
+	select {
+	case addr := <-ready:
+		return addr, cancel, &stops, errc
+	case err := <-errc:
+		t.Fatalf("run exited before serving: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("run never became ready")
+	}
+	return nil, nil, nil, nil
+}
+
+// TestRunServesDrainsAndRecovers is the lifecycle round trip: run serves
+// HTTP, a first signal drains it cleanly (calling stop so later signals
+// reach the default handler), and a second run over the same data dir
+// recovers the ingested state.
+func TestRunServesDrainsAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-addr", "127.0.0.1:0", "-data-dir", dir, "-fsync", "none", "-seed", "42"}
+	addr, cancel, stops, errc := startRun(t, args...)
+	base := "http://" + addr.String()
+
+	body := strings.NewReader(`{"updates":[{"item":7,"delta":2},{"item":9,"delta":1}]}`)
+	resp, err := http.Post(base+"/v1/update?key=k&sketch=f2", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("update: status %d", resp.StatusCode)
+	}
+	readEstimate := func(base string) string {
+		resp, err := http.Get(base + "/v1/estimate?key=k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("estimate: status %d", resp.StatusCode)
+		}
+		var buf [256]byte
+		n, _ := resp.Body.Read(buf[:])
+		return string(buf[:n])
+	}
+	want := readEstimate(base)
+
+	cancel() // first signal
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not exit after signal")
+	}
+	if got := stops.Load(); got == 0 {
+		t.Error("run never called stop(): a second signal would be swallowed instead of killing the process")
+	}
+
+	addr2, cancel2, _, errc2 := startRun(t, args...)
+	if got := readEstimate("http://" + addr2.String()); got != want {
+		t.Errorf("estimate after restart = %s, want %s", got, want)
+	}
+	cancel2()
+	if err := <-errc2; err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+}
+
+// TestStopCalledWhileDrainHangs pins the second-signal fix: with an
+// in-flight request pinning http.Server.Shutdown until -drain-timeout,
+// stop() must still be called as soon as the first signal lands — that
+// is what re-arms default signal disposition so a second SIGTERM kills
+// the process mid-drain.
+func TestStopCalledWhileDrainHangs(t *testing.T) {
+	addr, cancel, stops, errc := startRun(t, "-addr", "127.0.0.1:0", "-drain-timeout", "5s")
+
+	// A connection with a half-written request holds Shutdown at bay.
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintf(conn, "POST /v1/update?key=k HTTP/1.1\r\nHost: x\r\nContent-Length: 100\r\n\r\n{"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond) // let the server read the partial request
+
+	start := time.Now()
+	cancel() // first signal: drain begins, Shutdown blocks on conn
+	deadline := time.Now().Add(2 * time.Second)
+	for stops.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stop() not called within 2s of the signal while drain hangs")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("stop() took %s, want immediate", d)
+	}
+	conn.Close()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not exit after the hung connection closed")
+	}
+}
+
+// TestRunRejectsBadConfig: flag and config errors surface as errors from
+// run (main turns them into a fatal exit), not panics or silent serving.
+func TestRunRejectsBadConfig(t *testing.T) {
+	if err := run(context.Background(), func() {}, []string{"-no-such-flag"}, nil); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run(context.Background(), func() {}, []string{"-data-dir", t.TempDir(), "-fsync", "bogus"}, nil); err == nil {
+		t.Error("bad -fsync policy accepted")
+	}
+}

@@ -62,6 +62,13 @@
 //     request via Content-Type/Accept ("application/x-sketch-frame");
 //     JSON stays as the debug/compat codec with identical semantics,
 //     pinned byte-for-byte by the cross-codec snapshot tests.
+//   - internal/wal — the durability layer: a segmented, CRC-framed
+//     write-ahead log whose update records are the wire codec's update
+//     frames byte-for-byte (journaling is an append, not a re-encode),
+//     plus per-tenant checkpoints through the CRC-bearing snapshot
+//     envelope. Open truncates a torn tail and quarantines corrupt
+//     segments instead of failing the boot; fsync policy (always |
+//     batch | none) picks the ack-vs-throughput point.
 //   - internal/server, internal/client — sketchd, the multi-tenant
 //     network sketch service (cmd/sketchd): declarative tenants (POST
 //     /v2/keys with a TenantSpec — each tenant a sketch × policy ×
@@ -86,9 +93,15 @@
 //     per-keyspace engines created on demand under a quota, and
 //     graceful drain (client.RetryTail resends only the unapplied tail
 //     of a straddled batch, under either codec — error replies are
-//     always JSON). The Go client sends frames by default
-//     (client.WithCodec opts out) and drains every response body so
-//     keep-alive connections survive error storms. The robust policies
+//     always JSON; client.UpdateRetry loops that protocol to completion
+//     for at-least-once ingest across drains and restarts), and — with
+//     -data-dir — crash durability: acknowledged updates are journaled
+//     to the WAL before their ack, checkpoints bound replay, and boot
+//     recovery restores bit-identical estimates (TestCrashRecoveryE2E
+//     SIGKILLs a loaded server, corrupts the log tail, and asserts
+//     exact estimate equality across restarts). The Go client sends
+//     frames by default (client.WithCodec opts out) and drains every
+//     response body so keep-alive connections survive error storms. The robust policies
 //     make the shared endpoint safe to query adaptively — the paper's
 //     threat model, realized as a service.
 //   - internal/stream, internal/game, internal/adversary — stream

@@ -24,6 +24,7 @@ import (
 	"net/url"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/server"
 	"repro/internal/wire"
@@ -426,6 +427,56 @@ func (c *Client) RetryTail(ctx context.Context, key string, updates []Update, er
 		return tail, retryErr
 	}
 	return nil, nil
+}
+
+// UpdateRetry sends a batch and rides out transient failures until it is
+// fully acknowledged, the context ends, or the server rejects it for
+// good. It is the ingest loop for clients that must survive a sketchd
+// restart (durable servers journal acknowledged batches and recover them
+// on boot; unacknowledged ones are the client's to re-send):
+//
+//   - 503 (drain): the accepted prefix is in the server's state; only the
+//     tail beyond AcceptedCount is re-sent, so nothing double counts.
+//   - transport errors (connection refused/reset while the server is
+//     down or restarting): the whole outstanding batch is re-sent after
+//     a backoff. Delivery is therefore at-least-once — a crash after
+//     apply but before the ack makes the retry a duplicate. A durable
+//     server narrows that window to exactly the unacknowledged request
+//     in flight, it does not close it.
+//   - any other API error (4xx conflicts, quota, validation) is final
+//     and returned as-is.
+//
+// Backoff doubles from 10ms and caps at 500ms; a cancelled context
+// returns ctx.Err wrapped, with the remaining batch unapplied.
+func (c *Client) UpdateRetry(ctx context.Context, key string, updates []Update) error {
+	backoff := 10 * time.Millisecond
+	const maxBackoff = 500 * time.Millisecond
+	for {
+		err := c.Update(ctx, key, updates)
+		if err == nil {
+			return nil
+		}
+		switch StatusCode(err) {
+		case http.StatusServiceUnavailable:
+			if n := AcceptedCount(err); n > 0 {
+				if n >= len(updates) {
+					return nil // every update landed before the drain surfaced
+				}
+				updates = updates[n:]
+			}
+		case 0: // transport error: nothing decoded, re-send the batch
+		default:
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("sketchd: update retry abandoned with %d updates unacknowledged: %w", len(updates), ctx.Err())
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
 }
 
 // Add is Update with delta 1 for each item.

@@ -3,11 +3,13 @@ package client_test
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"repro/internal/client"
 	"repro/internal/server"
@@ -179,6 +181,119 @@ func TestRetryTailAcrossRepeatedFailures(t *testing.T) {
 				t.Errorf("RetryTail(nil) = (%v, %v), want (nil, nil)", tail, err)
 			}
 		})
+	}
+}
+
+// flakyServer fronts drainingUpdateServer with injected transport
+// failures: the first kills requests have their connection severed before
+// any response bytes — what a client sees when sketchd is SIGKILLed or
+// restarting mid-request.
+type flakyServer struct {
+	kills int
+	inner *drainingUpdateServer
+}
+
+func (f *flakyServer) handler(w http.ResponseWriter, r *http.Request) {
+	if f.kills > 0 {
+		f.kills--
+		conn, _, err := w.(http.Hijacker).Hijack()
+		if err == nil {
+			conn.Close()
+		}
+		return
+	}
+	f.inner.handler(w, r)
+}
+
+// TestUpdateRetryConvergesAcrossDrains: UpdateRetry rides the partial
+// batch protocol to completion on its own — every drained prefix counted
+// once, every tail re-sent until acknowledged.
+func TestUpdateRetryConvergesAcrossDrains(t *testing.T) {
+	for _, tc := range codecs {
+		t.Run(tc.name, func(t *testing.T) {
+			d := &drainingUpdateServer{failures: 3, prefix: 25}
+			hs := httptest.NewServer(http.HandlerFunc(d.handler))
+			defer hs.Close()
+			c := client.New(hs.URL, hs.Client(), client.WithCodec(tc.codec))
+
+			var batch []client.Update
+			for i := uint64(0); i < 100; i++ {
+				batch = append(batch, client.Update{Item: i, Delta: 1})
+			}
+			if err := c.UpdateRetry(context.Background(), "k", batch); err != nil {
+				t.Fatalf("UpdateRetry: %v", err)
+			}
+			if len(d.applied) != len(batch) {
+				t.Fatalf("server applied %d updates, want %d", len(d.applied), len(batch))
+			}
+			for i, u := range d.applied {
+				if u.Item != uint64(i) {
+					t.Fatalf("update %d applied as item %d: prefix re-sent or tail dropped", i, u.Item)
+				}
+			}
+		})
+	}
+}
+
+// TestUpdateRetrySurvivesTransportErrors: severed connections (a restart
+// in progress) are retried with the full outstanding batch until the
+// server answers again.
+func TestUpdateRetrySurvivesTransportErrors(t *testing.T) {
+	f := &flakyServer{kills: 3, inner: &drainingUpdateServer{}}
+	hs := httptest.NewServer(http.HandlerFunc(f.handler))
+	defer hs.Close()
+	c := client.New(hs.URL, hs.Client())
+
+	batch := []client.Update{{Item: 1, Delta: 1}, {Item: 2, Delta: 1}, {Item: 3, Delta: 1}}
+	if err := c.UpdateRetry(context.Background(), "k", batch); err != nil {
+		t.Fatalf("UpdateRetry: %v", err)
+	}
+	if f.kills != 0 {
+		t.Fatalf("%d injected kills unconsumed", f.kills)
+	}
+	if len(f.inner.applied) != len(batch) {
+		t.Fatalf("server applied %d updates, want %d", len(f.inner.applied), len(batch))
+	}
+}
+
+// TestUpdateRetryFatalErrorIsFinal: a validation rejection must surface
+// immediately — retrying a 400 forever would spin on a batch the server
+// will never take.
+func TestUpdateRetryFatalErrorIsFinal(t *testing.T) {
+	var requests int
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests++
+		w.WriteHeader(http.StatusBadRequest)
+		_ = json.NewEncoder(w).Encode(server.ErrorResponse{Error: "negative delta on insertion-only tenant"})
+	}))
+	defer hs.Close()
+	c := client.New(hs.URL, hs.Client())
+
+	err := c.UpdateRetry(context.Background(), "k", []client.Update{{Item: 1, Delta: -1}})
+	if client.StatusCode(err) != 400 {
+		t.Fatalf("err = %v, want the server's 400", err)
+	}
+	if requests != 1 {
+		t.Fatalf("client sent %d requests for a fatal error, want 1", requests)
+	}
+}
+
+// TestUpdateRetryHonorsContext: with the server persistently unreachable,
+// a cancelled context ends the loop with its cause attached.
+func TestUpdateRetryHonorsContext(t *testing.T) {
+	f := &flakyServer{kills: 1 << 30, inner: &drainingUpdateServer{}}
+	hs := httptest.NewServer(http.HandlerFunc(f.handler))
+	defer hs.Close()
+	c := client.New(hs.URL, hs.Client())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	err := c.UpdateRetry(ctx, "k", []client.Update{{Item: 1, Delta: 1}})
+	if err == nil {
+		t.Fatal("UpdateRetry returned nil against a dead server")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want a context.DeadlineExceeded wrap", err)
 	}
 }
 

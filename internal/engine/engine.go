@@ -142,6 +142,14 @@ type Engine struct {
 	liveBufs  atomic.Int64 // batch buffers checked out of the pool
 	deleted   atomic.Int64 // Σ|delta| over accepted negative deltas
 	closeOnce sync.Once
+
+	// baseMass/baseDeleted credit stream mass restored from durable
+	// checkpoint state rather than streamed through Update. Sketch state
+	// folded in by Visit carries no worker-side mass tally (and the
+	// engine-level deletion counter lives outside the sketch entirely),
+	// so recovery seeds these via SeedMass.
+	baseMass    atomic.Int64
+	baseDeleted atomic.Int64
 }
 
 // getBuf checks a batch buffer out of the pool, counting it as
@@ -356,13 +364,18 @@ func (e *Engine) TryUpdate(item uint64, delta int64) bool {
 // Flush pushes every pending batch to the workers and blocks until all of
 // them have been applied and every shard's published snapshot is fresh.
 // After Flush returns, Peek and Estimate reflect every Update that
-// happened-before the Flush call. Flush after Close is a no-op.
+// happened-before the Flush call. For a shard that is closing or closed,
+// Flush waits for its worker to exit — the worker publishes the final
+// snapshot on the way out — so reads racing a Close (a server draining
+// under live queries) see the fully-drained state, never a stale
+// mid-close snapshot.
 func (e *Engine) Flush() {
 	var wg sync.WaitGroup
 	for _, s := range e.shards {
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
+			<-s.done // final publish happens before the worker exits
 			continue
 		}
 		b := s.pending
@@ -471,7 +484,7 @@ func (e *Engine) Shards() int { return len(e.shards) }
 // so it may lag by at most RefreshEvery updates per shard plus the batch
 // buffers; call Flush first for an exact happened-before reading.
 func (e *Engine) Mass() int64 {
-	var total int64
+	total := e.baseMass.Load()
 	for _, s := range e.shards {
 		total += s.pubMass.Load()
 	}
@@ -484,7 +497,18 @@ func (e *Engine) Mass() int64 {
 // published Mass snapshot): zero on an insertion-only tenant by
 // construction, and the stream-model telemetry for turnstile and
 // bounded-deletion tenants.
-func (e *Engine) DeletedMass() int64 { return e.deleted.Load() }
+func (e *Engine) DeletedMass() int64 { return e.deleted.Load() + e.baseDeleted.Load() }
+
+// SeedMass credits mass and deletion magnitude accounted for by
+// externally restored state (a durable checkpoint folded in via Visit):
+// the restored sketch answers queries, but the engine's mass telemetry
+// would otherwise restart from zero. Callers pass the delta still
+// missing after the restore — for a MassReporter estimator the published
+// mass already includes the restored state, so its delta is zero.
+func (e *Engine) SeedMass(mass, deleted int64) {
+	e.baseMass.Add(mass)
+	e.baseDeleted.Add(deleted)
+}
 
 // ErrNoPointQueries is returned by QueryPoints and TopK when the shard
 // estimators do not implement the point-query surface (sketch.PointQuerier

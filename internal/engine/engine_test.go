@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/entropy"
 	"repro/internal/f0"
@@ -452,5 +453,54 @@ func TestQueryPointsAndTopK(t *testing.T) {
 	}
 	if _, err := plain.TopK(3); err == nil || !errors.Is(err, ErrNoPointQueries) {
 		t.Errorf("TopK on kmv engine: err = %v, want ErrNoPointQueries", err)
+	}
+}
+
+// slowSum is a deliberately slow exact Σdelta estimator used to widen the
+// window between Close marking shards closed and the workers finishing
+// their queues.
+type slowSum struct {
+	sum   int64
+	delay time.Duration
+}
+
+func (s *slowSum) Update(item uint64, delta int64) { time.Sleep(s.delay); s.sum += delta }
+func (s *slowSum) Estimate() float64               { return float64(s.sum) }
+func (s *slowSum) SpaceBytes() int                 { return 8 }
+
+// TestEstimateDuringCloseSeesFinalState: a read racing Close must reflect
+// the fully-drained stream, not a stale published snapshot. This pins the
+// drain-coherence contract the server relies on: queries served while (or
+// after) an engine is Close()d — sketchd's shutdown drain — return the
+// final state because Flush waits for closing shards' workers to exit.
+func TestEstimateDuringCloseSeesFinalState(t *testing.T) {
+	const n = 50
+	e := New(Config{
+		Shards:       1,
+		Batch:        1,
+		Queue:        n + 16,
+		Seed:         1,
+		RefreshEvery: 1 << 30, // keep the published snapshot stale on purpose
+		Factory:      func(int64) sketch.Estimator { return &slowSum{delay: 200 * time.Microsecond} },
+	})
+	for i := 0; i < n; i++ {
+		e.Update(uint64(i), 1)
+	}
+	if peek := e.Peek(); peek >= n {
+		t.Skip("worker drained before Close could race it") // can't exercise the race
+	}
+	closed := make(chan struct{})
+	go func() { e.Close(); close(closed) }()
+	// Wait until the shards observe the close (delta-0 probes are inert for
+	// a Σdelta estimator), then read mid-drain.
+	for e.TryUpdate(0, 0) {
+		time.Sleep(20 * time.Microsecond)
+	}
+	if got := e.Estimate(); got != n {
+		t.Fatalf("Estimate racing Close = %v, want %v (stale published snapshot leaked)", got, n)
+	}
+	<-closed
+	if got := e.Estimate(); got != n {
+		t.Fatalf("Estimate after Close = %v, want %v", got, n)
 	}
 }

@@ -1,0 +1,332 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/sketch"
+	"repro/internal/wal"
+	"repro/internal/wire"
+)
+
+// Durability. A server created with Open and a non-empty Config.DataDir
+// journals every state-changing operation — tenant create, acknowledged
+// update batches, tenant delete — to a write-ahead log before the HTTP ack,
+// and periodically folds each mergeable tenant's sketch state into a
+// per-tenant checkpoint (the snapshot envelope plus the resolved TenantSpec,
+// so recovery re-declares the tenant exactly). Boot-time recovery restores
+// the latest checkpoint per tenant and replays the log tail; a torn final
+// record (crash mid-write) is truncated, never a failed boot.
+//
+// Ordering is apply → log → ack: an update batch reaches the engine first,
+// is appended to the WAL under the tenant's walMu read lock, and only then
+// acknowledged. A crash between apply and ack loses nothing the client was
+// told survived — the batch is unacknowledged and the client's retry path
+// (client.UpdateRetry) re-sends it. The log therefore IS the acknowledged
+// stream, which is exactly the state the crash-recovery e2e asserts against.
+//
+// Checkpoints cut the log per tenant: the checkpoint's LSN is the log head
+// taken under walMu's write lock, so no update for that tenant can sit
+// between the serialized sketch state and the recorded position. Recovery
+// restores the state and replays only this tenant's records with LSN beyond
+// the cut. Non-mergeable (robust-policy) tenants have no serializable state;
+// they are re-declared from their create record and rebuilt by replaying
+// their full update history — deterministic given the resolved seed, so the
+// flip-budget state is reproduced, not approximated.
+
+// RecoveryStats describes what Open rebuilt from the data directory.
+type RecoveryStats struct {
+	// Tenants recovered (checkpoints plus create-record re-declarations).
+	Tenants int
+	// ReplayedUpdates is the number of stream updates re-applied from the
+	// log tail.
+	ReplayedUpdates int
+	// WAL reports what the log scan found and repaired (torn bytes
+	// truncated, corrupt segments quarantined).
+	WAL wal.Stats
+	// SkippedCheckpoints counts checkpoint files that were corrupt or no
+	// longer resolvable; their tenants fell back to full replay.
+	SkippedCheckpoints int
+}
+
+// Open is New plus durability: with an empty cfg.DataDir it is exactly New;
+// otherwise it opens (or creates) the write-ahead log in cfg.DataDir,
+// recovers every tenant from checkpoints and log replay, and journals all
+// subsequent mutations under cfg.Fsync. Call Shutdown (not just Drain) on a
+// durable server so final checkpoints land before exit.
+func Open(cfg Config) (*Server, error) {
+	s := New(cfg)
+	if s.cfg.DataDir == "" {
+		return s, nil
+	}
+	pol, err := wal.ParsePolicy(s.cfg.Fsync)
+	if err != nil {
+		return nil, err
+	}
+	l, err := wal.Open(s.cfg.DataDir, wal.Options{Fsync: pol})
+	if err != nil {
+		return nil, err
+	}
+	cks, corrupt, err := wal.LoadCheckpoints(s.cfg.DataDir)
+	if err != nil {
+		l.Close()
+		return nil, err
+	}
+	s.wal = l
+	s.recovery.WAL = l.Stats()
+	s.recovery.SkippedCheckpoints = len(corrupt)
+	if err := s.recoverLocked(cks); err != nil {
+		l.Close()
+		return nil, err
+	}
+	s.recovery.Tenants = len(s.tenants)
+	return s, nil
+}
+
+// Recovery returns what Open rebuilt. Zero value for non-durable servers.
+func (s *Server) Recovery() RecoveryStats { return s.recovery }
+
+// Durable reports whether the server journals to a write-ahead log.
+func (s *Server) Durable() bool { return s.wal != nil }
+
+// recoverLocked rebuilds the tenant map from checkpoints and log replay. It
+// runs before the server serves traffic, so it owns the maps without locks.
+func (s *Server) recoverLocked(cks map[string]wal.Checkpoint) error {
+	// minLSN[key]: this tenant's updates at or below it are already folded
+	// into restored checkpoint state and must not be replayed.
+	minLSN := make(map[string]uint64)
+
+	for key, ck := range cks {
+		var raw TenantSpec
+		if err := json.Unmarshal(ck.Spec, &raw); err != nil {
+			s.recovery.SkippedCheckpoints++
+			continue // the create record will re-declare it
+		}
+		sp, ts, err := resolveTrusted(raw, s.cfg)
+		if err != nil {
+			s.recovery.SkippedCheckpoints++
+			continue
+		}
+		t := s.newTenant(key, sp, ts)
+		var low uint64
+		if len(ck.State) > 0 && sp.Mergeable() {
+			if err := restoreState(t, ck.State); err != nil {
+				// Corrupt or incompatible state: start the engine over and
+				// let full replay rebuild it.
+				t.eng.Close()
+				t = s.newTenant(key, sp, ts)
+				s.recovery.SkippedCheckpoints++
+			} else {
+				low = ck.LSN
+				// Mass telemetry lives outside the sketch state; credit
+				// whatever the restore itself did not surface (zero for a
+				// MassReporter estimator, the full checkpoint mass others).
+				t.eng.SeedMass(ck.Mass-t.eng.Mass(), ck.Deleted)
+			}
+		}
+		s.tenants[key] = t
+		minLSN[key] = low
+	}
+
+	var ubuf []wire.Update
+	return s.wal.Replay(func(lsn uint64, rec wal.Record) error {
+		switch rec.Kind {
+		case wal.KindCreate:
+			if _, ok := s.tenants[rec.Key]; ok {
+				return nil // already restored from a checkpoint
+			}
+			var raw TenantSpec
+			if err := json.Unmarshal(rec.Data, &raw); err != nil {
+				return nil // unreadable spec: updates for it are dropped too
+			}
+			sp, ts, err := resolveTrusted(raw, s.cfg)
+			if err != nil {
+				return nil
+			}
+			// Recovery re-admits every tenant the log once admitted, even
+			// past a lowered MaxKeys: refusing would silently drop
+			// acknowledged data. New creations stay quota-gated.
+			s.tenants[rec.Key] = s.newTenant(rec.Key, sp, ts)
+			minLSN[rec.Key] = lsn
+		case wal.KindDelete:
+			if t, ok := s.tenants[rec.Key]; ok {
+				t.eng.Close()
+				delete(s.tenants, rec.Key)
+				delete(minLSN, rec.Key)
+			}
+		case wal.KindUpdate:
+			t, ok := s.tenants[rec.Key]
+			if !ok || lsn <= minLSN[rec.Key] {
+				return nil
+			}
+			us, err := wire.DecodeUpdates(rec.Data, ubuf[:0])
+			if err != nil {
+				return nil // CRC-valid but undecodable frame: skip, keep going
+			}
+			ubuf = us
+			for _, u := range us {
+				t.eng.TryUpdate(u.Item, u.Delta)
+			}
+			t.sinceCkpt.Add(int64(len(us)))
+			s.recovery.ReplayedUpdates += len(us)
+		}
+		return nil
+	})
+}
+
+// restoreState folds a checkpoint's snapshot envelope into a fresh tenant
+// engine via the same two-phase merge the /v1/merge endpoint uses. Any
+// failure means the caller rebuilds the tenant by full replay instead.
+func restoreState(t *tenant, state []byte) error {
+	name, parts, err := decodeSnapshot(state)
+	if err != nil {
+		return err
+	}
+	if name != t.spec.Name {
+		return fmt.Errorf("checkpoint state is a %q snapshot, tenant is %q", name, t.spec.Name)
+	}
+	if len(parts) != t.eng.Shards() {
+		return fmt.Errorf("checkpoint state has %d shards, tenant runs %d", len(parts), t.eng.Shards())
+	}
+	m, err := t.spec.prepare(parts)
+	if err != nil {
+		return err
+	}
+	if err := t.eng.Visit(m.Check); err != nil {
+		return err
+	}
+	return t.eng.Visit(m.Apply)
+}
+
+// logCreate journals a tenant declaration. Called under s.mu before the
+// tenant becomes visible, so every logged update for the key follows its
+// create record.
+func (s *Server) logCreate(t *tenant) error {
+	if s.wal == nil {
+		return nil
+	}
+	specJSON, err := json.Marshal(t.ts)
+	if err != nil {
+		return err
+	}
+	_, err = s.wal.Append(wal.Record{Kind: wal.KindCreate, Key: t.key, Data: specJSON})
+	return err
+}
+
+// logDelete journals a tenant deletion.
+func (s *Server) logDelete(key string) error {
+	if s.wal == nil {
+		return nil
+	}
+	_, err := s.wal.Append(wal.Record{Kind: wal.KindDelete, Key: key})
+	return err
+}
+
+// logUpdates journals an applied update batch as a wire updates frame —
+// the record body on disk is byte-identical to what a binary-codec client
+// sent. Caller holds t.walMu.RLock.
+func (s *Server) logUpdates(t *tenant, us []wire.Update) error {
+	if s.wal == nil || len(us) == 0 {
+		return nil
+	}
+	fp := framePool.Get().(*[]byte)
+	frame := wire.AppendUpdates((*fp)[:0], us)
+	_, err := s.wal.Append(wal.Record{Kind: wal.KindUpdate, Key: t.key, Data: frame})
+	*fp = frame[:0]
+	framePool.Put(fp)
+	return err
+}
+
+// maybeCheckpoint advances the tenant's update counter and, past the
+// configured cadence, checkpoints it in the background. Non-mergeable
+// tenants are never checkpointed — their recovery is full replay.
+func (s *Server) maybeCheckpoint(t *tenant, n int) {
+	if s.wal == nil || !t.spec.Mergeable() {
+		return
+	}
+	if t.sinceCkpt.Add(int64(n)) < int64(s.cfg.CheckpointEvery) {
+		return
+	}
+	if !t.ckptBusy.CompareAndSwap(false, true) {
+		return // one in flight already
+	}
+	go func() {
+		defer t.ckptBusy.Store(false)
+		// Best effort: a failed checkpoint costs replay time, not data —
+		// the log retains the full tail. The cadence retries it.
+		_ = s.checkpointTenant(t)
+	}()
+}
+
+// checkpointTenant writes a checkpoint for t at the current log head.
+func (s *Server) checkpointTenant(t *tenant) error {
+	t.walMu.Lock()
+	defer t.walMu.Unlock()
+	return s.checkpointTenantLocked(t)
+}
+
+// checkpointTenantLocked is checkpointTenant with t.walMu already held:
+// no update for this tenant can land between the state serialization and
+// the recorded LSN, so the cut is exact.
+func (s *Server) checkpointTenantLocked(t *tenant) error {
+	var state []byte
+	if t.spec.Mergeable() {
+		parts := make([][]byte, t.eng.Shards())
+		err := t.eng.Visit(func(i int, est sketch.Estimator) error {
+			b, err := t.spec.marshal(est)
+			parts[i] = b
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		state = encodeSnapshot(t.spec.Name, parts)
+	}
+	specJSON, err := json.Marshal(t.ts)
+	if err != nil {
+		return err
+	}
+	// Visit flushed and republished above, so the mass reading is exact
+	// for the serialized state (no updates can land under walMu).
+	ck := wal.Checkpoint{
+		Key: t.key, LSN: s.wal.HeadLSN(), Spec: specJSON, State: state,
+		Mass: t.eng.Mass(), Deleted: t.eng.DeletedMass(),
+	}
+	if err := wal.WriteCheckpoint(s.cfg.DataDir, ck); err != nil {
+		return err
+	}
+	t.sinceCkpt.Store(0)
+	return nil
+}
+
+// Shutdown drains the server and, when durable, writes a final checkpoint
+// for every mergeable tenant and closes the log. The drained engine state
+// is exactly the acknowledged stream (Drain flushes before Close), so after
+// a clean Shutdown recovery is checkpoint-only for mergeable tenants.
+// Robust tenants rely on the log itself, which Close syncs. Idempotent;
+// returns the first error, having attempted every step.
+func (s *Server) Shutdown() error {
+	s.Drain()
+	if s.wal == nil {
+		return nil
+	}
+	s.mu.RLock()
+	ts := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		ts = append(ts, t)
+	}
+	s.mu.RUnlock()
+	var firstErr error
+	for _, t := range ts {
+		if !t.spec.Mergeable() {
+			continue
+		}
+		if err := s.checkpointTenant(t); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := s.wal.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}

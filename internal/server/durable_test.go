@@ -1,0 +1,487 @@
+package server_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/server"
+)
+
+// bootDurable starts a durable sketchd instance (WAL + checkpoints in
+// cfg.DataDir) on a loopback listener. The caller owns Shutdown; the
+// cleanup Drain only stops engines if the test abandoned the server to
+// simulate a crash.
+func bootDurable(t *testing.T, cfg server.Config) (*server.Server, *client.Client) {
+	t.Helper()
+	srv, err := server.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	t.Cleanup(srv.Drain)
+	return srv, client.New(hs.URL, hs.Client())
+}
+
+// durableCfg is the shared durable-server config: fsync=none keeps the
+// tests fast (crash simulation here is process-internal, so page-cache
+// durability is enough — the wal package's own tests cover torn records).
+func durableCfg(dir string) server.Config {
+	return server.Config{
+		Shards: 2, Eps: 0.25, Delta: 0.05, N: 1 << 20, Seed: 42,
+		MaxKeys: 8, DataDir: dir, Fsync: "none",
+	}
+}
+
+// seedTenants declares one tenant per recovery-interesting shape and
+// ingests a deterministic stream into each: a plain mergeable f2, a
+// robust (non-mergeable) f2+switching, a point-query countsketch, and a
+// turnstile f2 that sees real deletions.
+func seedTenants(t *testing.T, c *client.Client) map[string]float64 {
+	t.Helper()
+	ctx := context.Background()
+	if err := c.CreateKey(ctx, "plain", "f2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateKeyPolicy(ctx, "robust", "f2", "switching"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateKey(ctx, "hot", "countsketch"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateTenant(ctx, "turn", client.TenantSpec{Sketch: "f2", Model: "turnstile"}); err != nil {
+		t.Fatal(err)
+	}
+	var batch []client.Update
+	flush := func(keys ...string) {
+		for _, key := range keys {
+			if err := c.Update(context.Background(), key, batch); err != nil {
+				t.Fatalf("update %s: %v", key, err)
+			}
+		}
+		batch = batch[:0]
+	}
+	for i := 0; i < 2000; i++ {
+		batch = append(batch, client.Update{Item: uint64(i % 257), Delta: 1})
+		if len(batch) == 100 {
+			flush("plain", "robust", "hot")
+		}
+	}
+	// Turnstile traffic: inserts then partial deletions.
+	for i := 0; i < 500; i++ {
+		batch = append(batch, client.Update{Item: uint64(i % 31), Delta: 3})
+	}
+	flush("turn")
+	for i := 0; i < 200; i++ {
+		batch = append(batch, client.Update{Item: uint64(i % 31), Delta: -1})
+	}
+	flush("turn")
+
+	est := make(map[string]float64)
+	for _, key := range []string{"plain", "robust", "hot", "turn"} {
+		v, err := c.Estimate(context.Background(), key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est[key] = v
+	}
+	return est
+}
+
+// checkRecovered asserts the reopened server reproduces every tenant's
+// estimate exactly (same resolved seeds, deterministic replay) and that
+// the resolved spec — sketch, policy, model — survived.
+func checkRecovered(t *testing.T, c *client.Client, want map[string]float64) {
+	t.Helper()
+	ctx := context.Background()
+	for key, w := range want {
+		got, err := c.Estimate(ctx, key)
+		if err != nil {
+			t.Fatalf("estimate %s after recovery: %v", key, err)
+		}
+		if got != w {
+			t.Errorf("estimate %s: recovered %v, acknowledged stream gives %v", key, got, w)
+		}
+	}
+	ks, err := c.KeyStats(ctx, "robust")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks.Policy != "switching" {
+		t.Errorf("robust tenant recovered with policy %q, want switching", ks.Policy)
+	}
+	if ks.Robustness == nil {
+		t.Error("robust tenant recovered without flip-budget state")
+	}
+	ks, err = c.KeyStats(ctx, "turn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks.Model != "turnstile" {
+		t.Errorf("turnstile tenant recovered with model %q, want turnstile", ks.Model)
+	}
+	if ks.DeletedMass == 0 {
+		t.Error("turnstile tenant recovered with zero deleted mass; deletions were not replayed")
+	}
+}
+
+// TestDurableRecoveryAfterShutdown is the clean path: Shutdown writes a
+// final checkpoint per mergeable tenant, and a fresh Open reproduces
+// every tenant — including the robust tenant, which has no checkpoint
+// and recovers by full deterministic replay.
+func TestDurableRecoveryAfterShutdown(t *testing.T) {
+	dir := t.TempDir()
+	srv, c := bootDurable(t, durableCfg(dir))
+	want := seedTenants(t, c)
+	if err := srv.Shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	srv2, c2 := bootDurable(t, durableCfg(dir))
+	rec := srv2.Recovery()
+	if rec.Tenants != 4 {
+		t.Fatalf("recovered %d tenants, want 4 (stats: %+v)", rec.Tenants, rec)
+	}
+	checkRecovered(t, c2, want)
+	if err := srv2.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableRecoveryAfterCrash abandons the server without Shutdown —
+// no final checkpoints — so recovery is create-record re-declaration
+// plus full WAL replay of the acknowledged stream.
+func TestDurableRecoveryAfterCrash(t *testing.T) {
+	dir := t.TempDir()
+	_, c := bootDurable(t, durableCfg(dir)) // never Shutdown: simulated crash
+	want := seedTenants(t, c)
+
+	srv2, c2 := bootDurable(t, durableCfg(dir))
+	rec := srv2.Recovery()
+	if rec.Tenants != 4 {
+		t.Fatalf("recovered %d tenants, want 4 (stats: %+v)", rec.Tenants, rec)
+	}
+	if rec.ReplayedUpdates == 0 {
+		t.Fatal("crash recovery replayed no updates")
+	}
+	checkRecovered(t, c2, want)
+	if err := srv2.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableTornTailRecovers appends garbage to the newest WAL segment
+// (a crash mid-append) and verifies boot truncates it instead of
+// refusing to start, with every acknowledged update intact.
+func TestDurableTornTailRecovers(t *testing.T) {
+	dir := t.TempDir()
+	_, c := bootDurable(t, durableCfg(dir))
+	want := seedTenants(t, c)
+
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no WAL segments in %s (err=%v)", dir, err)
+	}
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x13, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	srv2, c2 := bootDurable(t, durableCfg(dir))
+	rec := srv2.Recovery()
+	if rec.WAL.TruncatedBytes == 0 {
+		t.Errorf("torn tail not truncated (stats: %+v)", rec.WAL)
+	}
+	checkRecovered(t, c2, want)
+	if err := srv2.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableCorruptCheckpointFallsBackToReplay flips a byte inside a
+// checkpoint written by Shutdown and verifies the tenant still recovers
+// — by full replay — rather than serving corrupt state or failing boot.
+func TestDurableCorruptCheckpointFallsBackToReplay(t *testing.T) {
+	dir := t.TempDir()
+	srv, c := bootDurable(t, durableCfg(dir))
+	want := seedTenants(t, c)
+	if err := srv.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	cks, err := filepath.Glob(filepath.Join(dir, "ck-*.ckpt"))
+	if err != nil || len(cks) == 0 {
+		t.Fatalf("no checkpoints in %s after Shutdown (err=%v)", dir, err)
+	}
+	for _, path := range cks {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b[len(b)/2] ^= 0x40
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	srv2, c2 := bootDurable(t, durableCfg(dir))
+	rec := srv2.Recovery()
+	if rec.SkippedCheckpoints == 0 {
+		t.Errorf("corrupt checkpoints not detected (stats: %+v)", rec)
+	}
+	if rec.ReplayedUpdates == 0 {
+		t.Error("checkpoint fallback did not replay the log")
+	}
+	checkRecovered(t, c2, want)
+	if err := srv2.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableDeleteAndRecreateReplay pins delete semantics across a
+// crash: a deleted tenant stays gone, and a key deleted then re-created
+// recovers only its post-re-create stream.
+func TestDurableDeleteAndRecreateReplay(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	_, c := bootDurable(t, durableCfg(dir))
+	if err := c.CreateKey(ctx, "gone", "f2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(ctx, "gone", 1, 2, 3, 4, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeleteKey(ctx, "gone"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateKey(ctx, "phoenix", "f2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(ctx, "phoenix", 10, 11, 12); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeleteKey(ctx, "phoenix"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateKey(ctx, "phoenix", "f2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(ctx, "phoenix", 20); err != nil {
+		t.Fatal(err)
+	}
+	want, err := c.Estimate(ctx, "phoenix")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, c2 := bootDurable(t, durableCfg(dir)) // crash: no Shutdown above
+	if _, err := c2.Estimate(ctx, "gone"); client.StatusCode(err) != 404 {
+		t.Errorf("deleted tenant resurrected across restart: err=%v", err)
+	}
+	got, err := c2.Estimate(ctx, "phoenix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("re-created tenant recovered estimate %v, want %v (post-re-create stream only)", got, want)
+	}
+	if err := srv2.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableCheckpointCadence drives a mergeable tenant past
+// CheckpointEvery and verifies a background checkpoint lands and cuts
+// the replay tail on the next boot.
+func TestDurableCheckpointCadence(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableCfg(dir)
+	cfg.CheckpointEvery = 256
+	_, c := bootDurable(t, cfg)
+	ctx := context.Background()
+	if err := c.CreateKey(ctx, "plain", "f2"); err != nil {
+		t.Fatal(err)
+	}
+	const total = 2000
+	batch := make([]client.Update, 0, 100)
+	for i := 0; i < total; i++ {
+		batch = append(batch, client.Update{Item: uint64(i % 97), Delta: 1})
+		if len(batch) == cap(batch) {
+			if err := c.Update(ctx, "plain", batch); err != nil {
+				t.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if cks, _ := filepath.Glob(filepath.Join(dir, "ck-*.ckpt")); len(cks) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no checkpoint after %d updates with CheckpointEvery=%d", total, cfg.CheckpointEvery)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	want, err := c.Estimate(ctx, "plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, c2 := bootDurable(t, cfg) // crash: replay only the post-checkpoint tail
+	rec := srv2.Recovery()
+	if rec.ReplayedUpdates >= total {
+		t.Errorf("checkpoint did not cut replay: replayed %d of %d updates", rec.ReplayedUpdates, total)
+	}
+	got, err := c2.Estimate(ctx, "plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("checkpoint+tail recovery gives %v, acknowledged stream gives %v", got, want)
+	}
+	if err := srv2.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableMergeCheckpointed pins merge durability: merges are not
+// WAL-logged (a snapshot body is not a stream), so /v1/merge on a
+// durable server must force a checkpoint — otherwise a crash right
+// after the 200 would silently lose the folded-in state.
+func TestDurableMergeCheckpointed(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	cfg := durableCfg(dir)
+	_, c := bootDurable(t, cfg)
+	if err := c.CreateKey(ctx, "m", "f2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(ctx, "m", 1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	// A same-seed in-memory peer builds the state to merge in.
+	src := server.New(server.Config{
+		Shards: cfg.Shards, Eps: cfg.Eps, Delta: cfg.Delta, N: cfg.N,
+		Seed: cfg.Seed, MaxKeys: cfg.MaxKeys,
+	})
+	hs := httptest.NewServer(src.Handler())
+	t.Cleanup(hs.Close)
+	t.Cleanup(src.Drain)
+	cs := client.New(hs.URL, hs.Client())
+	if err := cs.CreateKey(ctx, "m", "f2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Add(ctx, "m", 100, 101, 102, 103); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := cs.Snapshot(ctx, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Merge(ctx, "m", snap); err != nil {
+		t.Fatal(err)
+	}
+	want, err := c.Estimate(ctx, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, c2 := bootDurable(t, cfg) // crash: no Shutdown — checkpoint must carry the merge
+	got, err := c2.Estimate(ctx, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("post-merge recovery gives %v, want %v: merged state lost across crash", got, want)
+	}
+	if err := srv2.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEstimateDuringDrainIsCoherent pins the server-level guarantee the
+// engine.Flush fix provides: an /v1/estimate racing Drain returns the
+// fully-drained estimate — every acknowledged update included — never a
+// stale mid-close snapshot. A same-seed twin supplies the expected value.
+func TestEstimateDuringDrainIsCoherent(t *testing.T) {
+	cfg := server.Config{Shards: 2, Eps: 0.25, Delta: 0.05, N: 1 << 20, Seed: 7, MaxKeys: 4}
+	ctx := context.Background()
+
+	_, twin := boot(t, cfg)
+	srv, c := boot(t, cfg)
+	for _, cl := range []*client.Client{twin, c} {
+		if err := cl.CreateKey(ctx, "k", "f2"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch := make([]client.Update, 0, 250)
+	for i := 0; i < 5000; i++ {
+		batch = append(batch, client.Update{Item: uint64(i % 499), Delta: 1})
+		if len(batch) == cap(batch) {
+			for _, cl := range []*client.Client{twin, c} {
+				if err := cl.Update(ctx, "k", batch); err != nil {
+					t.Fatal(err)
+				}
+			}
+			batch = batch[:0]
+		}
+	}
+	want, err := twin.Estimate(ctx, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Race reads against the drain. Every estimate served — before,
+	// during, or after engine close — must be the full-stream value,
+	// because every update above was acknowledged before Drain began.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Drain()
+	}()
+	for i := 0; ; i++ {
+		got, err := c.Estimate(ctx, "k")
+		if err != nil {
+			t.Fatalf("estimate %d during drain: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("estimate %d during drain: %v, want drained value %v", i, got, want)
+		}
+		select {
+		case <-done:
+			if got, err := c.Estimate(ctx, "k"); err != nil || got != want {
+				t.Fatalf("post-drain estimate: %v err=%v, want %v", got, err, want)
+			}
+			// Snapshots served after (and during) drain must decode and
+			// carry the drained state: merging into a fresh same-seed
+			// server reproduces the estimate.
+			snap, err := c.Snapshot(ctx, "k")
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, fresh := boot(t, cfg)
+			if err := fresh.CreateKey(ctx, "k", "f2"); err != nil {
+				t.Fatal(err)
+			}
+			if err := fresh.Merge(ctx, "k", snap); err != nil {
+				t.Fatal(err)
+			}
+			if got, err := fresh.Estimate(ctx, "k"); err != nil || got != want {
+				t.Fatalf("snapshot taken under drain merges to %v err=%v, want %v", got, err, want)
+			}
+			return
+		default:
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/wire"
 )
@@ -23,18 +24,38 @@ import (
 // codec needs the structured ErrorResponse contract (RetryTail reads
 // Accepted from it), and an error path is never hot enough to frame.
 
+// countedPool wraps sync.Pool with an outstanding-checkout counter. The
+// counter exists for the pool-safety regression tests: every request path
+// — success and every early-error exit — must return what it took, or the
+// pools stop recycling and the zero-alloc ingest claim quietly rots. One
+// atomic add per request round-trip is noise next to the HTTP stack.
+type countedPool struct {
+	pool sync.Pool
+	live atomic.Int64 // Gets minus Puts; zero whenever the server is idle
+}
+
+func (c *countedPool) Get() any {
+	c.live.Add(1)
+	return c.pool.Get()
+}
+
+func (c *countedPool) Put(v any) {
+	c.pool.Put(v)
+	c.live.Add(-1)
+}
+
 // Pooled buffers for the binary ingest path: one pool for raw request
 // bodies, one for decoded update batches. Both recycle through steady
 // state so the server-side codec layer allocates nothing per request.
 var (
-	bodyPool = sync.Pool{New: func() any {
+	bodyPool = countedPool{pool: sync.Pool{New: func() any {
 		b := make([]byte, 0, 64<<10)
 		return &b
-	}}
-	updatesPool = sync.Pool{New: func() any {
+	}}}
+	updatesPool = countedPool{pool: sync.Pool{New: func() any {
 		u := make([]wire.Update, 0, 1024)
 		return &u
-	}}
+	}}}
 	framePool = sync.Pool{New: func() any {
 		b := make([]byte, 0, 4<<10)
 		return &b
@@ -133,6 +154,13 @@ func (s *Server) applyUpdates(w http.ResponseWriter, t *tenant, us []wire.Update
 			}
 		}
 	}
+	// Durable ordering is apply → log → ack under the tenant's walMu read
+	// side, so a checkpoint (write side) never cuts between an update's
+	// engine state and its log record; see durable.go.
+	if s.wal != nil {
+		t.walMu.RLock()
+		defer t.walMu.RUnlock()
+	}
 	// TryUpdate instead of Update: a request that lost the race against
 	// Drain (or a concurrent DELETE of the key) finds the engine closed
 	// and gets a clean error, not a panicking connection. Under drain the
@@ -142,6 +170,11 @@ func (s *Server) applyUpdates(w http.ResponseWriter, t *tenant, us []wire.Update
 	for i, u := range us {
 		if !t.eng.TryUpdate(u.Item, u.Delta) {
 			if s.draining.Load() {
+				// The accepted prefix is in the drained state the client is
+				// told about; journal it so a crash after the drain recovers
+				// exactly what Accepted promised. Best effort — a clean
+				// shutdown's checkpoints capture the drained state anyway.
+				_ = s.logUpdates(t, us[:i])
 				w.Header().Set("Retry-After", "1")
 				writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{
 					Error:    fmt.Sprintf("%v (accepted %d of %d updates)", errDraining, i, len(us)),
@@ -155,7 +188,15 @@ func (s *Server) applyUpdates(w http.ResponseWriter, t *tenant, us []wire.Update
 			return
 		}
 	}
+	if err := s.logUpdates(t, us); err != nil {
+		// Applied in memory but not journaled: refuse the ack so the
+		// client retries. Over-acknowledging here would break the "log ≡
+		// acknowledged stream" invariant recovery depends on.
+		fail(w, http.StatusInternalServerError, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, UpdateResponse{Accepted: len(us)})
+	s.maybeCheckpoint(t, len(us))
 }
 
 // handleV2Update serves POST /v2/update: the same ?key= addressing and

@@ -52,6 +52,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/engine"
 	"repro/internal/sketch"
+	"repro/internal/wal"
 	"repro/internal/wire"
 )
 
@@ -114,6 +115,21 @@ type Config struct {
 	// inner sketch, whose honest ln(1/δ₀) sizing reaches thousands of
 	// repetitions; see robust.Policy.KCap. Defaults to 4096.
 	PathsKCap int
+
+	// DataDir, when non-empty and the server is created with Open, enables
+	// durability: a write-ahead log plus per-tenant checkpoints live there
+	// and every tenant survives a crash or restart. New ignores it.
+	DataDir string
+
+	// Fsync selects the WAL sync policy: "always" (default; every
+	// acknowledged batch survives power loss), "batch" (background sync,
+	// bounded loss window), or "none" (OS page cache only).
+	Fsync string
+
+	// CheckpointEvery is the number of applied updates between automatic
+	// checkpoints of a mergeable tenant (bounding its replay-on-boot tail).
+	// Defaults to 131072.
+	CheckpointEvery int
 }
 
 func (cfg Config) withDefaults() Config {
@@ -150,6 +166,9 @@ func (cfg Config) withDefaults() Config {
 	if cfg.PathsKCap <= 0 {
 		cfg.PathsKCap = 4096
 	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 1 << 17
+	}
 	return cfg
 }
 
@@ -167,15 +186,29 @@ type tenant struct {
 	spec spec
 	ts   TenantSpec // fully resolved: defaults applied, alias expanded
 	eng  *engine.Engine
+
+	// Durability state (idle on non-durable servers). walMu orders update
+	// logging against checkpoints: the apply path holds the read side
+	// around engine-apply + WAL-append, a checkpoint holds the write side
+	// around state-serialization + LSN capture, so a checkpoint's LSN cut
+	// never splits an update between sketch state and log tail.
+	walMu     sync.RWMutex
+	sinceCkpt atomic.Int64 // updates applied since the last checkpoint
+	ckptBusy  atomic.Bool  // one background checkpoint at a time
 }
 
-// Server is a sketchd instance. Create with New, mount Handler on an
-// http.Server, and call Drain on shutdown.
+// Server is a sketchd instance. Create with New (in-memory) or Open
+// (durable), mount Handler on an http.Server, and call Drain — Shutdown
+// for durable servers — on exit.
 type Server struct {
 	cfg      Config
 	mu       sync.RWMutex
 	tenants  map[string]*tenant
 	draining atomic.Bool
+
+	// Durability (nil/zero without Open + DataDir; see durable.go).
+	wal      *wal.Log
+	recovery RecoveryStats
 }
 
 // New returns a Server with no keyspaces yet.
@@ -291,18 +324,33 @@ func (s *Server) getOrCreate(key string, raw TenantSpec) (*tenant, error) {
 	if len(s.tenants) >= s.cfg.MaxKeys {
 		return nil, errQuota
 	}
-	// A tenant-supplied seed replaces the server root for this keyspace:
-	// snapshot exchange needs only the two tenants' resolved seeds (and
-	// shard counts) to match, wherever their servers' roots differ. The
-	// effective root is resolved into the stored spec, so a later
-	// re-declare that explicitly names the seed the tenant actually runs
-	// under matches instead of conflicting.
+	t := s.newTenant(key, sp, ts)
+	// Journal the declaration before the tenant becomes visible: an
+	// unloggable tenant must not serve (its acknowledged updates would
+	// have no create record to hang off at recovery).
+	if err := s.logCreate(t); err != nil {
+		t.eng.Close()
+		return nil, err
+	}
+	s.tenants[key] = t
+	return t, nil
+}
+
+// newTenant builds a tenant (and starts its engine) from a resolved spec.
+// A tenant-supplied seed replaces the server root for this keyspace:
+// snapshot exchange needs only the two tenants' resolved seeds (and shard
+// counts) to match, wherever their servers' roots differ. The effective
+// root is resolved into the stored spec, so a later re-declare that
+// explicitly names the seed the tenant actually runs under matches instead
+// of conflicting — and recovery, replaying the stored spec, rebuilds the
+// same shard seeds and therefore snapshot-compatible sketches.
+func (s *Server) newTenant(key string, sp spec, ts TenantSpec) *tenant {
 	root := s.cfg.Seed
 	if ts.Seed != 0 {
 		root = ts.Seed
 	}
 	ts.Seed = root
-	t := &tenant{
+	return &tenant{
 		key:  key,
 		spec: sp,
 		ts:   ts,
@@ -315,14 +363,15 @@ func (s *Server) getOrCreate(key string, raw TenantSpec) (*tenant, error) {
 			Seed:    tenantSeed(root, key),
 		}),
 	}
-	s.tenants[key] = t
-	return t, nil
 }
 
 // Drain stops accepting writes and closes every tenant engine, flushing
 // all pending updates so reads served after Drain reflect the full
-// ingested stream. Reads (estimate, peek, snapshot, stats) keep working;
-// updates, merges and keyspace creation fail with 503. Idempotent.
+// ingested stream. Reads (estimate, peek, snapshot, stats) keep working —
+// including reads racing the drain itself: engine.Flush waits for closing
+// shards' final publish, so an estimate or snapshot served mid-drain is
+// the fully-drained state, never a stale mid-close snapshot. Updates,
+// merges and keyspace creation fail with 503. Idempotent.
 func (s *Server) Drain() {
 	if !s.draining.CompareAndSwap(false, true) {
 		return
@@ -533,6 +582,14 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusBadRequest, err)
 		return
 	}
+	// A merge mutates sketch state without a WAL record (snapshot bodies
+	// are not journaled); its durability is the checkpoint written below.
+	// The tenant's walMu write lock makes merge + checkpoint atomic against
+	// concurrent update logging and cadence checkpoints.
+	if s.wal != nil {
+		t.walMu.Lock()
+		defer t.walMu.Unlock()
+	}
 	// Two-phase merge: check every shard's compatibility without mutating
 	// (phase 1), then apply (phase 2). A mismatch — almost always a
 	// different root seed — aborts with the sketches untouched, so the
@@ -556,6 +613,16 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
+	if s.wal != nil {
+		if err := s.checkpointTenantLocked(t); err != nil {
+			// The merge is applied in memory but not durable. Refuse the
+			// 200: the client must treat the merge outcome as unknown (a
+			// blind retry could double-fold the snapshot into live state).
+			fail(w, http.StatusInternalServerError,
+				fmt.Errorf("merge applied but checkpoint failed; merged state is not durable: %w", err))
+			return
+		}
+	}
 	writeJSON(w, http.StatusOK, UpdateResponse{Accepted: len(parts)})
 }
 
@@ -578,13 +645,28 @@ func (s *Server) handleKeys(w http.ResponseWriter, r *http.Request) {
 	case http.MethodDelete:
 		s.mu.Lock()
 		t := s.tenants[key]
-		delete(s.tenants, key)
+		if t != nil {
+			// Journal the delete before the map mutation: if it cannot be
+			// made durable the tenant must stay (recovery would otherwise
+			// resurrect a key the client was told is gone).
+			if err := s.logDelete(key); err != nil {
+				s.mu.Unlock()
+				fail(w, http.StatusInternalServerError, err)
+				return
+			}
+			delete(s.tenants, key)
+		}
 		s.mu.Unlock()
 		if t == nil {
 			fail(w, http.StatusNotFound, fmt.Errorf("unknown key %q", key))
 			return
 		}
 		t.eng.Close() // flushes, stops the shard workers, frees the quota slot
+		if s.wal != nil {
+			// Best effort: a stale checkpoint is harmless — replay processes
+			// the delete record after restoring it.
+			_ = wal.RemoveCheckpoint(s.cfg.DataDir, key)
+		}
 		writeJSON(w, http.StatusOK, KeyStats{Key: t.key, Sketch: t.spec.Name, Policy: t.spec.Policy, Shards: t.eng.Shards()})
 	}
 }

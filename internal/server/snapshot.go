@@ -1,7 +1,10 @@
 package server
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 
 	"repro/internal/codec"
 )
@@ -13,22 +16,63 @@ import (
 // same root seed on both servers, so shard i's estimator on the source
 // shares randomness with shard i's on the destination and the items hash
 // to the same shards.
-const snapshotFormatV1 = 1
+//
+// V2 (the only version written since snapshots became the WAL checkpoint
+// body) prefixes the body with a CRC32-C so a bit-flipped or truncated
+// shard blob is rejected before it can merge silently-corrupt counters:
+//
+//	+---------+----------------+================================+
+//	| version |  CRC32-C (u64) |  body: name, count, parts      |
+//	+---------+----------------+================================+
+//
+// V1 envelopes (no checksum) still decode for compatibility with
+// snapshots taken by older builds.
+const (
+	snapshotFormatV1 = 1
+	snapshotFormatV2 = 2
+)
+
+// snapshotV2HeaderLen is the version byte plus the codec-encoded (u64)
+// checksum that precede the body.
+const snapshotV2HeaderLen = 1 + 8
+
+var snapshotCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrSnapshotChecksum is returned by decodeSnapshot when a V2 envelope's
+// body does not match its checksum.
+var ErrSnapshotChecksum = errors.New("server: snapshot checksum mismatch")
 
 func encodeSnapshot(sketchName string, parts [][]byte) []byte {
 	var w codec.Writer
-	w.U8(snapshotFormatV1)
 	w.U8s([]byte(sketchName))
 	w.U64(uint64(len(parts)))
 	for _, p := range parts {
 		w.U8s(p)
 	}
-	return w.Bytes()
+	body := w.Bytes()
+
+	out := make([]byte, 0, snapshotV2HeaderLen+len(body))
+	out = append(out, snapshotFormatV2)
+	out = binary.LittleEndian.AppendUint64(out, uint64(crc32.Checksum(body, snapshotCRCTable)))
+	return append(out, body...)
 }
 
 func decodeSnapshot(data []byte) (sketchName string, parts [][]byte, err error) {
 	r := codec.NewReader(data)
-	if v := r.U8(); v != snapshotFormatV1 && r.Err() == nil {
+	switch v := r.U8(); {
+	case r.Err() != nil:
+		return "", nil, r.Err()
+	case v == snapshotFormatV1:
+		// Legacy: no checksum, body follows the version byte directly.
+	case v == snapshotFormatV2:
+		sum := r.U64()
+		if r.Err() != nil {
+			return "", nil, r.Err()
+		}
+		if sum != uint64(crc32.Checksum(data[snapshotV2HeaderLen:], snapshotCRCTable)) {
+			return "", nil, ErrSnapshotChecksum
+		}
+	default:
 		return "", nil, fmt.Errorf("server: unsupported snapshot format version %d", v)
 	}
 	name := string(r.U8s())

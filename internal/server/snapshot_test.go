@@ -3,11 +3,14 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"repro/internal/codec"
 )
 
 func TestSnapshotEnvelopeRoundTrip(t *testing.T) {
@@ -30,6 +33,52 @@ func TestSnapshotEnvelopeRoundTrip(t *testing.T) {
 	}
 	if _, _, err := decodeSnapshot([]byte{9}); err == nil {
 		t.Error("unknown version accepted")
+	}
+	if enc[0] != snapshotFormatV2 {
+		t.Fatalf("encodeSnapshot emits version %d, want V2", enc[0])
+	}
+}
+
+// encodeSnapshotV1 reproduces the legacy checksum-free envelope so decode
+// compatibility stays pinned even though nothing writes V1 anymore.
+func encodeSnapshotV1(sketchName string, parts [][]byte) []byte {
+	var w codec.Writer
+	w.U8(snapshotFormatV1)
+	w.U8s([]byte(sketchName))
+	w.U64(uint64(len(parts)))
+	for _, p := range parts {
+		w.U8s(p)
+	}
+	return w.Bytes()
+}
+
+func TestSnapshotV1StillDecodes(t *testing.T) {
+	parts := [][]byte{{4, 5}, {6}}
+	name, got, err := decodeSnapshot(encodeSnapshotV1("kmv", parts))
+	if err != nil {
+		t.Fatalf("V1 envelope rejected: %v", err)
+	}
+	if name != "kmv" || len(got) != 2 || !bytes.Equal(got[0], parts[0]) || !bytes.Equal(got[1], parts[1]) {
+		t.Fatalf("V1 decode = (%q, %v)", name, got)
+	}
+}
+
+// TestSnapshotChecksumRejectsBitFlips: any single corrupted body byte in a
+// V2 envelope must surface as ErrSnapshotChecksum, never decode.
+func TestSnapshotChecksumRejectsBitFlips(t *testing.T) {
+	enc := encodeSnapshot("f2", [][]byte{{10, 20, 30}, {40}})
+	for off := snapshotV2HeaderLen; off < len(enc); off++ {
+		bad := append([]byte(nil), enc...)
+		bad[off] ^= 0x01
+		if _, _, err := decodeSnapshot(bad); !errors.Is(err, ErrSnapshotChecksum) {
+			t.Fatalf("flip at offset %d: err = %v, want ErrSnapshotChecksum", off, err)
+		}
+	}
+	// A corrupted stored checksum must also reject.
+	bad := append([]byte(nil), enc...)
+	bad[1] ^= 0x01
+	if _, _, err := decodeSnapshot(bad); !errors.Is(err, ErrSnapshotChecksum) {
+		t.Fatalf("flip in checksum: err = %v, want ErrSnapshotChecksum", err)
 	}
 }
 
@@ -132,14 +181,30 @@ func TestMergeAtomicityAndQuota(t *testing.T) {
 // POST /v1/merge).
 func FuzzSnapshotDecode(f *testing.F) {
 	f.Add(encodeSnapshot("f2", [][]byte{{1, 2}, {3}}))
+	f.Add(encodeSnapshotV1("f2", [][]byte{{1, 2}, {3}}))
 	f.Add([]byte{})
 	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{2, 0, 0, 0, 0, 0, 0, 0, 0})
 	f.Fuzz(func(t *testing.T, b []byte) {
 		name, parts, err := decodeSnapshot(b)
 		if err != nil {
 			return
 		}
-		// A decoded envelope must be internally consistent and re-encode.
-		_ = encodeSnapshot(name, parts)
+		// A decoded V2 envelope must checksum-verify its body exactly; any
+		// accepted envelope must be internally consistent and re-encode to
+		// something that decodes back to the same contents.
+		enc := encodeSnapshot(name, parts)
+		name2, parts2, err := decodeSnapshot(enc)
+		if err != nil {
+			t.Fatalf("re-encoded envelope rejected: %v", err)
+		}
+		if name2 != name || len(parts2) != len(parts) {
+			t.Fatalf("round trip changed envelope: (%q, %d) → (%q, %d)", name, len(parts), name2, len(parts2))
+		}
+		for i := range parts {
+			if !bytes.Equal(parts[i], parts2[i]) {
+				t.Fatalf("round trip changed part %d", i)
+			}
+		}
 	})
 }

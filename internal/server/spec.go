@@ -319,22 +319,29 @@ const (
 // the server flags are operator policy and pass through uncapped, so a
 // server legitimately run with, say, -shards above MaxTenantShards keeps
 // serving default-shaped tenants.
-func (ts TenantSpec) normalize(cfg Config) (TenantSpec, error) {
+//
+// trusted relaxes the cap upper bounds (not the mathematical checks): a
+// stored resolved spec read back during WAL recovery carries concrete
+// values for every field, including ones that were legitimately inherited
+// from over-cap server flags, and refusing those on reboot would strand
+// acknowledged data.
+func (ts TenantSpec) normalize(cfg Config, trusted bool) (TenantSpec, error) {
 	bad := func(field string, format string, args ...any) (TenantSpec, error) {
 		return TenantSpec{}, fmt.Errorf("tenant spec: %s %s", field, fmt.Sprintf(format, args...))
 	}
+	capped := func(v, cap int) bool { return v < 1 || (!trusted && v > cap) }
 	// Captured before the defaults below fill it: the turnstile λ/budget
 	// unification must distinguish an explicitly requested budget (which
 	// may conflict with lambda) from an inherited one (which lambda
 	// overrides).
 	explicitBudget := ts.FlipBudget != 0
-	if ts.Shards != 0 && (ts.Shards < 1 || ts.Shards > MaxTenantShards) {
+	if ts.Shards != 0 && capped(ts.Shards, MaxTenantShards) {
 		return bad("shards", "must be in [1, %d], got %d", MaxTenantShards, ts.Shards)
 	}
-	if ts.Batch != 0 && (ts.Batch < 1 || ts.Batch > MaxTenantBatch) {
+	if ts.Batch != 0 && capped(ts.Batch, MaxTenantBatch) {
 		return bad("batch", "must be in [1, %d], got %d", MaxTenantBatch, ts.Batch)
 	}
-	if ts.FlipBudget != 0 && (ts.FlipBudget < 1 || ts.FlipBudget > MaxTenantFlipBudget) {
+	if ts.FlipBudget != 0 && capped(ts.FlipBudget, MaxTenantFlipBudget) {
 		return bad("flip_budget", "must be in [1, %d], got %d", MaxTenantFlipBudget, ts.FlipBudget)
 	}
 	switch ts.Model {
@@ -346,7 +353,7 @@ func (ts TenantSpec) normalize(cfg Config) (TenantSpec, error) {
 		if ts.Model != "turnstile" {
 			return bad("lambda", "only applies to model=turnstile (a declared S_λ flip bound), got model %q", ts.Model)
 		}
-		if ts.Lambda < 1 || ts.Lambda > MaxTenantFlipBudget {
+		if capped(ts.Lambda, MaxTenantFlipBudget) {
 			return bad("lambda", "must be in [1, %d], got %d", MaxTenantFlipBudget, ts.Lambda)
 		}
 	}
@@ -354,7 +361,7 @@ func (ts TenantSpec) normalize(cfg Config) (TenantSpec, error) {
 		if ts.Model != "bounded_deletion" {
 			return bad("alpha", "only applies to model=bounded_deletion (the Definition 8.1 invariant parameter), got model %q", ts.Model)
 		}
-		if math.IsNaN(ts.Alpha) || math.IsInf(ts.Alpha, 0) || ts.Alpha < 1 || ts.Alpha > MaxTenantAlpha {
+		if math.IsNaN(ts.Alpha) || math.IsInf(ts.Alpha, 0) || ts.Alpha < 1 || (!trusted && ts.Alpha > MaxTenantAlpha) {
 			return bad("alpha", "must be a finite value in [1, %d], got %v", MaxTenantAlpha, ts.Alpha)
 		}
 	}
@@ -426,7 +433,18 @@ func (ts TenantSpec) model() robust.Model {
 // default; empty policy picks the alias's pinned policy, then the server
 // default, then "none".
 func resolve(raw TenantSpec, cfg Config) (spec, TenantSpec, error) {
-	ts, err := raw.normalize(cfg)
+	return resolveWith(raw, cfg, false)
+}
+
+// resolveTrusted is resolve for specs the server itself stored (WAL create
+// records, checkpoint metadata): caps are advisory for client requests,
+// not grounds to refuse recovering acknowledged tenants.
+func resolveTrusted(raw TenantSpec, cfg Config) (spec, TenantSpec, error) {
+	return resolveWith(raw, cfg, true)
+}
+
+func resolveWith(raw TenantSpec, cfg Config, trusted bool) (spec, TenantSpec, error) {
+	ts, err := raw.normalize(cfg, trusted)
 	if err != nil {
 		return spec{}, TenantSpec{}, err
 	}

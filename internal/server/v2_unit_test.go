@@ -54,7 +54,7 @@ func TestU64JSON(t *testing.T) {
 // are rejected (never repaired), caps are enforced.
 func TestTenantSpecNormalize(t *testing.T) {
 	cfg := Config{}.withDefaults()
-	ts, err := TenantSpec{}.normalize(cfg)
+	ts, err := TenantSpec{}.normalize(cfg, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +62,7 @@ func TestTenantSpecNormalize(t *testing.T) {
 		ts.Batch != cfg.Batch || ts.FlipBudget != cfg.FlipBudget || uint64(ts.N) != cfg.N {
 		t.Errorf("zero spec did not inherit server defaults: %+v vs %+v", ts, cfg)
 	}
-	if ts, err := (TenantSpec{Eps: 0.01, Shards: 2}).normalize(cfg); err != nil || ts.Eps != 0.01 || ts.Shards != 2 {
+	if ts, err := (TenantSpec{Eps: 0.01, Shards: 2}).normalize(cfg, false); err != nil || ts.Eps != 0.01 || ts.Shards != 2 {
 		t.Errorf("explicit fields not kept: %+v (%v)", ts, err)
 	}
 	for _, bad := range []TenantSpec{
@@ -89,27 +89,27 @@ func TestTenantSpecNormalize(t *testing.T) {
 		{Lambda: 8}, // λ without declaring turnstile
 		{Alpha: 2},  // α without declaring bounded_deletion
 	} {
-		if _, err := bad.normalize(cfg); err == nil {
+		if _, err := bad.normalize(cfg, false); err == nil {
 			t.Errorf("malformed spec %+v accepted", bad)
 		}
 	}
 
 	// Model defaults and the turnstile λ/budget unification.
-	ts, err = TenantSpec{}.normalize(cfg)
+	ts, err = TenantSpec{}.normalize(cfg, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ts.Model != "insertion" {
 		t.Errorf("zero spec normalized to model %q, want insertion", ts.Model)
 	}
-	ts, err = TenantSpec{Model: "turnstile"}.normalize(cfg)
+	ts, err = TenantSpec{Model: "turnstile"}.normalize(cfg, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ts.Lambda != cfg.FlipBudget || ts.FlipBudget != ts.Lambda {
 		t.Errorf("turnstile spec without λ got Lambda=%d FlipBudget=%d, want both %d", ts.Lambda, ts.FlipBudget, cfg.FlipBudget)
 	}
-	ts, err = TenantSpec{Model: "turnstile", Lambda: 48}.normalize(cfg)
+	ts, err = TenantSpec{Model: "turnstile", Lambda: 48}.normalize(cfg, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,10 +117,10 @@ func TestTenantSpecNormalize(t *testing.T) {
 		t.Errorf("turnstile λ=48 got FlipBudget=%d, want the declared flip bound to be the budget", ts.FlipBudget)
 	}
 	// An explicit budget that agrees with λ is not a conflict.
-	if _, err := (TenantSpec{Model: "turnstile", Lambda: 48, FlipBudget: 48}).normalize(cfg); err != nil {
+	if _, err := (TenantSpec{Model: "turnstile", Lambda: 48, FlipBudget: 48}).normalize(cfg, false); err != nil {
 		t.Errorf("agreeing λ and flip_budget rejected: %v", err)
 	}
-	ts, err = TenantSpec{Model: "bounded_deletion", Alpha: 4}.normalize(cfg)
+	ts, err = TenantSpec{Model: "bounded_deletion", Alpha: 4}.normalize(cfg, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +131,7 @@ func TestTenantSpecNormalize(t *testing.T) {
 	// Caps bound client requests, not operator flags: a server run with
 	// -shards above the cap keeps serving default-shaped tenants.
 	bigCfg := Config{Shards: MaxTenantShards * 2, Batch: MaxTenantBatch * 2, FlipBudget: MaxTenantFlipBudget * 2}.withDefaults()
-	ts, err = TenantSpec{}.normalize(bigCfg)
+	ts, err = TenantSpec{}.normalize(bigCfg, false)
 	if err != nil {
 		t.Fatalf("inherited over-cap server flags rejected: %v", err)
 	}
@@ -139,7 +139,7 @@ func TestTenantSpecNormalize(t *testing.T) {
 		t.Errorf("over-cap server flags not inherited: %+v", ts)
 	}
 	// An explicit over-cap request on the same server is still refused.
-	if _, err := (TenantSpec{Shards: MaxTenantShards + 1}).normalize(bigCfg); err == nil {
+	if _, err := (TenantSpec{Shards: MaxTenantShards + 1}).normalize(bigCfg, false); err == nil {
 		t.Error("explicit over-cap shards accepted")
 	}
 }

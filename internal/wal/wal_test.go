@@ -1,0 +1,380 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func collect(t *testing.T, l *Log) []Record {
+	t.Helper()
+	var out []Record
+	var last uint64
+	if err := l.Replay(func(lsn uint64, rec Record) error {
+		if lsn != last+1 {
+			t.Fatalf("LSN jumped from %d to %d", last, lsn)
+		}
+		last = lsn
+		out = append(out, Record{Kind: rec.Kind, Key: rec.Key, Data: append([]byte(nil), rec.Data...)})
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return out
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Fsync: FsyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Record{
+		{Kind: KindCreate, Key: "alpha", Data: []byte(`{"sketch":"f2"}`)},
+		{Kind: KindUpdate, Key: "alpha", Data: []byte{1, 2, 3, 4}},
+		{Kind: KindUpdate, Key: "alpha", Data: nil},
+		{Kind: KindDelete, Key: "alpha"},
+		{Kind: KindCreate, Key: "", Data: []byte("{}")}, // empty key is legal
+	}
+	for i, r := range want {
+		lsn, err := l.Append(r)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if lsn != uint64(i+1) {
+			t.Fatalf("append %d: lsn = %d, want %d", i, lsn, i+1)
+		}
+	}
+	if got := l.HeadLSN(); got != uint64(len(want)) {
+		t.Fatalf("HeadLSN = %d, want %d", got, len(want))
+	}
+	check := func(l *Log) {
+		t.Helper()
+		got := collect(t, l)
+		if len(got) != len(want) {
+			t.Fatalf("replayed %d records, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Kind != want[i].Kind || got[i].Key != want[i].Key || !bytes.Equal(got[i].Data, want[i].Data) {
+				t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+			}
+		}
+	}
+	check(l)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(Record{Kind: KindDelete, Key: "x"}); err != ErrClosed {
+		t.Fatalf("append after close: %v, want ErrClosed", err)
+	}
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	check(l2)
+	if got := l2.HeadLSN(); got != uint64(len(want)) {
+		t.Fatalf("reopened HeadLSN = %d, want %d", got, len(want))
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Fsync: FsyncNone, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0xAB}, 100)
+	const n = 20
+	for i := 0; i < n; i++ {
+		if _, err := l.Append(Record{Kind: KindUpdate, Key: "k", Data: data}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if len(segs) < 5 {
+		t.Fatalf("expected several segments, got %d", len(segs))
+	}
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if st := l2.Stats(); st.Records != n || st.Segments != len(segs) || st.TruncatedBytes != 0 {
+		t.Fatalf("stats = %+v, want %d records over %d clean segments", st, n, len(segs))
+	}
+	got := collect(t, l2)
+	if len(got) != n {
+		t.Fatalf("replayed %d records, want %d", len(got), n)
+	}
+	// Appends continue across the reopen with contiguous LSNs.
+	lsn, err := l2.Append(Record{Kind: KindUpdate, Key: "k", Data: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != n+1 {
+		t.Fatalf("post-reopen lsn = %d, want %d", lsn, n+1)
+	}
+}
+
+func appendSome(t *testing.T, dir string, n int) {
+	t.Helper()
+	l, err := Open(dir, Options{Fsync: FsyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := l.Append(Record{Kind: KindUpdate, Key: "t", Data: []byte{byte(i), 0xFF}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func singleSegment(t *testing.T, dir string) string {
+	t.Helper()
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if len(segs) != 1 {
+		t.Fatalf("expected 1 segment, got %d", len(segs))
+	}
+	return segs[0]
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	for _, cut := range []int{1, 3, recHeaderSize - 1, recHeaderSize, recHeaderSize + 1} {
+		dir := t.TempDir()
+		appendSome(t, dir, 5)
+		seg := singleSegment(t, dir)
+		// Simulate a torn write: a partial record at the tail.
+		f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		garbage := make([]byte, cut+4)
+		binary.LittleEndian.PutUint32(garbage, 7) // plausible length prefix
+		if _, err := f.Write(garbage[:cut]); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+
+		l, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("cut=%d: open failed instead of truncating: %v", cut, err)
+		}
+		st := l.Stats()
+		if st.Records != 5 || st.TruncatedBytes != int64(cut) {
+			t.Fatalf("cut=%d: stats = %+v, want 5 records and %d truncated bytes", cut, st, cut)
+		}
+		if got := collect(t, l); len(got) != 5 {
+			t.Fatalf("cut=%d: replayed %d records, want 5", cut, len(got))
+		}
+		// The log must stay appendable after repair.
+		if lsn, err := l.Append(Record{Kind: KindDelete, Key: "t"}); err != nil || lsn != 6 {
+			t.Fatalf("cut=%d: append after repair: lsn=%d err=%v", cut, lsn, err)
+		}
+		l.Close()
+	}
+}
+
+func TestBitFlipTruncatesFromFlip(t *testing.T) {
+	dir := t.TempDir()
+	appendSome(t, dir, 5)
+	seg := singleSegment(t, dir)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit inside the third record's payload.
+	recSize := (int64(len(data)) - segHeaderSize) / 5
+	off := segHeaderSize + 2*recSize + recHeaderSize
+	data[off] ^= 0x40
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open failed instead of truncating: %v", err)
+	}
+	defer l.Close()
+	if got := collect(t, l); len(got) != 2 {
+		t.Fatalf("replayed %d records after mid-file bit flip, want 2 (prefix before flip)", len(got))
+	}
+}
+
+func TestCorruptSegmentQuarantinesLaterSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Fsync: FsyncNone, SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := l.Append(Record{Kind: KindUpdate, Key: "t", Data: bytes.Repeat([]byte{1}, 40)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if len(segs) < 3 {
+		t.Fatalf("want >=3 segments, got %d", len(segs))
+	}
+	// Corrupt the header of the second segment: it and everything after are
+	// unusable history.
+	if err := os.WriteFile(segs[1], []byte("JUNK"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	st := l2.Stats()
+	if st.DroppedSegments != len(segs)-1 {
+		t.Fatalf("dropped %d segments, want %d", st.DroppedSegments, len(segs)-1)
+	}
+	if got := collect(t, l2); len(got) != 1 {
+		t.Fatalf("replayed %d records, want 1 (first segment only)", len(got))
+	}
+	quarantined, _ := filepath.Glob(filepath.Join(dir, "*.corrupt"))
+	if len(quarantined) != len(segs)-1 {
+		t.Fatalf("found %d .corrupt files, want %d", len(quarantined), len(segs)-1)
+	}
+}
+
+func TestFsyncBatchSyncsInBackground(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Fsync: FsyncBatch, BatchInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(Record{Kind: KindCreate, Key: "a", Data: []byte("{}")}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		l.mu.Lock()
+		dirty := l.dirty
+		l.mu.Unlock()
+		if !dirty {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background sync never cleared dirty flag")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := Checkpoint{
+		Key:   "tenant/one",
+		LSN:   42,
+		Spec:  []byte(`{"sketch":"f2","eps":0.1}`),
+		State: []byte{9, 8, 7, 6, 5},
+	}
+	if err := WriteCheckpoint(dir, want); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with a newer checkpoint; the latest wins.
+	want.LSN = 99
+	want.State = []byte{1, 2, 3}
+	if err := WriteCheckpoint(dir, want); err != nil {
+		t.Fatal(err)
+	}
+	// A second tenant, stateless (non-mergeable).
+	other := Checkpoint{Key: "tenant/two", LSN: 7, Spec: []byte(`{}`)}
+	if err := WriteCheckpoint(dir, other); err != nil {
+		t.Fatal(err)
+	}
+
+	got, corrupt, err := LoadCheckpoints(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corrupt) != 0 {
+		t.Fatalf("unexpected corrupt checkpoints: %v", corrupt)
+	}
+	if len(got) != 2 {
+		t.Fatalf("loaded %d checkpoints, want 2", len(got))
+	}
+	ck := got["tenant/one"]
+	if ck.LSN != 99 || !bytes.Equal(ck.Spec, want.Spec) || !bytes.Equal(ck.State, []byte{1, 2, 3}) {
+		t.Fatalf("checkpoint = %+v", ck)
+	}
+	if ck2 := got["tenant/two"]; ck2.LSN != 7 || len(ck2.State) != 0 {
+		t.Fatalf("stateless checkpoint = %+v", ck2)
+	}
+
+	if err := RemoveCheckpoint(dir, "tenant/one"); err != nil {
+		t.Fatal(err)
+	}
+	if err := RemoveCheckpoint(dir, "tenant/one"); err != nil {
+		t.Fatal(err) // idempotent
+	}
+	got, _, err = LoadCheckpoints(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got["tenant/one"]; ok {
+		t.Fatal("checkpoint survived removal")
+	}
+}
+
+func TestCorruptCheckpointSkipped(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteCheckpoint(dir, Checkpoint{Key: "good", LSN: 1, Spec: []byte("{}")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCheckpoint(dir, Checkpoint{Key: "bad", LSN: 2, Spec: []byte("{}")}); err != nil {
+		t.Fatal(err)
+	}
+	p := checkpointPath(dir, "bad")
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, corrupt, err := LoadCheckpoints(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corrupt) != 1 {
+		t.Fatalf("corrupt = %v, want one entry", corrupt)
+	}
+	if _, ok := got["good"]; !ok || len(got) != 1 {
+		t.Fatalf("loaded = %v, want only the good checkpoint", got)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	cases := map[string]Policy{"": FsyncAlways, "always": FsyncAlways, "batch": FsyncBatch, "none": FsyncNone}
+	for s, want := range cases {
+		got, err := ParsePolicy(s)
+		if err != nil || got != want {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", s, got, err)
+		}
+		if s != "" && got.String() != s {
+			t.Fatalf("Policy.String() = %q, want %q", got.String(), s)
+		}
+	}
+	if _, err := ParsePolicy("sometimes"); err == nil {
+		t.Fatal("ParsePolicy accepted garbage")
+	}
+}
