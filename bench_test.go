@@ -507,6 +507,11 @@ func benchTopKQuery(b *testing.B, policy string) {
 		}
 		eng.Update(u.Item, u.Delta)
 	}
+	// Drain the ingest queues before the clock starts: the first TopK's
+	// flush barrier would otherwise absorb the whole pre-ingest backlog,
+	// folding hundreds of milliseconds of ingest into one sampled
+	// iteration and making the robust cell's numbers depend on b.N.
+	eng.Flush()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := eng.TopK(10); err != nil {

@@ -16,6 +16,8 @@
 //
 //	go run ./cmd/benchrec                      # update BENCH_ingest.json
 //	go run ./cmd/benchrec -bench 'TopK' -o -   # ad-hoc subset to stdout
+//	go run ./cmd/benchrec -bench 'RobustF2' -cpuprofile cpu.out
+//	                                           # then: go tool pprof cpu.out
 package main
 
 import (
@@ -101,10 +103,19 @@ func main() {
 		benchtime = flag.String("benchtime", "1s", "per-benchmark measuring time (or '3x' iteration form)")
 		pkg       = flag.String("pkg", ". ./internal/engine", "space-separated package directories holding the benchmarks")
 		out       = flag.String("o", "BENCH_ingest.json", "output path, or '-' for stdout")
+		profile   = flag.String("cpuprofile", "", "also write the runner's CPU profile here (pprof format); restrict -bench and -pkg to one cell for a readable profile")
 	)
 	flag.Parse()
 
-	args := append([]string{"test", "-run", "^$", "-bench", *bench, "-benchtime", *benchtime, "-benchmem"}, strings.Fields(*pkg)...)
+	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchtime", *benchtime, "-benchmem"}
+	if *profile != "" {
+		if len(strings.Fields(*pkg)) > 1 {
+			fmt.Fprintln(os.Stderr, "-cpuprofile needs a single -pkg directory (the runner writes one profile per package, the last overwriting the rest)")
+			os.Exit(2)
+		}
+		args = append(args, "-cpuprofile", *profile)
+	}
+	args = append(args, strings.Fields(*pkg)...)
 	cmd := exec.Command("go", args...)
 	raw, err := cmd.CombinedOutput()
 	if err != nil {

@@ -6,6 +6,12 @@ import (
 	"repro/internal/sketch"
 )
 
+// pendingCap bounds the lag buffer: non-active instances may fall at most
+// this many updates behind before a drain applies the backlog to every
+// live copy in one pass (copy-outer, update-inner — each instance's state
+// stays hot in cache while it chews through the buffer).
+const pendingCap = 16384
+
 // Switcher implements sketch switching (Algorithm 1 of the paper): it
 // maintains several independent instances of a static strong-tracking
 // estimator, publishes an ε/2-rounded output, and — whenever the held
@@ -26,12 +32,25 @@ import (
 //     of a monotone statistic's mass by the time the instance is reused,
 //     so the suffix estimate still (1±ε)-tracks. Use only for monotone
 //     statistics (all Fp on insertion-only streams, 2^H, …).
+//
+// Only the active instance is updated synchronously (its estimate feeds
+// the per-update drift check, so it must be exact); the others trail
+// behind a bounded lag buffer and catch up in batch, or lazily when read.
+// Every instance still ingests every update it is responsible for, in
+// stream order, so published outputs, switch counts and flip budgets are
+// update-for-update identical to the synchronous formulation. In dense
+// mode, instances below the published one can never influence an output
+// again — they are retired (dropped entirely) at switch time, so a dense
+// Switcher's footprint shrinks as its flip budget is consumed.
 type Switcher struct {
 	eps       float64
 	factory   sketch.Factory
-	instances []sketch.Estimator
+	instances []sketch.Estimator // instances[:retired] are nil (dense mode)
+	applied   []int              // per instance: prefix of pending already applied
+	pending   []sketch.Update    // lag buffer shared by all trailing instances
 	active    int
 	published int // instance whose estimate produced the current output
+	retired   int // dense mode: count of dropped instances (ring: always 0)
 	out       float64
 	ring      bool
 	switches  int
@@ -63,17 +82,41 @@ func NewSwitcher(eps float64, copies int, ring bool, seed int64, factory sketch.
 		s.instances = append(s.instances, factory(s.nextSeed))
 		s.nextSeed += 7919
 	}
+	s.applied = make([]int, copies)
+	// pending grows lazily toward pendingCap so an idle tenant does not
+	// pay the full buffer; after the first drain it is allocation-free.
 	return s
 }
 
-// Update implements sketch.Estimator: every instance ingests the update
-// (instances restarted in ring mode have only seen their suffix), then the
+// Update implements sketch.Estimator: the update is buffered for the
+// trailing instances, applied to the active instance immediately, and the
 // published output is refreshed from the active instance if it drifted.
 func (s *Switcher) Update(item uint64, delta int64) {
-	for _, inst := range s.instances {
-		inst.Update(item, delta)
+	s.step(item, delta)
+	if len(s.pending) >= pendingCap {
+		s.drain()
 	}
-	y := s.instances[s.active].Estimate()
+}
+
+// UpdateBatch implements sketch.BatchUpdater: per-update drift checks are
+// preserved (switch decisions depend on every intermediate estimate), so
+// the batch win is amortization of the trailing instances' catch-up work,
+// not a change in semantics.
+func (s *Switcher) UpdateBatch(batch []sketch.Update) {
+	for _, u := range batch {
+		s.step(u.Item, u.Delta)
+		if len(s.pending) >= pendingCap {
+			s.drain()
+		}
+	}
+}
+
+func (s *Switcher) step(item uint64, delta int64) {
+	s.pending = append(s.pending, sketch.Update{Item: item, Delta: delta})
+	act := s.instances[s.active]
+	act.Update(item, delta)
+	s.applied[s.active] = len(s.pending)
+	y := act.Estimate()
 	if withinRel(s.out, y, s.eps/2) {
 		return
 	}
@@ -83,17 +126,59 @@ func (s *Switcher) Update(item uint64, delta int64) {
 	s.advance()
 }
 
+// drain applies the buffered backlog to every live trailing instance and
+// resets the buffer. Loop order is copy-outer, update-inner.
+func (s *Switcher) drain() {
+	for i := s.retired; i < len(s.instances); i++ {
+		s.catchUp(i)
+	}
+	s.pending = s.pending[:0]
+	for i := range s.applied {
+		s.applied[i] = 0
+	}
+}
+
+// catchUp replays instance i's unseen suffix of the lag buffer, through
+// the instance's batch kernel when it has one.
+func (s *Switcher) catchUp(i int) {
+	inst := s.instances[i]
+	if inst == nil {
+		return
+	}
+	if rest := s.pending[s.applied[i]:]; len(rest) > 0 {
+		if bu, ok := inst.(sketch.BatchUpdater); ok {
+			bu.UpdateBatch(rest)
+		} else {
+			for _, u := range rest {
+				inst.Update(u.Item, u.Delta)
+			}
+		}
+	}
+	s.applied[i] = len(s.pending)
+}
+
 func (s *Switcher) advance() {
 	if s.ring {
 		// Restart the just-used instance with fresh randomness; it will
-		// track the suffix of the stream until its turn comes again.
+		// track the suffix of the stream until its turn comes again. It
+		// has seen nothing, so the current backlog is not its concern.
 		s.instances[s.active] = s.factory(s.nextSeed)
 		s.nextSeed += 7919
+		s.applied[s.active] = len(s.pending)
 		s.active = (s.active + 1) % len(s.instances)
+		s.catchUp(s.active)
 		return
 	}
+	// Dense mode: instances below the newly published one can never be
+	// read again (queries go to published, estimates to active) — drop
+	// them so the wrapper's footprint tracks the remaining flip budget.
+	for i := s.retired; i < s.published; i++ {
+		s.instances[i] = nil
+	}
+	s.retired = s.published
 	if s.active+1 < len(s.instances) {
 		s.active++
+		s.catchUp(s.active)
 		return
 	}
 	// Flip budget exceeded: the λ sizing was too small for this stream.
@@ -104,6 +189,18 @@ func (s *Switcher) advance() {
 
 // Estimate returns the current published (rounded) output.
 func (s *Switcher) Estimate() float64 { return s.out }
+
+// Resummate implements sketch.IncrementalEstimator: the backlog is
+// drained, then forwarded to every live instance that maintains running
+// aggregates.
+func (s *Switcher) Resummate() {
+	s.drain()
+	for i := s.retired; i < len(s.instances); i++ {
+		if inc, ok := s.instances[i].(sketch.IncrementalEstimator); ok {
+			inc.Resummate()
+		}
+	}
+}
 
 // Query implements sketch.PointQuerier when the inner instances do: the
 // answer comes from the published copy — the instance whose estimate
@@ -127,6 +224,7 @@ func (s *Switcher) Query(item uint64) float64 {
 	if s.ring {
 		return 0
 	}
+	s.catchUp(s.published)
 	pq, ok := s.instances[s.published].(sketch.PointQuerier)
 	if !ok {
 		return 0
@@ -141,6 +239,7 @@ func (s *Switcher) TopK(k int) []sketch.ItemWeight {
 	if s.ring {
 		return nil
 	}
+	s.catchUp(s.published)
 	tk, ok := s.instances[s.published].(sketch.TopKQuerier)
 	if !ok {
 		return nil
@@ -155,16 +254,17 @@ func (s *Switcher) Switches() int { return s.switches }
 // (never true in ring mode).
 func (s *Switcher) Exhausted() bool { return s.exhausted }
 
-// Copies returns the number of maintained instances.
-func (s *Switcher) Copies() int { return len(s.instances) }
+// Copies returns the number of live (non-retired) instances.
+func (s *Switcher) Copies() int { return len(s.instances) - s.retired }
 
 // Robustness implements sketch.RobustnessReporter: ring mode reports an
 // unbounded budget (instances are recycled), dense mode reports the copy
-// count as the flip budget it was sized for.
+// count it was sized for as the flip budget, with Copies tracking the
+// live instances that retirement has not yet dropped.
 func (s *Switcher) Robustness() sketch.Robustness {
 	r := sketch.Robustness{
 		Policy:    "switching",
-		Copies:    len(s.instances),
+		Copies:    len(s.instances) - s.retired,
 		Switches:  s.switches,
 		Budget:    len(s.instances),
 		Exhausted: s.exhausted,
@@ -176,11 +276,13 @@ func (s *Switcher) Robustness() sketch.Robustness {
 	return r
 }
 
-// SpaceBytes sums the instances' space.
+// SpaceBytes sums the live instances' space plus the lag buffer.
 func (s *Switcher) SpaceBytes() int {
-	total := 16 // published output + bookkeeping
+	total := 16 + 16*cap(s.pending) // published output + lag buffer
 	for _, inst := range s.instances {
-		total += inst.SpaceBytes()
+		if inst != nil {
+			total += inst.SpaceBytes()
+		}
 	}
 	return total
 }

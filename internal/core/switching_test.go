@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"repro/internal/f0"
+	"repro/internal/fp"
+	"repro/internal/heavyhitters"
 	"repro/internal/sketch"
 	"repro/internal/stream"
 )
@@ -137,17 +139,215 @@ func TestRingCopiesScaling(t *testing.T) {
 }
 
 func TestSwitcherSpaceScalesWithCopies(t *testing.T) {
+	// Fresh switchers: retirement shrinks a dense switcher once updates
+	// consume flip budget (see TestSwitcherRetirementShrinksSpace), so the
+	// copy-count scaling is a property of the initial footprint.
 	small := NewSwitcher(0.3, 2, false, 1, func(seed int64) sketch.Estimator {
 		return f0.NewKMV(16, rand.New(rand.NewSource(seed)))
 	})
 	big := NewSwitcher(0.3, 8, false, 1, func(seed int64) sketch.Estimator {
 		return f0.NewKMV(16, rand.New(rand.NewSource(seed)))
 	})
-	for i := uint64(0); i < 100; i++ {
-		small.Update(i, 1)
-		big.Update(i, 1)
-	}
 	if big.SpaceBytes() < 3*small.SpaceBytes() {
 		t.Errorf("8-copy space %d not ≈ 4x the 2-copy space %d", big.SpaceBytes(), small.SpaceBytes())
+	}
+}
+
+func TestSwitcherRetirementShrinksSpace(t *testing.T) {
+	// Dense mode: instances below the published copy can never influence
+	// an output again, so switching must release their space and report
+	// fewer live copies. The inner sketch allocates its full footprint at
+	// construction (unlike KMV, which grows as it fills), so retirement
+	// shows up as an absolute drop.
+	sw := NewSwitcher(0.1, 8, false, 1, func(seed int64) sketch.Estimator {
+		return fp.NewF2(fp.F2Sizing{Rows: 5, Width: 4096}, rand.New(rand.NewSource(seed)))
+	})
+	if got := sw.Robustness().Copies; got != 8 {
+		t.Fatalf("fresh switcher reports %d live copies, want 8", got)
+	}
+	g := stream.NewDistinct(5000)
+	peak := 0
+	for {
+		u, ok := g.Next()
+		if !ok {
+			break
+		}
+		sw.Update(u.Item, u.Delta)
+		if sp := sw.SpaceBytes(); sp > peak {
+			peak = sp
+		}
+	}
+	if sw.Switches() < 4 {
+		t.Fatalf("stream produced only %d switches; test needs retirements", sw.Switches())
+	}
+	if got := sw.SpaceBytes(); got >= peak {
+		t.Errorf("space %d did not drop below mid-stream peak %d after %d switches", got, peak, sw.Switches())
+	}
+	r := sw.Robustness()
+	if r.Copies >= 8 {
+		t.Errorf("live copies %d did not drop below 8", r.Copies)
+	}
+	if r.Budget != 8 {
+		t.Errorf("flip budget %d changed; retirement must not alter it", r.Budget)
+	}
+}
+
+// referenceSwitcher is Algorithm 1 in its textbook synchronous form —
+// every instance ingests every update immediately, nothing is retired.
+// The production Switcher's lag buffer, batch path and retirement are
+// pure performance machinery, so the two must agree update-for-update.
+type referenceSwitcher struct {
+	eps       float64
+	factory   sketch.Factory
+	instances []sketch.Estimator
+	active    int
+	published int
+	out       float64
+	ring      bool
+	switches  int
+	exhausted bool
+	nextSeed  int64
+}
+
+func newReferenceSwitcher(eps float64, copies int, ring bool, seed int64, factory sketch.Factory) *referenceSwitcher {
+	r := &referenceSwitcher{eps: eps, factory: factory, ring: ring, nextSeed: seed}
+	for i := 0; i < copies; i++ {
+		r.instances = append(r.instances, factory(r.nextSeed))
+		r.nextSeed += 7919
+	}
+	return r
+}
+
+func (r *referenceSwitcher) Update(item uint64, delta int64) {
+	for _, inst := range r.instances {
+		inst.Update(item, delta)
+	}
+	y := r.instances[r.active].Estimate()
+	if withinRel(r.out, y, r.eps/2) {
+		return
+	}
+	r.out = RoundEps(y, r.eps/2)
+	r.switches++
+	r.published = r.active
+	if r.ring {
+		r.instances[r.active] = r.factory(r.nextSeed)
+		r.nextSeed += 7919
+		r.active = (r.active + 1) % len(r.instances)
+		return
+	}
+	if r.active+1 < len(r.instances) {
+		r.active++
+		return
+	}
+	r.exhausted = true
+}
+
+func (r *referenceSwitcher) Estimate() float64 { return r.out }
+
+func (r *referenceSwitcher) Query(item uint64) float64 {
+	if r.ring {
+		return 0
+	}
+	pq, ok := r.instances[r.published].(sketch.PointQuerier)
+	if !ok {
+		return 0
+	}
+	return pq.Query(item)
+}
+
+// streamF2Updates yields a deterministic mixed-sign update sequence with
+// enough churn to cross many rounding-grid boundaries.
+func streamF2Updates(n int, seed int64) []sketch.Update {
+	rng := rand.New(rand.NewSource(seed))
+	ups := make([]sketch.Update, 0, n)
+	for i := 0; i < n; i++ {
+		ups = append(ups, sketch.Update{Item: uint64(rng.Intn(512)), Delta: int64(1 + rng.Intn(3))})
+	}
+	return ups
+}
+
+func TestSwitcherMatchesReferencePerUpdate(t *testing.T) {
+	factory := func(seed int64) sketch.Estimator {
+		return fp.NewF2(fp.F2Sizing{Rows: 5, Width: 64}, rand.New(rand.NewSource(seed)))
+	}
+	for _, tc := range []struct {
+		name   string
+		ring   bool
+		copies int
+	}{
+		{"dense", false, 24},
+		{"ring", true, 12},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sw := NewSwitcher(0.3, tc.copies, tc.ring, 42, factory)
+			ref := newReferenceSwitcher(0.3, tc.copies, tc.ring, 42, factory)
+			for i, u := range streamF2Updates(6000, 11) {
+				sw.Update(u.Item, u.Delta)
+				ref.Update(u.Item, u.Delta)
+				if sw.Estimate() != ref.Estimate() {
+					t.Fatalf("update %d: estimate %v != reference %v", i, sw.Estimate(), ref.Estimate())
+				}
+				if sw.Switches() != ref.switches {
+					t.Fatalf("update %d: switches %d != reference %d", i, sw.Switches(), ref.switches)
+				}
+				if sw.Exhausted() != ref.exhausted {
+					t.Fatalf("update %d: exhausted %v != reference %v", i, sw.Exhausted(), ref.exhausted)
+				}
+			}
+		})
+	}
+}
+
+func TestSwitcherBatchMatchesReference(t *testing.T) {
+	factory := func(seed int64) sketch.Estimator {
+		return fp.NewF2(fp.F2Sizing{Rows: 5, Width: 64}, rand.New(rand.NewSource(seed)))
+	}
+	sw := NewSwitcher(0.3, 24, false, 42, factory)
+	ref := newReferenceSwitcher(0.3, 24, false, 42, factory)
+	ups := streamF2Updates(6000, 13)
+	// Feed the production Switcher in uneven batches, the reference one
+	// update at a time; published outputs and switch counts must agree at
+	// every batch boundary.
+	for len(ups) > 0 {
+		n := 1 + int(ups[0].Item)%97
+		if n > len(ups) {
+			n = len(ups)
+		}
+		sw.UpdateBatch(ups[:n])
+		for _, u := range ups[:n] {
+			ref.Update(u.Item, u.Delta)
+		}
+		ups = ups[n:]
+		if sw.Estimate() != ref.Estimate() {
+			t.Fatalf("estimate %v != reference %v", sw.Estimate(), ref.Estimate())
+		}
+		if sw.Switches() != ref.switches {
+			t.Fatalf("switches %d != reference %d", sw.Switches(), ref.switches)
+		}
+	}
+	if sw.Robustness().Budget != 24 {
+		t.Errorf("budget %d, want 24", sw.Robustness().Budget)
+	}
+}
+
+func TestSwitcherDenseQueryMatchesReference(t *testing.T) {
+	// The published copy trails behind the lag buffer and catches up on
+	// read; its point-query answers must equal the synchronous form's.
+	factory := func(seed int64) sketch.Estimator {
+		return heavyhitters.NewCountSketch(heavyhitters.Sizing{Rows: 5, Width: 64}, rand.New(rand.NewSource(seed)))
+	}
+	sw := NewSwitcher(0.3, 24, false, 42, factory)
+	ref := newReferenceSwitcher(0.3, 24, false, 42, factory)
+	for i, u := range streamF2Updates(4000, 17) {
+		sw.Update(u.Item, u.Delta)
+		ref.Update(u.Item, u.Delta)
+		if i%97 != 0 {
+			continue
+		}
+		for item := uint64(0); item < 512; item += 31 {
+			if got, want := sw.Query(item), ref.Query(item); got != want {
+				t.Fatalf("update %d: Query(%d) = %v, reference %v", i, item, got, want)
+			}
+		}
 	}
 }

@@ -33,11 +33,10 @@ import (
 	"repro/internal/sketch"
 )
 
-// Update is one stream update: f[Item] += Delta.
-type Update struct {
-	Item  uint64
-	Delta int64
-}
+// Update is one stream update: f[Item] += Delta. It is the shared
+// sketch.Update type, so coalesced per-shard batches hand off to a
+// sketch.BatchUpdater estimator without copying.
+type Update = sketch.Update
 
 // Config parameterizes New. Factory is the only required field.
 type Config struct {
@@ -105,9 +104,10 @@ type shard struct {
 	pending *[]Update
 	closed  bool
 
-	est  sketch.Estimator // owned by the worker goroutine
-	mass int64            // worker-local net Σdelta
-	idx  map[uint64]int   // coalescing scratch, worker-local
+	est   sketch.Estimator    // owned by the worker goroutine
+	batch sketch.BatchUpdater // est's batch fast path, nil if unsupported
+	mass  int64               // worker-local net Σdelta
+	idx   map[uint64]int      // coalescing scratch, worker-local
 
 	// Published snapshots, refreshed every RefreshEvery updates and on
 	// every Flush/Close.
@@ -206,6 +206,9 @@ func New(cfg Config) *Engine {
 			est:  cfg.Factory(int64(dist.SplitMix64(uint64(cfg.Seed) + uint64(i)))),
 			idx:  make(map[uint64]int, cfg.Batch),
 		}
+		// The estimator never changes identity after construction (Visit
+		// mutates it in place), so the batch fast path can be resolved once.
+		s.batch, _ = s.est.(sketch.BatchUpdater)
 		s.publish() // estimator space and zero estimate visible before the first refresh
 		e.shards = append(e.shards, s)
 		go e.run(s)
@@ -226,9 +229,16 @@ func (e *Engine) run(s *shard) {
 			if e.coalesce {
 				b = s.coalesceBatch(b)
 			}
-			for _, u := range b {
-				s.est.Update(u.Item, u.Delta)
-				s.mass += u.Delta
+			if s.batch != nil {
+				s.batch.UpdateBatch(b)
+				for _, u := range b {
+					s.mass += u.Delta
+				}
+			} else {
+				for _, u := range b {
+					s.est.Update(u.Item, u.Delta)
+					s.mass += u.Delta
+				}
 			}
 			e.putBuf(o.batch)
 		}

@@ -3,9 +3,10 @@ package fp
 import (
 	"math"
 	"math/rand"
-	"sort"
 
 	"repro/internal/hash"
+	"repro/internal/order"
+	"repro/internal/sketch"
 )
 
 // F2Sketch is the bucketed ("fast") variant of the AMS F2 estimator: r
@@ -15,10 +16,21 @@ import (
 // boosts the success probability to 1 − exp(−Ω(r)). It is a linear sketch,
 // handles turnstile updates, and is the static algorithm behind the robust
 // F2/L2 estimators (Theorems 1.4 and 6.5).
+//
+// The sketch implements sketch.IncrementalEstimator: each row's squared
+// norm is maintained as a running aggregate (an update to bucket b shifts
+// the row sum by x·(2·C_b + x), exact on integer-valued counters), so
+// Estimate costs O(rows) — a scratch-buffer quickselect over the row
+// aggregates — instead of an O(rows·width) rescan. That difference is
+// what makes the robust wrappers' per-update drift checks affordable.
 type F2Sketch struct {
 	rows, w int
 	hs      []hash.Poly
 	c       [][]float64
+
+	sumSq      []float64 // per-row running Σ_b c[r][b]²
+	scratch    []float64 // Estimate's quickselect buffer
+	sinceResum int
 }
 
 // F2Sizing returns (rows, width) giving (ε, δ) relative error for F2.
@@ -59,6 +71,7 @@ func NewF2(s F2Sizing, rng *rand.Rand) *F2Sketch {
 		f.hs = append(f.hs, hash.NewPoly(4, rng))
 		f.c = append(f.c, make([]float64, s.Width))
 	}
+	f.sumSq = make([]float64, s.Rows)
 	return f
 }
 
@@ -67,30 +80,71 @@ func (f *F2Sketch) Update(item uint64, delta int64) {
 	d := float64(delta)
 	for r := 0; r < f.rows; r++ {
 		sign, b := f.hs[r].SignBucket(item, f.w)
-		f.c[r][b] += float64(sign) * d
+		x := float64(sign) * d
+		old := f.c[r][b]
+		f.c[r][b] = old + x
+		f.sumSq[r] += x * (2*old + x)
+	}
+	f.sinceResum++
+	if f.sinceResum >= sketch.ResumInterval {
+		f.Resummate()
 	}
 }
 
-// Estimate returns the median-of-rows estimate of F2 = ‖f‖₂².
+// UpdateBatch implements sketch.BatchUpdater with a row-outer loop: one
+// row's hash function, counters and running aggregate stay hot while the
+// whole batch streams through it. Rows are independent, so the final
+// state is bit-for-bit that of per-update calls.
+func (f *F2Sketch) UpdateBatch(batch []sketch.Update) {
+	for r := 0; r < f.rows; r++ {
+		h := f.hs[r]
+		row := f.c[r]
+		s := f.sumSq[r]
+		for _, u := range batch {
+			sign, b := h.SignBucket(u.Item, f.w)
+			x := float64(sign) * float64(u.Delta)
+			old := row[b]
+			row[b] = old + x
+			s += x * (2*old + x)
+		}
+		f.sumSq[r] = s
+	}
+	f.sinceResum += len(batch)
+	if f.sinceResum >= sketch.ResumInterval {
+		f.Resummate()
+	}
+}
+
+// Estimate returns the median-of-rows estimate of F2 = ‖f‖₂², read from
+// the running row aggregates in O(rows).
 func (f *F2Sketch) Estimate() float64 {
-	ests := make([]float64, f.rows)
+	if cap(f.scratch) < f.rows {
+		f.scratch = make([]float64, f.rows)
+	}
+	ests := f.scratch[:f.rows]
+	copy(ests, f.sumSq)
+	return order.UpperMedian(ests)
+}
+
+// Resummate implements sketch.IncrementalEstimator: it recomputes the row
+// aggregates exactly from the counters.
+func (f *F2Sketch) Resummate() {
 	for r := 0; r < f.rows; r++ {
 		var s float64
 		for _, v := range f.c[r] {
 			s += v * v
 		}
-		ests[r] = s
+		f.sumSq[r] = s
 	}
-	sort.Float64s(ests)
-	return ests[f.rows/2]
+	f.sinceResum = 0
 }
 
 // EstimateL2 returns the median-of-rows estimate of ‖f‖₂.
 func (f *F2Sketch) EstimateL2() float64 { return math.Sqrt(f.Estimate()) }
 
-// SpaceBytes charges the counters and hash seeds.
+// SpaceBytes charges the counters, row aggregates and hash seeds.
 func (f *F2Sketch) SpaceBytes() int {
-	total := 0
+	total := 8 * f.rows // sumSq
 	for r := 0; r < f.rows; r++ {
 		total += 8*f.w + f.hs[r].SpaceBytes()
 	}

@@ -54,6 +54,9 @@ func (f *F2Sketch) UnmarshalBinary(data []byte) error {
 		return err
 	}
 	f.rows, f.w, f.hs, f.c = rows, w, hs, c
+	f.sumSq = make([]float64, rows)
+	f.scratch = nil
+	f.Resummate()
 	return nil
 }
 

@@ -3,10 +3,10 @@ package fp
 import (
 	"math"
 	"math/rand"
-	"sort"
 
 	"repro/internal/dist"
 	"repro/internal/hash"
+	"repro/internal/order"
 )
 
 // MaxStable estimates F_p for p > 2 using the max-stability of
@@ -21,6 +21,13 @@ import (
 // factor in Theorem 1.7's space bound. This construction substitutes for
 // the Ganguly–Woodruff algorithm [14] the paper cites (DESIGN.md,
 // substitution 3).
+// The sketch implements sketch.IncrementalEstimator: each row caches its
+// largest bucket magnitude (and its position), updated in O(1) per touch
+// except when the maximal bucket shrinks, which triggers an O(w) rescan
+// of that row; each repetition caches its Y_j = M^{−p}, recomputed only
+// when one of its row maxima actually moves. Both caches hold exact
+// values (a max is stored, not accumulated), so estimates are bit-for-bit
+// those of a full recompute.
 type MaxStable struct {
 	p     float64
 	k     int // repetitions
@@ -29,6 +36,12 @@ type MaxStable struct {
 	salts []uint64    // per repetition
 	hs    []hash.Poly // per (repetition, row)
 	c     [][]float64 // per (repetition*rows), width w
+
+	rowMax   []float64 // per (repetition*rows): max_b |c[ix][b]|
+	rowArg   []int     // per (repetition*rows): a bucket attaining rowMax
+	repY     []float64 // per repetition: M^{−p} (0 if M == 0), lazily refreshed
+	repDirty []bool    // per repetition: repY stale (a row max moved)
+	scratch  []float64 // repMax's quickselect buffer
 }
 
 // SizeMaxStableWidth returns the per-repetition sketch width Θ(n^{1−2/p}).
@@ -57,6 +70,10 @@ func NewMaxStable(p float64, k, rows, w int, rng *rand.Rand) *MaxStable {
 			s.c = append(s.c, make([]float64, w))
 		}
 	}
+	s.rowMax = make([]float64, k*rows)
+	s.rowArg = make([]int, k*rows)
+	s.repY = make([]float64, k)
+	s.repDirty = make([]bool, k)
 	return s
 }
 
@@ -75,42 +92,68 @@ func (s *MaxStable) Update(item uint64, delta int64) {
 			ix := j*s.rows + r
 			sign, b := s.hs[ix].SignBucket(item, s.w)
 			s.c[ix][b] += float64(sign) * sd
+			a := math.Abs(s.c[ix][b])
+			switch {
+			case b == s.rowArg[ix] && a < s.rowMax[ix]:
+				// The maximal bucket shrank: rescan the row.
+				s.rescanRow(ix)
+				s.repDirty[j] = true
+			case a > s.rowMax[ix]:
+				s.rowMax[ix] = a
+				s.rowArg[ix] = b
+				s.repDirty[j] = true
+			}
 		}
 	}
+}
+
+// rescanRow recomputes rowMax/rowArg for one (repetition, row) pair.
+func (s *MaxStable) rescanRow(ix int) {
+	var m float64
+	arg := 0
+	for b, v := range s.c[ix] {
+		if a := math.Abs(v); a > m {
+			m, arg = a, b
+		}
+	}
+	s.rowMax[ix] = m
+	s.rowArg[ix] = arg
 }
 
 // repMax returns the estimate of max_i |f_i|·E_i^{−1/p} for repetition j:
 // the median over rows of the largest bucket magnitude.
 func (s *MaxStable) repMax(j int) float64 {
-	maxes := make([]float64, s.rows)
-	for r := 0; r < s.rows; r++ {
-		var m float64
-		for _, v := range s.c[j*s.rows+r] {
-			if a := math.Abs(v); a > m {
-				m = a
-			}
-		}
-		maxes[r] = m
+	if cap(s.scratch) < s.rows {
+		s.scratch = make([]float64, s.rows)
 	}
-	sort.Float64s(maxes)
-	return maxes[s.rows/2]
+	maxes := s.scratch[:s.rows]
+	copy(maxes, s.rowMax[j*s.rows:(j+1)*s.rows])
+	return order.UpperMedian(maxes)
 }
 
 // Estimate returns the estimate of the norm ‖f‖_p.
 func (s *MaxStable) Estimate() float64 { return math.Pow(s.Moment(), 1/s.p) }
 
 // Moment returns the estimate of F_p = Σ|f_i|^p, via the exponential MLE
-// over repetitions.
+// over repetitions. Only repetitions whose row maxima moved since the
+// last call pay for a median + power; the rest read their cached Y_j.
 func (s *MaxStable) Moment() float64 {
 	var sumY float64
 	valid := 0
 	for j := 0; j < s.k; j++ {
-		m := s.repMax(j)
-		if m <= 0 {
+		if s.repDirty[j] {
+			if m := s.repMax(j); m > 0 {
+				s.repY[j] = math.Pow(m, -s.p)
+			} else {
+				s.repY[j] = 0
+			}
+			s.repDirty[j] = false
+		}
+		if s.repY[j] <= 0 {
 			continue
 		}
 		valid++
-		sumY += math.Pow(m, -s.p)
+		sumY += s.repY[j]
 	}
 	if valid < 2 || sumY == 0 {
 		return 0
@@ -118,12 +161,25 @@ func (s *MaxStable) Moment() float64 {
 	return float64(valid-1) / sumY
 }
 
+// Resummate implements sketch.IncrementalEstimator: it rebuilds the row
+// maxima and repetition caches from the counters. The caches are exact at
+// all times (maxima are stored, not accumulated), so this is a
+// consistency anchor rather than a drift correction.
+func (s *MaxStable) Resummate() {
+	for ix := range s.c {
+		s.rescanRow(ix)
+	}
+	for j := range s.repDirty {
+		s.repDirty[j] = true
+	}
+}
+
 // P returns the moment order.
 func (s *MaxStable) P() float64 { return s.p }
 
-// SpaceBytes charges counters, salts and hash seeds.
+// SpaceBytes charges counters, salts, hash seeds and the row/rep caches.
 func (s *MaxStable) SpaceBytes() int {
-	total := 8 * len(s.salts)
+	total := 8*len(s.salts) + 16*len(s.rowMax) + 9*len(s.repY)
 	for _, h := range s.hs {
 		total += h.SpaceBytes()
 	}

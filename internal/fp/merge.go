@@ -12,6 +12,7 @@ func (f *F2Sketch) Fresh() *F2Sketch {
 	for r := 0; r < f.rows; r++ {
 		cp.c = append(cp.c, make([]float64, f.w))
 	}
+	cp.sumSq = make([]float64, f.rows)
 	return cp
 }
 
@@ -32,6 +33,7 @@ func (f *F2Sketch) Merge(other *F2Sketch) error {
 			f.c[r][b] += other.c[r][b]
 		}
 	}
+	f.Resummate()
 	return nil
 }
 

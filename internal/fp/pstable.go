@@ -3,9 +3,9 @@ package fp
 import (
 	"math"
 	"math/rand"
-	"sort"
 
 	"repro/internal/dist"
+	"repro/internal/order"
 )
 
 // Indyk is Indyk's p-stable sketch for estimating ‖f‖_p with p ∈ (0, 2]:
@@ -20,11 +20,12 @@ import (
 // This is the static algorithm of Theorems 1.4, 1.5 and 4.3 (via the
 // robust wrappers), replacing the cited [27]/[7] constructions.
 type Indyk struct {
-	p     float64
-	k     int
-	salts []uint64
-	y     []float64
-	calib float64
+	p       float64
+	k       int
+	salts   []uint64
+	y       []float64
+	calib   float64
+	scratch []float64 // Estimate's quickselect buffer
 }
 
 // SizeIndyk returns the counter count for an (ε, δ) guarantee at one
@@ -76,18 +77,14 @@ func (s *Indyk) Update(item uint64, delta int64) {
 
 // Estimate returns the estimate of the norm ‖f‖_p.
 func (s *Indyk) Estimate() float64 {
-	abs := make([]float64, s.k)
+	if cap(s.scratch) < s.k {
+		s.scratch = make([]float64, s.k)
+	}
+	abs := s.scratch[:s.k]
 	for j, v := range s.y {
 		abs[j] = math.Abs(v)
 	}
-	sort.Float64s(abs)
-	var med float64
-	if s.k%2 == 1 {
-		med = abs[s.k/2]
-	} else {
-		med = (abs[s.k/2-1] + abs[s.k/2]) / 2
-	}
-	return med / s.calib
+	return order.Median(abs) / s.calib
 }
 
 // Moment returns the estimate of the moment F_p = ‖f‖_p^p.

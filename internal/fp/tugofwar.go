@@ -3,9 +3,10 @@ package fp
 import (
 	"math"
 	"math/rand"
-	"sort"
 
 	"repro/internal/hash"
+	"repro/internal/order"
+	"repro/internal/sketch"
 )
 
 // TugOfWar is the classic Alon–Matias–Szegedy F2 estimator exactly as in
@@ -17,10 +18,19 @@ import (
 // DenseAMS is its fully-independent single-group special case, and
 // F2Sketch its bucketed (fast) descendant. Update cost is
 // Θ(groups·perGroup) hash evaluations, which is why F2Sketch exists.
+//
+// The sketch implements sketch.IncrementalEstimator: each group's sum of
+// squared counters is maintained as a running aggregate (exact on
+// integer-valued counters), so Estimate costs O(groups) instead of
+// O(groups·perGroup).
 type TugOfWar struct {
 	groups, per int
 	hs          []hash.Poly
 	z           []float64
+
+	groupSum   []float64 // per-group running Σ z_i² over the group's counters
+	scratch    []float64 // Estimate's quickselect buffer
+	sinceResum int
 }
 
 // SizeTugOfWar returns (groups, perGroup) for an (ε, δ) guarantee:
@@ -53,37 +63,61 @@ func NewTugOfWar(groups, per int, rng *rand.Rand) *TugOfWar {
 	for i := range t.hs {
 		t.hs[i] = hash.NewPoly(4, rng)
 	}
+	t.groupSum = make([]float64, groups)
 	return t
 }
 
 // Update implements sketch.Estimator (turnstile deltas allowed).
 func (t *TugOfWar) Update(item uint64, delta int64) {
 	d := float64(delta)
-	for i := range t.z {
-		t.z[i] += d * float64(t.hs[i].Sign(item))
+	for g := 0; g < t.groups; g++ {
+		var shift float64
+		for i := g * t.per; i < (g+1)*t.per; i++ {
+			x := d * float64(t.hs[i].Sign(item))
+			old := t.z[i]
+			t.z[i] = old + x
+			shift += x * (2*old + x)
+		}
+		t.groupSum[g] += shift
+	}
+	t.sinceResum++
+	if t.sinceResum >= sketch.ResumInterval {
+		t.Resummate()
 	}
 }
 
-// Estimate returns the median-of-means estimate of F2 = ‖f‖₂².
+// Estimate returns the median-of-means estimate of F2 = ‖f‖₂², read from
+// the running group aggregates in O(groups).
 func (t *TugOfWar) Estimate() float64 {
-	means := make([]float64, t.groups)
+	if cap(t.scratch) < t.groups {
+		t.scratch = make([]float64, t.groups)
+	}
+	means := t.scratch[:t.groups]
+	for g := 0; g < t.groups; g++ {
+		means[g] = t.groupSum[g] / float64(t.per)
+	}
+	return order.UpperMedian(means)
+}
+
+// Resummate implements sketch.IncrementalEstimator: it recomputes the
+// group aggregates exactly from the counters.
+func (t *TugOfWar) Resummate() {
 	for g := 0; g < t.groups; g++ {
 		var sum float64
 		for i := g * t.per; i < (g+1)*t.per; i++ {
 			sum += t.z[i] * t.z[i]
 		}
-		means[g] = sum / float64(t.per)
+		t.groupSum[g] = sum
 	}
-	sort.Float64s(means)
-	return means[t.groups/2]
+	t.sinceResum = 0
 }
 
 // EstimateL2 returns the estimate of ‖f‖₂.
 func (t *TugOfWar) EstimateL2() float64 { return math.Sqrt(t.Estimate()) }
 
-// SpaceBytes charges counters and hash seeds.
+// SpaceBytes charges counters, group aggregates and hash seeds.
 func (t *TugOfWar) SpaceBytes() int {
-	total := 8 * len(t.z)
+	total := 8*len(t.z) + 8*t.groups
 	for i := range t.hs {
 		total += t.hs[i].SpaceBytes()
 	}

@@ -1,6 +1,9 @@
 package hash
 
-import "math/rand"
+import (
+	"math/bits"
+	"math/rand"
+)
 
 // Poly is a k-wise independent hash family member: a uniformly random
 // polynomial of degree k−1 over GF(2^61 − 1), evaluated by Horner's rule.
@@ -57,12 +60,20 @@ func PolyFromCoeffs(coeffs []uint64) Poly {
 	return Poly{coeffs: c}
 }
 
-// Eval returns h(x) ∈ [0, Prime) by Horner's rule in O(k) field operations.
+// Eval returns h(x) ∈ [0, Prime) by Horner's rule in O(k) field
+// operations. The 4-wise case (AMS, CountSketch — every per-update hot
+// path in the repository) is unrolled.
 func (p Poly) Eval(x uint64) uint64 {
 	x = Canon(x)
-	var acc uint64
-	for i := len(p.coeffs) - 1; i >= 0; i-- {
-		acc = Add(Mul(acc, x), p.coeffs[i])
+	c := p.coeffs
+	if len(c) == 4 {
+		acc := Add(Mul(c[3], x), c[2])
+		acc = Add(Mul(acc, x), c[1])
+		return Add(Mul(acc, x), c[0])
+	}
+	acc := c[len(c)-1]
+	for i := len(c) - 2; i >= 0; i-- {
+		acc = Add(Mul(acc, x), c[i])
 	}
 	return acc
 }
@@ -96,9 +107,16 @@ func (p Poly) SpaceBytes() int { return 8 * len(p.coeffs) }
 // using disjoint bits of the hash value. The bucket uses the high bits and
 // the sign the lowest bit, so with a (k+1)-wise family both are k-wise
 // independent and mutually independent up to the 1/Prime discretization.
+// The bucket is the range reduction ⌊v·w/2^64⌋ of the (shifted) hash
+// value v — a single high multiply instead of a hardware divide, with the
+// same ≤ w/Prime-order bias as the modulo it replaces. SignBucket is the
+// innermost operation of every counter-sketch update loop, so its cost is
+// the floor on ingest throughput.
 func (p Poly) SignBucket(x uint64, w int) (sign int64, bucket int) {
 	h := p.Eval(x)
 	sign = int64(h&1)*2 - 1
-	bucket = int((h >> 1) % uint64(w))
-	return sign, bucket
+	// h>>1 has 60 uniform-ish bits; align them to the top of the 64-bit
+	// range so the high-multiply reduction sees the full word.
+	hi, _ := bits.Mul64((h>>1)<<4, uint64(w))
+	return sign, int(hi)
 }

@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"repro/internal/hash"
+	"repro/internal/order"
 	"repro/internal/sketch"
 )
 
@@ -41,7 +42,11 @@ type CountSketch struct {
 	cands   map[uint64]int64
 	candCap int
 
+	sumSq      []float64 // per-row running Σ_b c[r][b]² (the AMS aggregate)
+	sinceResum int
+
 	qbuf []float64   // Query scratch: per-row estimates awaiting the median
+	ebuf []float64   // Estimate scratch: per-row aggregates awaiting the median
 	pbuf []candEntry // prune scratch: the pool staged for selection
 }
 
@@ -89,6 +94,7 @@ func NewCountSketch(s Sizing, rng *rand.Rand) *CountSketch {
 		cs.c = append(cs.c, make([]int64, s.Width))
 	}
 	cs.cands = make(map[uint64]int64)
+	cs.sumSq = make([]float64, s.Rows)
 	return cs
 }
 
@@ -96,11 +102,47 @@ func NewCountSketch(s Sizing, rng *rand.Rand) *CountSketch {
 func (cs *CountSketch) Update(item uint64, delta int64) {
 	for r := 0; r < cs.rows; r++ {
 		sign, b := cs.hs[r].SignBucket(item, cs.w)
+		x := float64(sign * delta)
+		old := float64(cs.c[r][b])
 		cs.c[r][b] += sign * delta
+		cs.sumSq[r] += x * (2*old + x)
+	}
+	cs.sinceResum++
+	if cs.sinceResum >= sketch.ResumInterval {
+		cs.Resummate()
 	}
 	cs.cands[item] += delta
 	if len(cs.cands) > 2*cs.candCap {
 		cs.pruneCandidates()
+	}
+}
+
+// UpdateBatch implements sketch.BatchUpdater with a row-outer counter
+// loop (one row's hash function, counters and aggregate stay hot for the
+// whole batch) followed by the candidate-pool pass in update order, so
+// admission and pruning decisions match per-update calls exactly.
+func (cs *CountSketch) UpdateBatch(batch []sketch.Update) {
+	for r := 0; r < cs.rows; r++ {
+		h := cs.hs[r]
+		row := cs.c[r]
+		s := cs.sumSq[r]
+		for _, u := range batch {
+			sign, b := h.SignBucket(u.Item, cs.w)
+			x := float64(sign * u.Delta)
+			s += x * (2*float64(row[b]) + x)
+			row[b] += sign * u.Delta
+		}
+		cs.sumSq[r] = s
+	}
+	cs.sinceResum += len(batch)
+	if cs.sinceResum >= sketch.ResumInterval {
+		cs.Resummate()
+	}
+	for _, u := range batch {
+		cs.cands[u.Item] += u.Delta
+		if len(cs.cands) > 2*cs.candCap {
+			cs.pruneCandidates()
+		}
 	}
 }
 
@@ -198,27 +240,33 @@ func (cs *CountSketch) Query(item uint64) float64 {
 		sign, b := cs.hs[r].SignBucket(item, cs.w)
 		ests[r] = float64(sign * cs.c[r][b])
 	}
-	sort.Float64s(ests)
-	if cs.rows%2 == 1 {
-		return ests[cs.rows/2]
-	}
-	return (ests[cs.rows/2-1] + ests[cs.rows/2]) / 2
+	return order.Median(ests)
 }
 
 // Estimate implements sketch.Estimator with the F2 estimate derived from
-// the rows (each row's squared norm is an AMS estimator of ‖f‖₂²).
+// the rows (each row's squared norm is an AMS estimator of ‖f‖₂²), read
+// from the running row aggregates in O(rows).
 func (cs *CountSketch) Estimate() float64 {
-	ests := make([]float64, cs.rows)
+	if cap(cs.ebuf) < cs.rows {
+		cs.ebuf = make([]float64, cs.rows)
+	}
+	ests := cs.ebuf[:cs.rows]
+	copy(ests, cs.sumSq)
+	return order.UpperMedian(ests)
+}
+
+// Resummate implements sketch.IncrementalEstimator: it recomputes the row
+// aggregates exactly from the counters.
+func (cs *CountSketch) Resummate() {
 	for r := 0; r < cs.rows; r++ {
 		var s float64
 		for _, v := range cs.c[r] {
 			fv := float64(v)
 			s += fv * fv
 		}
-		ests[r] = s
+		cs.sumSq[r] = s
 	}
-	sort.Float64s(ests)
-	return ests[cs.rows/2]
+	cs.sinceResum = 0
 }
 
 // L2 returns the estimate of ‖f‖₂.
@@ -277,13 +325,14 @@ func (cs *CountSketch) Clone() *CountSketch {
 	for it, w := range cs.cands {
 		cp.cands[it] = w
 	}
+	cp.sumSq = append([]float64(nil), cs.sumSq...)
 	return cp
 }
 
-// SpaceBytes charges counters, hash seeds and the candidate pool (item id
-// plus retention tally per entry).
+// SpaceBytes charges counters, hash seeds, the row aggregates and the
+// candidate pool (item id plus retention tally per entry).
 func (cs *CountSketch) SpaceBytes() int {
-	total := 16 * len(cs.cands)
+	total := 16*len(cs.cands) + 8*cs.rows
 	for r := 0; r < cs.rows; r++ {
 		total += 8*cs.w + cs.hs[r].SpaceBytes()
 	}

@@ -81,6 +81,9 @@ func (cs *CountSketch) UnmarshalBinary(data []byte) error {
 		return err
 	}
 	cs.rows, cs.w, cs.candCap, cs.hs, cs.c = rows, w, candCap, hs, c
+	cs.sumSq = make([]float64, rows)
+	cs.qbuf, cs.ebuf = nil, nil
+	cs.Resummate()
 	cs.cands = make(map[uint64]int64, len(cands))
 	for i, it := range cands {
 		// V1 snapshots carry no tallies; re-admit at zero and let future

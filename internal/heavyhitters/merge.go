@@ -13,6 +13,7 @@ func (cs *CountSketch) Fresh() *CountSketch {
 		cp.c = append(cp.c, make([]int64, cs.w))
 	}
 	cp.cands = make(map[uint64]int64)
+	cp.sumSq = make([]float64, cs.rows)
 	return cp
 }
 
@@ -35,6 +36,7 @@ func (cs *CountSketch) Merge(other *CountSketch) error {
 			cs.c[r][b] += other.c[r][b]
 		}
 	}
+	cs.Resummate()
 	for it, w := range other.cands {
 		cs.cands[it] += w
 	}

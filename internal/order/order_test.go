@@ -1,0 +1,86 @@
+package order
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func randomSlices(t *testing.T, f func(x []float64, sorted []float64)) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		x := make([]float64, n)
+		for i := range x {
+			// Duplicates on purpose: ties must not break selection.
+			x[i] = float64(rng.Intn(10))
+			if rng.Intn(4) == 0 {
+				x[i] = -x[i]
+			}
+		}
+		sorted := append([]float64(nil), x...)
+		sort.Float64s(sorted)
+		f(append([]float64(nil), x...), sorted)
+	}
+}
+
+func TestSelectMatchesSort(t *testing.T) {
+	randomSlices(t, func(x, sorted []float64) {
+		k := rand.Intn(len(x))
+		got := Select(append([]float64(nil), x...), k)
+		if got != sorted[k] {
+			t.Fatalf("Select(%v, %d) = %v, want %v", x, k, got, sorted[k])
+		}
+	})
+}
+
+func TestSelectPartitions(t *testing.T) {
+	randomSlices(t, func(x, sorted []float64) {
+		k := len(x) / 2
+		v := Select(x, k)
+		if x[k] != v {
+			t.Fatalf("x[%d] = %v after Select, want %v", k, x[k], v)
+		}
+		for _, e := range x[:k] {
+			if e > v {
+				t.Fatalf("left partition holds %v > pivot %v", e, v)
+			}
+		}
+		for _, e := range x[k:] {
+			if e < v {
+				t.Fatalf("right partition holds %v < pivot %v", e, v)
+			}
+		}
+	})
+}
+
+func TestUpperMedianMatchesSortConvention(t *testing.T) {
+	randomSlices(t, func(x, sorted []float64) {
+		if got, want := UpperMedian(x), sorted[len(sorted)/2]; got != want {
+			t.Fatalf("UpperMedian = %v, want sorted[len/2] = %v", got, want)
+		}
+	})
+}
+
+func TestMedianMatchesSortConvention(t *testing.T) {
+	randomSlices(t, func(x, sorted []float64) {
+		k := len(sorted) / 2
+		want := sorted[k]
+		if len(sorted)%2 == 0 {
+			want = (sorted[k-1] + sorted[k]) / 2
+		}
+		if got := Median(x); got != want {
+			t.Fatalf("Median = %v, want %v (sorted %v)", got, want, sorted)
+		}
+	})
+}
+
+func TestSelectPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Select out of range did not panic")
+		}
+	}()
+	Select([]float64{1, 2}, 2)
+}

@@ -27,16 +27,29 @@ import (
 // Only frozen outputs and the rounded norm are published, so each
 // CountSketch's randomness influences at most one published refresh —
 // the same mechanism that makes sketch switching robust.
+//
+// Ring instances are not updated synchronously: updates land in a
+// bounded lag buffer and are applied in batch (or on demand, just
+// before an instance is frozen), so the per-update cost is the norm
+// tracker plus an append. The frozen snapshot is always taken at the
+// exact refresh position, so published answers are update-for-update
+// identical to the synchronous formulation.
 type HeavyHitters struct {
-	eps    float64
-	norm   *core.Switcher
-	ring   []*heavyhitters.CountSketch
-	next   int // index of the least-recently-restarted live instance
-	frozen *heavyhitters.CountSketch
-	lastR  float64
-	sizing heavyhitters.Sizing
-	rng    *rand.Rand
+	eps     float64
+	norm    *core.Switcher
+	ring    []*heavyhitters.CountSketch
+	applied []int           // per ring instance: prefix of pending already applied
+	pending []sketch.Update // lag buffer shared by the ring
+	next    int             // index of the least-recently-restarted live instance
+	frozen  *heavyhitters.CountSketch
+	lastR   float64
+	sizing  heavyhitters.Sizing
+	rng     *rand.Rand
 }
+
+// hhPendingCap bounds the ring's lag buffer (same rationale as the
+// Switcher's: amortize catch-up work without unbounded memory).
+const hhPendingCap = 1024
 
 // NewHeavyHitters returns a robust (ε, δ)-L2 heavy hitters algorithm
 // (Definition 6.1 semantics with threshold parameter ε) over a universe of
@@ -57,27 +70,76 @@ func NewHeavyHitters(eps, delta float64, n uint64, seed int64) *HeavyHitters {
 	for i := 0; i < copies; i++ {
 		hh.ring = append(hh.ring, heavyhitters.NewCountSketch(sizing, hh.rng))
 	}
+	hh.applied = make([]int, copies)
 	return hh
 }
 
-// Update feeds the norm tracker and every live CountSketch, refreshing the
-// frozen snapshot whenever the published norm moves.
+// Update feeds the norm tracker, buffers the update for the ring, and
+// refreshes the frozen snapshot whenever the published norm moves.
 func (hh *HeavyHitters) Update(item uint64, delta int64) {
 	hh.norm.Update(item, delta)
-	for _, cs := range hh.ring {
-		cs.Update(item, delta)
-	}
+	hh.pending = append(hh.pending, sketch.Update{Item: item, Delta: delta})
 	if r := hh.norm.Estimate(); r != hh.lastR {
 		hh.lastR = r
 		hh.refresh()
 	}
+	if len(hh.pending) >= hhPendingCap {
+		hh.drain()
+	}
 }
 
-// refresh freezes the next ring instance and restarts it.
+// UpdateBatch implements sketch.BatchUpdater. The refresh cadence is
+// per-update (each published norm movement freezes a snapshot at that
+// exact stream position), so the batch path is the per-update loop.
+func (hh *HeavyHitters) UpdateBatch(batch []sketch.Update) {
+	for _, u := range batch {
+		hh.Update(u.Item, u.Delta)
+	}
+}
+
+// catchUp replays ring instance i's unseen suffix of the lag buffer
+// through the CountSketch batch kernel.
+func (hh *HeavyHitters) catchUp(i int) {
+	if rest := hh.pending[hh.applied[i]:]; len(rest) > 0 {
+		hh.ring[i].UpdateBatch(rest)
+	}
+	hh.applied[i] = len(hh.pending)
+}
+
+// drain applies the buffered backlog to every ring instance and resets
+// the buffer.
+func (hh *HeavyHitters) drain() {
+	for i := range hh.ring {
+		hh.catchUp(i)
+	}
+	hh.pending = hh.pending[:0]
+	for i := range hh.applied {
+		hh.applied[i] = 0
+	}
+}
+
+// refresh freezes the next ring instance (caught up to the current
+// stream position first, so the snapshot is exact) and restarts it; the
+// restarted instance tracks the suffix and owes nothing from the buffer.
 func (hh *HeavyHitters) refresh() {
+	hh.catchUp(hh.next)
 	hh.frozen = hh.ring[hh.next].Clone()
 	hh.ring[hh.next] = heavyhitters.NewCountSketch(hh.sizing, hh.rng)
+	hh.applied[hh.next] = len(hh.pending)
 	hh.next = (hh.next + 1) % len(hh.ring)
+}
+
+// Resummate implements sketch.IncrementalEstimator: the backlog is
+// drained, then forwarded to the norm tracker and every CountSketch.
+func (hh *HeavyHitters) Resummate() {
+	hh.drain()
+	hh.norm.Resummate()
+	for _, cs := range hh.ring {
+		cs.Resummate()
+	}
+	if hh.frozen != nil {
+		hh.frozen.Resummate()
+	}
 }
 
 // Query returns the published point-query estimate of f_item (from the
@@ -127,9 +189,10 @@ func (hh *HeavyHitters) Robustness() sketch.Robustness {
 	return r
 }
 
-// SpaceBytes charges the norm tracker, the ring, and the frozen snapshot.
+// SpaceBytes charges the norm tracker, the ring, the lag buffer, and the
+// frozen snapshot.
 func (hh *HeavyHitters) SpaceBytes() int {
-	total := hh.norm.SpaceBytes()
+	total := hh.norm.SpaceBytes() + 16*cap(hh.pending)
 	for _, cs := range hh.ring {
 		total += cs.SpaceBytes()
 	}

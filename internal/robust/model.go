@@ -186,9 +186,13 @@ func LpProblemFor(p float64, m Model) (Problem, error) {
 }
 
 // fpMomentProblem is the shared non-insertion Fp problem: moment
-// semantics (‖f‖_p^p as in Theorem 4.3), Indyk p-stable inner sketches
-// for every p (linear, so deletions are handled natively), and the
-// model-specific flip bound. Not monotone — deletions shrink the moment —
+// semantics (‖f‖_p^p as in Theorem 4.3), linear inner sketches (so
+// deletions are handled natively), and the model-specific flip bound.
+// p = 2 uses the bucketed AMS sketch — its Estimate is the F2 moment
+// directly, its per-update cost is O(rows) hash evaluations, and its row
+// aggregates make the wrappers' per-update drift checks O(rows) too;
+// every other p uses Indyk p-stable sketches, whose per-update cost is
+// Θ(k) variate derivations. Not monotone — deletions shrink the moment —
 // so ring mode is structurally rejected; Check additionally gates ring on
 // the model itself.
 func fpMomentProblem(p float64, m Model, flip func(eps float64, n uint64, maxCount float64) int) Problem {
@@ -198,6 +202,11 @@ func fpMomentProblem(p float64, m Model, flip func(eps float64, n uint64, maxCou
 		Model:    m,
 		Eps0Div:  6,
 		Inner: func(eps0, lnInvDelta float64, n uint64, kCap int, seed int64) sketch.Estimator {
+			if p == 2 {
+				s := fp.SizeF2Ln(eps0, lnInvDelta)
+				s.Rows = oddReps(s.Rows, s.Width, kCap)
+				return fp.NewF2(s, rand.New(rand.NewSource(seed)))
+			}
 			k := int(math.Ceil(3 / (eps0 * eps0) * 0.3 * lnInvDelta * math.Log2E))
 			if k < 16 {
 				k = 16

@@ -10,17 +10,19 @@ import (
 	"repro/internal/stream"
 )
 
-// oldTurnstileFp is the pre-model hand-built construction of NewTurnstileFp,
-// kept verbatim as the pin the refactored policy-layer constructor must
-// match update-for-update.
+// oldTurnstileFp is the hand-built construction of NewTurnstileFp for
+// p = 2 (the bucketed AMS inner sketch, whose Estimate is the F2 moment
+// directly), kept as the pin the policy-layer constructor must match
+// update-for-update.
 func oldTurnstileFp(p, eps float64, lambda int, m uint64, maxT float64, kCap int, seed int64) *core.Paths {
-	lnInvDelta0 := core.PathsLnInvDelta(m, lambda, eps, maxT, math.Log(1000))
-	k := int(math.Ceil(3 / (eps / 6 * eps / 6) * 0.3 * lnInvDelta0 * math.Log2E))
-	if kCap > 0 && k > kCap {
-		k = kCap
+	if p != 2 {
+		panic("oldTurnstileFp pins the p = 2 construction")
 	}
-	inner := fp.NewIndyk(p, k, rand.New(rand.NewSource(seed)))
-	return core.NewPaths(eps, momentAdapter{inner})
+	lnInvDelta0 := core.PathsLnInvDelta(m, lambda, eps, maxT, math.Log(1000))
+	s := fp.SizeF2Ln(eps/6, lnInvDelta0)
+	s.Rows = oddReps(s.Rows, s.Width, kCap)
+	inner := fp.NewF2(s, rand.New(rand.NewSource(seed)))
+	return core.NewPaths(eps, inner)
 }
 
 // oldBoundedDeletionFp is the pre-model hand-built construction of

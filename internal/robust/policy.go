@@ -298,6 +298,26 @@ func (a publishAdapter) Update(item uint64, delta int64) { a.inner.Update(item, 
 func (a publishAdapter) Estimate() float64               { return a.f(a.inner.Estimate()) }
 func (a publishAdapter) SpaceBytes() int                 { return a.inner.SpaceBytes() }
 
+// UpdateBatch implements sketch.BatchUpdater, forwarding to the wrapped
+// estimator's batch path when it has one.
+func (a publishAdapter) UpdateBatch(batch []sketch.Update) {
+	if bu, ok := a.inner.(sketch.BatchUpdater); ok {
+		bu.UpdateBatch(batch)
+		return
+	}
+	for _, u := range batch {
+		a.inner.Update(u.Item, u.Delta)
+	}
+}
+
+// Resummate implements sketch.IncrementalEstimator when the wrapped
+// estimator maintains running aggregates; otherwise it is a no-op.
+func (a publishAdapter) Resummate() {
+	if inc, ok := a.inner.(sketch.IncrementalEstimator); ok {
+		inc.Resummate()
+	}
+}
+
 func (a publishAdapter) Robustness() sketch.Robustness {
 	if rr, ok := a.inner.(sketch.RobustnessReporter); ok {
 		return rr.Robustness()

@@ -1,0 +1,56 @@
+package sketch
+
+// Update is one stream update: f[Item] += Delta. It is the unit the
+// engine's coalesced per-shard batches and the policy wrappers' batch
+// fast path (BatchUpdater) exchange.
+type Update struct {
+	Item  uint64
+	Delta int64
+}
+
+// BatchUpdater is the batch-apply fast path through the policy layer: an
+// estimator that can ingest a whole coalesced batch per virtual call.
+// UpdateBatch(b) must be observably identical to calling Update for each
+// element of b in order — published estimates, switch counts and flip
+// budgets may not depend on how the stream was chunked into batches.
+// Wrappers that maintain copy ensembles use it to apply updates
+// copy-outer/update-inner (dispatch amortization and cache locality on
+// the non-active copies) while the active copy keeps its per-update
+// drift checks, so robustness semantics are bit-for-bit unchanged.
+type BatchUpdater interface {
+	Estimator
+
+	// UpdateBatch processes the updates in order, equivalently to
+	// repeated Update calls.
+	UpdateBatch(batch []Update)
+}
+
+// IncrementalEstimator is implemented by sketches that answer Estimate
+// from running aggregates maintained in O(rows) per update instead of
+// rescanning their counters — the fast path that makes per-update
+// estimation (the robust wrappers' drift checks) affordable.
+//
+// The aggregates are exact as long as counters hold integer values below
+// 2^53 (every delta is an int64 and every sign is ±1, so x·(2c+δ)-style
+// aggregate updates incur no floating-point rounding). As belt and
+// braces against streams that do push counters past integer exactness,
+// implementations recompute their aggregates from the counters every
+// ResumInterval updates; Resummate forces that recomputation now.
+type IncrementalEstimator interface {
+	Estimator
+
+	// Resummate recomputes the running aggregates exactly from the
+	// current counters. It never changes the estimator's logical state:
+	// on integer-valued counters the estimate before and after is
+	// bit-identical, and otherwise it may only shed accumulated
+	// floating-point drift.
+	Resummate()
+}
+
+// ResumInterval is the default self-resummation period of the
+// incremental estimators: after this many updates an
+// IncrementalEstimator rebuilds its aggregates from the counters. The
+// amortized cost is a fraction of a counter scan per update; the benefit
+// is that aggregate drift, impossible on integer-valued counters and
+// bounded on any stream, cannot compound without bound.
+const ResumInterval = 1 << 20

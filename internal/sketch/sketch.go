@@ -4,6 +4,17 @@
 // adversarially robust wrappers under internal/robust that are built from
 // them via the sketch-switching and computation-paths transformations of
 // internal/core.
+//
+// Beyond the core Estimator contract, two optional interfaces carry the
+// ingest fast paths (incremental.go): IncrementalEstimator marks sketches
+// whose Estimate reads running aggregates in O(rows) — maintained exactly
+// on integer-valued counters and rebuilt from scratch every ResumInterval
+// updates via Resummate — and BatchUpdater marks estimators that ingest a
+// coalesced batch per virtual call, with the hard requirement that
+// batching is observationally invisible (identical published estimates,
+// switch counts and flip budgets for any chunking of the same stream).
+// The conformance kit's incremental-consistency and batch-consistency
+// properties enforce both contracts for every registered type.
 package sketch
 
 // Estimator is a one-pass streaming algorithm that tracks a real-valued

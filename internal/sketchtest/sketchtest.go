@@ -115,6 +115,8 @@ func Properties(h Harness) []Property {
 		{"contract", checkContract},
 		{"determinism", checkDeterminism},
 		{"duplicate-insensitive", checkDuplicateInsensitive},
+		{"incremental-consistency", checkIncrementalConsistency},
+		{"batch-consistency", checkBatchConsistency},
 	}
 	if h.Codec != nil {
 		props = append(props,
@@ -238,6 +240,66 @@ func checkDuplicateInsensitive(h Harness) error {
 		}
 		if !bytes.Equal(beforeState, afterState) {
 			return fmt.Errorf("declared duplicate-insensitive but serialized state changed on re-inserts")
+		}
+	}
+	return nil
+}
+
+// checkIncrementalConsistency pins the sketch.IncrementalEstimator
+// contract: the estimate read from running aggregates must agree with a
+// full recomputation (Resummate) at several points along the stream. The
+// aggregate recurrences are exact on the integer-valued counters these
+// sketches keep, so agreement is required to near-float64 precision —
+// drift here means a broken recurrence, not rounding.
+func checkIncrementalConsistency(h Harness) error {
+	est := h.Factory(h.Seed + 11)
+	inc, ok := est.(sketch.IncrementalEstimator)
+	if !ok {
+		return nil // property not declared; nothing to enforce
+	}
+	ups := h.testStream(11, h.updates())
+	checkpoints := map[int]bool{len(ups) / 3: true, 2 * len(ups) / 3: true, len(ups): true}
+	for i, u := range ups {
+		est.Update(u.Item, u.Delta)
+		if !checkpoints[i+1] {
+			continue
+		}
+		fast := est.Estimate()
+		inc.Resummate()
+		if exact := est.Estimate(); !near(fast, exact, 1e-9) {
+			return fmt.Errorf("after update %d: incremental estimate %v, recomputed estimate %v", i+1, fast, exact)
+		}
+	}
+	return nil
+}
+
+// checkBatchConsistency requires sketch.BatchUpdater implementations to
+// leave the sketch in exactly the state per-update feeding produces:
+// same-seed instances fed the same stream through Update and through
+// uneven UpdateBatch slices must publish identical estimates at every
+// batch boundary.
+func checkBatchConsistency(h Harness) error {
+	a, b := h.Factory(h.Seed+12), h.Factory(h.Seed+12)
+	bu, ok := b.(sketch.BatchUpdater)
+	if !ok {
+		return nil // property not declared; nothing to enforce
+	}
+	ups := h.testStream(12, h.updates())
+	batch := make([]sketch.Update, 0, 64)
+	for i := 0; i < len(ups); {
+		n := 1 + int(ups[i].Item)%63
+		if i+n > len(ups) {
+			n = len(ups) - i
+		}
+		batch = batch[:0]
+		for _, u := range ups[i : i+n] {
+			a.Update(u.Item, u.Delta)
+			batch = append(batch, sketch.Update{Item: u.Item, Delta: u.Delta})
+		}
+		bu.UpdateBatch(batch)
+		i += n
+		if ea, eb := a.Estimate(), b.Estimate(); ea != eb {
+			return fmt.Errorf("after %d updates: per-update estimate %v, batch estimate %v", i, ea, eb)
 		}
 	}
 	return nil
