@@ -101,7 +101,22 @@
 //     SIGKILLs a loaded server, corrupts the log tail, and asserts
 //     exact estimate equality across restarts). The Go client sends
 //     frames by default (client.WithCodec opts out) and drains every
-//     response body so keep-alive connections survive error storms. The robust policies
+//     response body so keep-alive connections survive error storms.
+//   - internal/cluster — distributed sketchd (cmd/sketchctl is the
+//     operator CLI): static-membership rendezvous-hash placement puts
+//     every keyspace on an owner plus R−1 replicas, the owner ships
+//     snapshot envelopes to replicas on a cadence (two new fuzzed wire
+//     frame types, ship and ship-ack; replicas replace rather than fold,
+//     ordered by per-key sequence numbers), a probing failure detector
+//     exchanges route frames (probe + membership gossip in one) and
+//     fails ownership over by re-reading the ranking without the dead
+//     node, any member 307-redirects tenant traffic to the owner, and
+//     global queries answer from the owner or — for independently
+//     ingesting fleets — from the additive cross-node merge
+//     (POST /cluster/query?merge=all). Replicas are bounded-stale by the
+//     ship interval; TestClusterFailoverE2E SIGKILLs a keyspace owner
+//     under feeder load across three real processes and asserts the ε
+//     envelopes hold through failover. The robust policies
 //     make the shared endpoint safe to query adaptively — the paper's
 //     threat model, realized as a service.
 //   - internal/stream, internal/game, internal/adversary — stream

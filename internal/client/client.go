@@ -525,9 +525,51 @@ func (c *Client) Snapshot(ctx context.Context, key string) ([]byte, error) {
 }
 
 // Merge folds a snapshot (typically from another sketchd sharing the same
-// -seed and -shards) into keyspace key, creating it if absent.
+// -seed and -shards) into keyspace key, creating it if absent. On a
+// durable server the merged state is checkpointed before the 200.
 func (c *Client) Merge(ctx context.Context, key string, snapshot []byte) error {
 	return c.do(ctx, http.MethodPost, "/v1/merge", keyQuery(key), snapshot, "application/octet-stream", "", nil, nil)
+}
+
+// MergeDeferred is Merge with durability=deferred: the merge lands
+// atomically in live state, but instead of a synchronous checkpoint its
+// durability coalesces into the server's checkpoint cadence. This is the
+// mode for high-frequency state shipping (replication); a crash before
+// the coalesced checkpoint may lose the merge, so callers must be
+// prepared to re-send state — the replication shipper is, every ship
+// interval.
+func (c *Client) MergeDeferred(ctx context.Context, key string, snapshot []byte) error {
+	q := keyQuery(key)
+	q.Set("durability", "deferred")
+	return c.do(ctx, http.MethodPost, "/v1/merge", q, snapshot, "application/octet-stream", "", nil, nil)
+}
+
+// Healthz fetches GET /v1/healthz. ready reports readiness (HTTP 200
+// versus the 503 a draining or still-recovering server answers); the
+// response body describes why, plus the WAL and checkpoint counters,
+// whenever the server got far enough to send one.
+func (c *Client) Healthz(ctx context.Context) (h *server.HealthResponse, ready bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/healthz", nil)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, false, err
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return nil, false, &apiError{Status: resp.StatusCode, Msg: strings.TrimSpace(string(data))}
+	}
+	var hr server.HealthResponse
+	if err := json.Unmarshal(data, &hr); err != nil {
+		return nil, false, fmt.Errorf("sketchd: bad healthz body: %w", err)
+	}
+	return &hr, resp.StatusCode == http.StatusOK, nil
 }
 
 // Stats returns server-wide stats and the keyspace listing.

@@ -1,0 +1,65 @@
+// Package cluster turns N sketchd processes into one logical service: a
+// node-embedded consistent-hash ring places every tenant on an owner
+// plus R−1 replicas, a replication shipper keeps the replicas bounded-
+// stale copies of the owner's state, a probing failure detector drives
+// failover by routing around dead peers, and global queries are answered
+// by the owner or — for independently ingesting fleets — by cross-node
+// merge of the peers' snapshot envelopes.
+//
+// Membership is static seed configuration (the -peers flag): every node
+// knows the full member list at boot, and liveness, not membership,
+// is what the detector tracks. Placement is rendezvous (highest-random-
+// weight) hashing: each node scores every (node, key) pair with the same
+// deterministic mix, and the key's preference order is the nodes sorted
+// by score. The owner is the first *alive* node in that order, replicas
+// the next R−1 — so failover is not a special mechanism, it is the
+// ranking re-read with the dead node excluded, and every node reaches
+// the same answer from the same liveness view without coordination.
+package cluster
+
+import (
+	"sort"
+
+	"repro/internal/dist"
+)
+
+// placementSalt decouples placement hashing from every other SplitMix64
+// chain in the repository (engine seeds, shard routing): a tenant key
+// maps to unrelated values in each domain.
+const placementSalt = 0x72656e64657a7655
+
+// hashString folds s into a 64-bit value with the same SplitMix64 chain
+// the server uses for seed derivation — deterministic across nodes,
+// which is the whole point: every node computes the same ranking.
+func hashString(seed uint64, s string) uint64 {
+	h := dist.SplitMix64(seed)
+	for _, b := range []byte(s) {
+		h = dist.SplitMix64(h ^ uint64(b))
+	}
+	return h
+}
+
+// rank returns nodes ordered by descending rendezvous score for key,
+// ties broken by address so the order is total and identical everywhere.
+func rank(nodes []string, key string) []string {
+	kh := hashString(placementSalt, key)
+	type scored struct {
+		addr  string
+		score uint64
+	}
+	rs := make([]scored, len(nodes))
+	for i, n := range nodes {
+		rs[i] = scored{addr: n, score: dist.SplitMix64(hashString(placementSalt, n) ^ kh)}
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].score != rs[j].score {
+			return rs[i].score > rs[j].score
+		}
+		return rs[i].addr < rs[j].addr
+	})
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.addr
+	}
+	return out
+}

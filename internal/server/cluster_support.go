@@ -1,0 +1,376 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+
+	"repro/internal/sketch"
+	"repro/internal/wal"
+)
+
+// Cluster support: the server-side primitives internal/cluster composes
+// into a multi-node service. The cluster layer owns placement, failure
+// detection and the ship/ack protocol; this file owns everything that
+// must touch tenant internals — serializing a tenant into a shipment,
+// installing a shipped copy, folding peer envelopes into a scratch
+// engine for cross-node queries, and redirecting tenant traffic the
+// placement layer says belongs elsewhere.
+
+// Shipment is one tenant's replication payload, produced by ShipTenant
+// and consumed by ApplyShipment on a replica. Spec carries the resolved
+// TenantSpec as JSON — including the resolved seed, which is what makes
+// the replica's copy snapshot-compatible with the owner's. Shipments are
+// a server-to-server surface: handing one to a tenant would leak the
+// seed the API everywhere else withholds.
+type Shipment struct {
+	Spec      []byte
+	State     []byte // snapshot envelope; nil for non-mergeable tenants
+	Mass      int64
+	Deleted   int64
+	Mergeable bool
+}
+
+// ShipTenant serializes tenant key for replication. Non-mergeable
+// (robust-policy) tenants ship as spec-only declarations: their ensemble
+// state is not linear and cannot be folded into a copy, so replication
+// preserves the declaration and the replica rebuilds state only if the
+// key fails over to it and the stream is replayed by clients.
+func (s *Server) ShipTenant(key string) (*Shipment, error) {
+	t := s.lookup(key)
+	if t == nil {
+		return nil, fmt.Errorf("unknown key %q", key)
+	}
+	specJSON, err := json.Marshal(t.ts)
+	if err != nil {
+		return nil, err
+	}
+	sh := &Shipment{Spec: specJSON, Mergeable: t.spec.Mergeable()}
+	if !sh.Mergeable {
+		return sh, nil
+	}
+	parts := make([][]byte, t.eng.Shards())
+	err = t.eng.Visit(func(i int, est sketch.Estimator) error {
+		b, err := t.spec.marshal(est)
+		parts[i] = b
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Visit flushed above, so the mass reading matches the serialized
+	// state.
+	sh.State = encodeSnapshot(t.spec.Name, parts)
+	sh.Mass = t.eng.Mass()
+	sh.Deleted = t.eng.DeletedMass()
+	return sh, nil
+}
+
+// ApplyShipment installs a replication shipment: the tenant is rebuilt
+// from the shipped spec, the snapshot envelope (if any) is folded into
+// the fresh engine, and the copy replaces whatever the key held locally
+// — replica state is the owner's last shipment, not an additive fold
+// (adding two copies of the same stream would double count it).
+// Shipments are admitted past MaxKeys like recovery is: refusing would
+// silently drop replicated data the owner believes is protected.
+//
+// Durability is deferred: the spec is journaled (so a restarted replica
+// still knows the tenant), but the state rides the CheckpointEvery
+// cadence via the same debounce as deferred merges — each ship is one
+// coalesced contribution, not one fsync (see maybeCheckpoint). A replica
+// that crashes between checkpoints recovers a stale copy and is
+// refreshed by the owner's next ship round.
+func (s *Server) ApplyShipment(key string, specJSON, state []byte, mass, deleted int64) error {
+	if key == "" {
+		return fmt.Errorf("missing key")
+	}
+	if s.draining.Load() {
+		return errDraining
+	}
+	var raw TenantSpec
+	if err := json.Unmarshal(specJSON, &raw); err != nil {
+		return fmt.Errorf("bad shipment spec: %w", err)
+	}
+	sp, ts, err := resolveTrusted(raw, s.cfg)
+	if err != nil {
+		return fmt.Errorf("bad shipment spec: %w", err)
+	}
+	if len(state) > 0 && !sp.Mergeable() {
+		return fmt.Errorf("shipment for %q carries state but %s is not mergeable", key, sp.Display())
+	}
+	t := s.newTenant(key, sp, ts)
+	if len(state) > 0 {
+		if err := restoreState(t, state); err != nil {
+			t.eng.Close()
+			return fmt.Errorf("shipment state for %q: %w", key, err)
+		}
+		t.eng.SeedMass(mass-t.eng.Mass(), deleted)
+	}
+	s.mu.Lock()
+	old := s.tenants[key]
+	switch {
+	case old == nil:
+		if err := s.logCreate(t); err != nil {
+			s.mu.Unlock()
+			t.eng.Close()
+			return err
+		}
+	case old.ts != ts:
+		// The owner re-declared the tenant: journal the replacement so
+		// recovery rebuilds the new declaration, not the old one.
+		if err := s.logDelete(key); err != nil {
+			s.mu.Unlock()
+			t.eng.Close()
+			return err
+		}
+		if err := s.logCreate(t); err != nil {
+			s.mu.Unlock()
+			t.eng.Close()
+			return err
+		}
+	default:
+		// Same declaration: the shipment only refreshes state, and state
+		// durability rides the checkpoint cadence. Carry the debounce
+		// counter over so coalescing accumulates across ships.
+		t.sinceCkpt.Store(old.sinceCkpt.Load())
+	}
+	s.tenants[key] = t
+	s.mu.Unlock()
+	if old != nil {
+		old.eng.Close()
+	}
+	s.maybeCheckpoint(t, s.deferredCheckpointWeight())
+	return nil
+}
+
+// DecodeQueryRequest parses and validates a JSON query body with exactly
+// the decoder POST /v2/query uses (same batch and k limits, same
+// messages), exported for the cluster layer's global-query endpoint.
+func DecodeQueryRequest(data []byte) (QueryRequest, error) {
+	return decodeQueryRequest(data)
+}
+
+// Keys returns the tenant keys this server holds, sorted.
+func (s *Server) Keys() []string {
+	s.mu.RLock()
+	keys := make([]string, 0, len(s.tenants))
+	for k := range s.tenants {
+		keys = append(keys, k)
+	}
+	s.mu.RUnlock()
+	sort.Strings(keys)
+	return keys
+}
+
+// HasKey reports whether the server holds tenant key.
+func (s *Server) HasKey(key string) bool { return s.lookup(key) != nil }
+
+// AnswerLocal answers a validated QueryRequest from the local tenant
+// engine — the same core as POST /v2/query, exposed so the cluster
+// layer's global-query endpoint shares its semantics exactly. On error
+// the returned status is the HTTP code the v2 handler would have used.
+func (s *Server) AnswerLocal(req *QueryRequest) (*QueryResponse, int, error) {
+	t := s.lookup(req.Key)
+	if t == nil {
+		return nil, http.StatusNotFound, fmt.Errorf("unknown key %q", req.Key)
+	}
+	return s.answerQuery(t, req, t.eng.QueryBatch)
+}
+
+// AnswerMerged answers a validated QueryRequest from a scratch engine
+// built by folding the given snapshot envelopes together — the engine's
+// cross-shard merge generalized to cross-node fan-out. The tenant must
+// exist locally (it supplies the resolved spec and seeds for the scratch
+// engine). The fold is additive, so it is sound exactly when the
+// envelopes describe disjoint sub-streams (independently ingesting
+// nodes, the fleet-aggregation pattern) — folding replicas of one stream
+// would double count it, which is why replication uses replace-on-ship
+// instead.
+func (s *Server) AnswerMerged(req *QueryRequest, envelopes [][]byte) (*QueryResponse, int, error) {
+	t := s.lookup(req.Key)
+	if t == nil {
+		return nil, http.StatusNotFound, fmt.Errorf("unknown key %q", req.Key)
+	}
+	if !t.spec.Mergeable() {
+		return nil, http.StatusNotImplemented,
+			fmt.Errorf("keyspace %q hosts %s, which is not mergeable across nodes", t.key, t.spec.Display())
+	}
+	scratch := s.newTenant(t.key, t.spec, t.ts)
+	defer scratch.eng.Close()
+	for i, env := range envelopes {
+		if err := restoreState(scratch, env); err != nil {
+			return nil, http.StatusConflict,
+				fmt.Errorf("%w: envelope %d: %v (cross-node merge requires identical seed and shards)", errConflict, i, err)
+		}
+	}
+	return s.answerQuery(t, req, scratch.eng.QueryBatch)
+}
+
+// answerQuery routes a validated query batch into one engine pass and
+// assembles the typed answers, shared by the v2 HTTP handler and the
+// cluster query paths. batch is the engine read to use (the tenant's
+// live engine, or a scratch merge engine sharing its spec and seeds).
+func (s *Server) answerQuery(t *tenant, req *QueryRequest, batch func([]uint64, int) (float64, []float64, []sketch.ItemWeight, error)) (*QueryResponse, int, error) {
+	var pointItems []uint64
+	maxK := 0
+	needsPoints := false
+	for _, q := range req.Queries {
+		switch q.Kind {
+		case QueryPoint:
+			pointItems = append(pointItems, uint64(q.Item))
+			needsPoints = true
+		case QueryTopK:
+			if q.K > maxK {
+				maxK = q.K
+			}
+			needsPoints = true
+		}
+	}
+	if needsPoints && !t.spec.points {
+		return nil, http.StatusBadRequest,
+			fmt.Errorf("keyspace %q hosts %s, which does not answer point or topk queries (create a countsketch tenant)",
+				t.key, t.spec.Display())
+	}
+
+	estimate, pointVals, top, err := batch(pointItems, maxK)
+	if err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+	pointBound := 0.0
+	if t.spec.points && t.spec.l2Of != nil {
+		pointBound = t.ts.Eps * t.spec.l2Of(estimate)
+	}
+	topItems := make([]ItemWeight, len(top))
+	for i, iw := range top {
+		topItems[i] = ItemWeight{Item: U64(iw.Item), Weight: iw.Weight}
+	}
+
+	resp := &QueryResponse{Key: t.key, Sketch: t.spec.Name, Policy: t.spec.Policy, Model: t.ts.Model}
+	nextPoint := 0
+	for _, q := range req.Queries {
+		switch q.Kind {
+		case QueryEstimate:
+			resp.Answers = append(resp.Answers, Answer{
+				Kind: QueryEstimate, Value: estimate,
+				ErrorBound: t.ts.Eps, Additive: t.spec.additive,
+			})
+		case QueryPoint:
+			item := q.Item
+			resp.Answers = append(resp.Answers, Answer{
+				Kind: QueryPoint, Item: &item, Value: pointVals[nextPoint],
+				ErrorBound: pointBound,
+			})
+			nextPoint++
+		case QueryTopK:
+			items := topItems
+			if len(items) > q.K {
+				items = items[:q.K]
+			}
+			resp.Answers = append(resp.Answers, Answer{
+				Kind: QueryTopK, Items: items, ErrorBound: pointBound,
+			})
+		}
+	}
+	if rb, ok := t.eng.Robustness(); ok {
+		resp.Robustness = t.robustnessStats(rb)
+	}
+	return resp, http.StatusOK, nil
+}
+
+// ---------------------------------------------------------------------------
+// Forwarding
+
+// SetForwarder installs the placement hook: tenant-scoped handlers call
+// it with the request's key and, when it reports another node as the
+// key's owner, answer 307 Temporary Redirect to that node's base URL
+// (e.g. "http://10.0.0.2:8080") instead of touching local state. Clients
+// follow the redirect re-sending the body (the Go client's request
+// bodies are replayable), so any node of a cluster accepts any tenant's
+// traffic. Server-wide endpoints (/v1/stats, /v1/healthz) and the
+// cluster protocol itself are never forwarded. Pass nil to uninstall.
+func (s *Server) SetForwarder(fn func(key string) (target string, forward bool)) {
+	if fn == nil {
+		s.forwarder.Store(nil)
+		return
+	}
+	s.forwarder.Store(&fn)
+}
+
+// forwarded redirects the request to key's owner if a forwarder is
+// installed and places the key elsewhere, reporting whether it did.
+func (s *Server) forwarded(w http.ResponseWriter, r *http.Request, key string) bool {
+	fp := s.forwarder.Load()
+	if fp == nil || key == "" {
+		return false
+	}
+	target, ok := (*fp)(key)
+	if !ok {
+		return false
+	}
+	http.Redirect(w, r, target+r.URL.RequestURI(), http.StatusTemporaryRedirect)
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Health
+
+// HealthResponse is the GET /v1/healthz body: liveness (the 200 itself),
+// readiness (status "ok" versus a 503 with "draining" or "recovering"),
+// and the durability counters a failure detector or load balancer wants
+// next to the verdict.
+type HealthResponse struct {
+	Status      string         `json:"status"` // "ok" | "draining" | "recovering"
+	Draining    bool           `json:"draining"`
+	Recovering  bool           `json:"recovering"`
+	Durable     bool           `json:"durable"`
+	Keys        int            `json:"keys"`
+	MaxKeys     int            `json:"max_keys"`
+	Checkpoints int64          `json:"checkpoints_written"`
+	WAL         *wal.Stats     `json:"wal,omitempty"`
+	Recovery    *RecoveryStats `json:"recovery,omitempty"`
+}
+
+// handleHealthz serves GET /v1/healthz. A draining server answers 503 —
+// it still reads, but a balancer must stop routing new write traffic at
+// it. (The 503 during boot recovery comes from cmd/sketchd, which serves
+// a recovering stub on the listener while Open replays the log; by the
+// time this handler is mounted, recovery is complete.)
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !methodIs(w, r, http.MethodGet) {
+		return
+	}
+	s.mu.RLock()
+	keys := len(s.tenants)
+	s.mu.RUnlock()
+	resp := HealthResponse{
+		Status:      "ok",
+		Draining:    s.draining.Load(),
+		Durable:     s.wal != nil,
+		Keys:        keys,
+		MaxKeys:     s.cfg.MaxKeys,
+		Checkpoints: s.ckptWrites.Load(),
+	}
+	if s.wal != nil {
+		st := s.wal.Stats()
+		resp.WAL = &st
+		rec := s.recovery
+		resp.Recovery = &rec
+	}
+	status := http.StatusOK
+	if resp.Draining {
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}
+
+// deferredCheckpointWeight is the debounce contribution of one deferred
+// merge or applied shipment: roughly eight of them coalesce into one
+// checkpoint, instead of each paying a synchronous fsync.
+func (s *Server) deferredCheckpointWeight() int {
+	if w := s.cfg.CheckpointEvery / 8; w > 0 {
+		return w
+	}
+	return 1
+}

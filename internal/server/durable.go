@@ -295,6 +295,7 @@ func (s *Server) checkpointTenantLocked(t *tenant) error {
 	if err := wal.WriteCheckpoint(s.cfg.DataDir, ck); err != nil {
 		return err
 	}
+	s.ckptWrites.Add(1)
 	t.sinceCkpt.Store(0)
 	return nil
 }

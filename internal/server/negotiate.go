@@ -232,6 +232,9 @@ func (s *Server) handleV2Update(w http.ResponseWriter, r *http.Request) {
 	}
 	*up = us[:0]
 	q := r.URL.Query()
+	if s.forwarded(w, r, q.Get("key")) {
+		return
+	}
 	t, err := s.getOrCreate(q.Get("key"), TenantSpec{Sketch: q.Get("sketch"), Policy: q.Get("policy")})
 	if err != nil {
 		fail(w, http.StatusBadRequest, err)

@@ -207,8 +207,13 @@ type Server struct {
 	draining atomic.Bool
 
 	// Durability (nil/zero without Open + DataDir; see durable.go).
-	wal      *wal.Log
-	recovery RecoveryStats
+	wal        *wal.Log
+	recovery   RecoveryStats
+	ckptWrites atomic.Int64 // checkpoints successfully written (telemetry + debounce tests)
+
+	// forwarder is the cluster placement hook; see SetForwarder in
+	// cluster_support.go.
+	forwarder atomic.Pointer[func(key string) (string, bool)]
 }
 
 // New returns a Server with no keyspaces yet.
@@ -400,6 +405,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/merge", s.handleMerge)
 	mux.HandleFunc("/v1/keys", s.handleKeys)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	mux.HandleFunc("/v2/keys", s.handleV2Keys)
 	mux.HandleFunc("/v2/update", s.handleV2Update)
 	mux.HandleFunc("/v2/query", s.handleV2Query)
@@ -460,6 +466,9 @@ func (s *Server) handleUpdateJSON(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := r.URL.Query()
+	if s.forwarded(w, r, q.Get("key")) {
+		return
+	}
 	t, err := s.getOrCreate(q.Get("key"), TenantSpec{Sketch: q.Get("sketch"), Policy: q.Get("policy")})
 	if err != nil {
 		fail(w, http.StatusBadRequest, err)
@@ -481,6 +490,9 @@ func (s *Server) estimateWith(w http.ResponseWriter, r *http.Request, read func(
 		return
 	}
 	key := r.URL.Query().Get("key")
+	if s.forwarded(w, r, key) {
+		return
+	}
 	t := s.lookup(key)
 	if t == nil {
 		fail(w, http.StatusNotFound, fmt.Errorf("unknown key %q", key))
@@ -502,6 +514,9 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := r.URL.Query().Get("key")
+	if s.forwarded(w, r, key) {
+		return
+	}
 	t := s.lookup(key)
 	if t == nil {
 		fail(w, http.StatusNotFound, fmt.Errorf("unknown key %q", key))
@@ -533,6 +548,25 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.draining.Load() {
 		fail(w, 0, errDraining)
+		return
+	}
+	if s.forwarded(w, r, r.URL.Query().Get("key")) {
+		return
+	}
+	// durability=deferred trades the per-merge fsync for the checkpoint
+	// cadence: the merge still lands atomically in live state, but its
+	// durability coalesces with other deferred merges into one background
+	// checkpoint (~8 per checkpoint; see deferredCheckpointWeight). The
+	// replication shipper merges on every ship interval — synchronous
+	// checkpoints there would serialize the whole cluster on fsync. The
+	// default keeps the operator-initiated merge durable before the 200.
+	deferred := false
+	switch d := r.URL.Query().Get("durability"); d {
+	case "", "checkpoint":
+	case "deferred":
+		deferred = true
+	default:
+		fail(w, http.StatusBadRequest, fmt.Errorf("unknown durability %q (use checkpoint or deferred)", d))
 		return
 	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
@@ -614,7 +648,12 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.wal != nil {
-		if err := s.checkpointTenantLocked(t); err != nil {
+		if deferred {
+			// Counted toward the cadence, not checkpointed here: a crash
+			// before the coalesced checkpoint loses the merge, which the
+			// deferred contract allows (the shipper re-sends state anyway).
+			s.maybeCheckpoint(t, s.deferredCheckpointWeight())
+		} else if err := s.checkpointTenantLocked(t); err != nil {
 			// The merge is applied in memory but not durable. Refuse the
 			// 200: the client must treat the merge outcome as unknown (a
 			// blind retry could double-fold the snapshot into live state).
@@ -632,6 +671,9 @@ func (s *Server) handleKeys(w http.ResponseWriter, r *http.Request) {
 	}
 	q := r.URL.Query()
 	key := q.Get("key")
+	if s.forwarded(w, r, key) {
+		return
+	}
 	switch r.Method {
 	case http.MethodPost:
 		// The v1 query-parameter form is a thin alias for POST /v2/keys

@@ -109,6 +109,9 @@ func (s *Server) handleV2Keys(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusBadRequest, err)
 		return
 	}
+	if s.forwarded(w, r, req.Key) {
+		return
+	}
 	t, err := s.getOrCreate(req.Key, req.Spec)
 	if err != nil {
 		fail(w, http.StatusBadRequest, err)
@@ -156,80 +159,18 @@ func (s *Server) handleV2Query(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusBadRequest, err)
 		return
 	}
-	t := s.lookup(req.Key)
-	if t == nil {
-		fail(w, http.StatusNotFound, fmt.Errorf("unknown key %q", req.Key))
+	if s.forwarded(w, r, req.Key) {
 		return
 	}
 
-	// Route the batch: point items and the largest requested k are
-	// gathered into one engine pass — a single flush barrier answers the
-	// whole batch, and any smaller topk answer is a prefix of the ranked
-	// maximum-k result.
-	var pointItems []uint64
-	maxK := 0
-	needsPoints := false
-	for _, q := range req.Queries {
-		switch q.Kind {
-		case QueryPoint:
-			pointItems = append(pointItems, uint64(q.Item))
-			needsPoints = true
-		case QueryTopK:
-			if q.K > maxK {
-				maxK = q.K
-			}
-			needsPoints = true
-		}
-	}
-	if needsPoints && !t.spec.points {
-		fail(w, http.StatusBadRequest,
-			fmt.Errorf("keyspace %q hosts %s, which does not answer point or topk queries (create a countsketch tenant)",
-				t.key, t.spec.Display()))
-		return
-	}
-
-	estimate, pointVals, top, err := t.eng.QueryBatch(pointItems, maxK)
+	// The batch is routed into one engine pass — a single flush barrier
+	// answers the whole batch, and any smaller topk answer is a prefix of
+	// the ranked maximum-k result; see answerQuery (shared with the
+	// cluster global-query paths).
+	resp, status, err := s.AnswerLocal(&req)
 	if err != nil {
-		fail(w, http.StatusInternalServerError, err)
+		fail(w, status, err)
 		return
 	}
-	pointBound := 0.0
-	if t.spec.points && t.spec.l2Of != nil {
-		pointBound = t.ts.Eps * t.spec.l2Of(estimate)
-	}
-	topItems := make([]ItemWeight, len(top))
-	for i, iw := range top {
-		topItems[i] = ItemWeight{Item: U64(iw.Item), Weight: iw.Weight}
-	}
-
-	resp := QueryResponse{Key: t.key, Sketch: t.spec.Name, Policy: t.spec.Policy, Model: t.ts.Model}
-	nextPoint := 0
-	for _, q := range req.Queries {
-		switch q.Kind {
-		case QueryEstimate:
-			resp.Answers = append(resp.Answers, Answer{
-				Kind: QueryEstimate, Value: estimate,
-				ErrorBound: t.ts.Eps, Additive: t.spec.additive,
-			})
-		case QueryPoint:
-			item := q.Item
-			resp.Answers = append(resp.Answers, Answer{
-				Kind: QueryPoint, Item: &item, Value: pointVals[nextPoint],
-				ErrorBound: pointBound,
-			})
-			nextPoint++
-		case QueryTopK:
-			items := topItems
-			if len(items) > q.K {
-				items = items[:q.K]
-			}
-			resp.Answers = append(resp.Answers, Answer{
-				Kind: QueryTopK, Items: items, ErrorBound: pointBound,
-			})
-		}
-	}
-	if rb, ok := t.eng.Robustness(); ok {
-		resp.Robustness = t.robustnessStats(rb)
-	}
-	writeQueryResponse(w, r, &resp)
+	writeQueryResponse(w, r, resp)
 }

@@ -1,0 +1,303 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Cluster frames. internal/cluster turns N sketchd processes into one
+// logical service by shipping tenant snapshots between peers and
+// exchanging membership views; both ride the same framing contract as
+// the ingest/query frames — typed errors, never a panic, exact payload
+// lengths — so a byte stream from a confused or hostile peer is rejected
+// at the codec layer, before any cluster state is touched.
+//
+//   - A ship frame (FrameShip) carries one tenant's replication payload:
+//     the resolved TenantSpec as JSON (the declaration a replica rebuilds
+//     the tenant from — it includes the resolved seed, which is what makes
+//     the copies snapshot-compatible; ship frames are a server-to-server
+//     surface and must never be exposed to tenants), an optional snapshot
+//     envelope (absent for non-mergeable robust tenants, which replicate
+//     as spec-only declarations), the sender's mass telemetry, and a
+//     per-key shipment sequence number that orders copies across owners.
+//   - A ship ack (FrameShipAck) reports whether the receiver applied the
+//     shipment; a stale or refused shipment is a normal answer, not an
+//     HTTP error, so the shipper can distinguish "peer is behind my view"
+//     from "peer is down".
+//   - A route frame (FrameRoute) is the failure detector's probe and the
+//     membership gossip in one: the sender's view of every node —
+//     incarnation sequence number and draining flag — where the highest
+//     incarnation wins on merge, so a drain announced once propagates
+//     through any live path.
+
+// Cluster frame types (continuing the FrameUpdates/FrameQuery/FrameAnswer
+// numbering).
+const (
+	FrameShip    FrameType = 4 // tenant replication payload (owner → replica)
+	FrameShipAck FrameType = 5 // shipment outcome (replica → owner)
+	FrameRoute   FrameType = 6 // membership view exchange (any → any)
+)
+
+// Ship is one tenant replication payload.
+type Ship struct {
+	// From is the advertised address of the shipping node.
+	From string
+	// Key is the tenant keyspace being replicated.
+	Key string
+	// Seq orders shipments of this key: a receiver applies a shipment only
+	// if Seq exceeds the last one it applied, so reordered or duplicated
+	// ships (and a late ship from a deposed owner) cannot roll a replica
+	// back.
+	Seq uint64
+	// Mass and Deleted carry the sender's mass telemetry, which lives
+	// outside the sketch state (see engine.SeedMass).
+	Mass    int64
+	Deleted int64
+	// Spec is the resolved TenantSpec as JSON.
+	Spec []byte
+	// State is the checksummed snapshot envelope, or nil for a spec-only
+	// shipment (non-mergeable robust tenants have no serializable state).
+	State []byte
+}
+
+// ShipAck is the receiver's answer to a Ship.
+type ShipAck struct {
+	Key string
+	Seq uint64
+	// Applied reports whether the shipment replaced the receiver's copy;
+	// false with an empty Err means the shipment was stale (the receiver
+	// already held Seq or newer), false with Err the reason it was refused.
+	Applied bool
+	Err     string
+}
+
+// RouteEntry is one node in a membership view.
+type RouteEntry struct {
+	// Addr is the node's advertised address.
+	Addr string
+	// Seq is the node's incarnation sequence number; on merge the entry
+	// with the higher Seq wins, so flag changes propagate monotonically.
+	Seq uint64
+	// Draining marks a node that asked to shed ownership (manual drain):
+	// it stays reachable but places no tenants.
+	Draining bool
+}
+
+// RouteTable is one node's view of the membership.
+type RouteTable struct {
+	From    string
+	Entries []RouteEntry
+}
+
+// Flag bytes. Unknown bits are a decode error, keeping frames canonical:
+// a frame either round-trips bit-exactly or is rejected.
+const (
+	shipHasState  = 1 << 0
+	routeDraining = 1 << 0
+)
+
+func appendBytes(dst []byte, b []byte) []byte {
+	dst = appendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// readBytes decodes a length-prefixed byte string, validating the length
+// against the remaining payload before allocating for it.
+func readBytes(p []byte, off int) ([]byte, int, error) {
+	n, off, err := readUvarint(p, off)
+	if err != nil {
+		return nil, 0, err
+	}
+	if n > uint64(len(p)-off) {
+		return nil, 0, fmt.Errorf("%w: byte-string length %d exceeds remaining %d bytes", ErrCorrupt, n, len(p)-off)
+	}
+	if n == 0 {
+		return nil, off, nil
+	}
+	out := make([]byte, n)
+	copy(out, p[off:off+int(n)])
+	return out, off + int(n), nil
+}
+
+// AppendShip appends a complete ship frame to dst.
+func AppendShip(dst []byte, sh *Ship) []byte {
+	dst, hdr := beginFrame(dst, FrameShip)
+	dst = appendString(dst, sh.From)
+	dst = appendString(dst, sh.Key)
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], sh.Seq)
+	dst = append(dst, b[:]...)
+	dst = binary.AppendUvarint(dst, zigzag(sh.Mass))
+	dst = binary.AppendUvarint(dst, zigzag(sh.Deleted))
+	var flags byte
+	if sh.State != nil {
+		flags |= shipHasState
+	}
+	dst = append(dst, flags)
+	dst = appendBytes(dst, sh.Spec)
+	if sh.State != nil {
+		dst = appendBytes(dst, sh.State)
+	}
+	return endFrame(dst, hdr)
+}
+
+// DecodeShip decodes a ship frame.
+func DecodeShip(frame []byte, sh *Ship) error {
+	p, err := expect(frame, FrameShip)
+	if err != nil {
+		return err
+	}
+	off := 0
+	*sh = Ship{}
+	if sh.From, off, err = readString(p, off); err != nil {
+		return err
+	}
+	if sh.Key, off, err = readString(p, off); err != nil {
+		return err
+	}
+	if sh.Seq, off, err = readU64(p, off); err != nil {
+		return err
+	}
+	var zz uint64
+	if zz, off, err = readUvarint(p, off); err != nil {
+		return err
+	}
+	sh.Mass = unzigzag(zz)
+	if zz, off, err = readUvarint(p, off); err != nil {
+		return err
+	}
+	sh.Deleted = unzigzag(zz)
+	var flags byte
+	if flags, off, err = readByte(p, off); err != nil {
+		return err
+	}
+	if flags&^byte(shipHasState) != 0 {
+		return fmt.Errorf("%w: unknown ship flag bits 0x%02x", ErrCorrupt, flags)
+	}
+	if sh.Spec, off, err = readBytes(p, off); err != nil {
+		return err
+	}
+	if flags&shipHasState != 0 {
+		if sh.State, off, err = readBytes(p, off); err != nil {
+			return err
+		}
+		if sh.State == nil {
+			sh.State = []byte{}
+		}
+	}
+	if off != len(p) {
+		return fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, len(p)-off)
+	}
+	return nil
+}
+
+// AppendShipAck appends a complete ship-ack frame to dst.
+func AppendShipAck(dst []byte, ack *ShipAck) []byte {
+	dst, hdr := beginFrame(dst, FrameShipAck)
+	dst = appendString(dst, ack.Key)
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], ack.Seq)
+	dst = append(dst, b[:]...)
+	var applied byte
+	if ack.Applied {
+		applied = 1
+	}
+	dst = append(dst, applied)
+	dst = appendString(dst, ack.Err)
+	return endFrame(dst, hdr)
+}
+
+// DecodeShipAck decodes a ship-ack frame.
+func DecodeShipAck(frame []byte, ack *ShipAck) error {
+	p, err := expect(frame, FrameShipAck)
+	if err != nil {
+		return err
+	}
+	off := 0
+	*ack = ShipAck{}
+	if ack.Key, off, err = readString(p, off); err != nil {
+		return err
+	}
+	if ack.Seq, off, err = readU64(p, off); err != nil {
+		return err
+	}
+	var applied byte
+	if applied, off, err = readByte(p, off); err != nil {
+		return err
+	}
+	if applied > 1 {
+		return fmt.Errorf("%w: bad applied byte %d", ErrCorrupt, applied)
+	}
+	ack.Applied = applied == 1
+	if ack.Err, off, err = readString(p, off); err != nil {
+		return err
+	}
+	if off != len(p) {
+		return fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, len(p)-off)
+	}
+	return nil
+}
+
+// AppendRoute appends a complete route frame to dst.
+func AppendRoute(dst []byte, rt *RouteTable) []byte {
+	dst, hdr := beginFrame(dst, FrameRoute)
+	dst = appendString(dst, rt.From)
+	dst = appendUvarint(dst, uint64(len(rt.Entries)))
+	var b [8]byte
+	for _, e := range rt.Entries {
+		dst = appendString(dst, e.Addr)
+		binary.LittleEndian.PutUint64(b[:], e.Seq)
+		dst = append(dst, b[:]...)
+		var flags byte
+		if e.Draining {
+			flags |= routeDraining
+		}
+		dst = append(dst, flags)
+	}
+	return endFrame(dst, hdr)
+}
+
+// DecodeRoute decodes a route frame.
+func DecodeRoute(frame []byte, rt *RouteTable) error {
+	p, err := expect(frame, FrameRoute)
+	if err != nil {
+		return err
+	}
+	off := 0
+	rt.From = ""
+	rt.Entries = rt.Entries[:0]
+	if rt.From, off, err = readString(p, off); err != nil {
+		return err
+	}
+	count, off, err := readUvarint(p, off)
+	if err != nil {
+		return err
+	}
+	// Each entry occupies at least 10 payload bytes (1 addr length + 8 seq
+	// + 1 flags): reject counts the payload cannot hold before allocating.
+	if count > uint64(len(p)-off)/10 {
+		return fmt.Errorf("%w: entry count %d exceeds payload capacity", ErrCorrupt, count)
+	}
+	for i := uint64(0); i < count; i++ {
+		var e RouteEntry
+		if e.Addr, off, err = readString(p, off); err != nil {
+			return err
+		}
+		if e.Seq, off, err = readU64(p, off); err != nil {
+			return err
+		}
+		var flags byte
+		if flags, off, err = readByte(p, off); err != nil {
+			return err
+		}
+		if flags&^byte(routeDraining) != 0 {
+			return fmt.Errorf("%w: unknown route flag bits 0x%02x", ErrCorrupt, flags)
+		}
+		e.Draining = flags&routeDraining != 0
+		rt.Entries = append(rt.Entries, e)
+	}
+	if off != len(p) {
+		return fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, len(p)-off)
+	}
+	return nil
+}

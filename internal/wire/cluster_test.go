@@ -1,0 +1,115 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestShipRoundTrip(t *testing.T) {
+	cases := []Ship{
+		{From: "127.0.0.1:9001", Key: "alpha", Seq: 7, Mass: 123456, Deleted: 78,
+			Spec: []byte(`{"sketch":"f2","shards":4}`), State: []byte{2, 1, 2, 3}},
+		{Key: "spec-only-robust", Seq: 1, Spec: []byte(`{"sketch":"f2","policy":"paths"}`)},
+		{From: "n", Key: "empty-state", Seq: 2, Spec: []byte(`{}`), State: []byte{}},
+		{Key: "negative-mass", Seq: 3, Mass: -5, Deleted: -9, Spec: []byte(`x`)},
+	}
+	for _, want := range cases {
+		frame := AppendShip(nil, &want)
+		if ft, err := Type(frame); err != nil || ft != FrameShip {
+			t.Fatalf("Type(ship) = %v, %v", ft, err)
+		}
+		var got Ship
+		if err := DecodeShip(frame, &got); err != nil {
+			t.Fatalf("DecodeShip(%q): %v", want.Key, err)
+		}
+		if got.From != want.From || got.Key != want.Key || got.Seq != want.Seq ||
+			got.Mass != want.Mass || got.Deleted != want.Deleted ||
+			!bytes.Equal(got.Spec, want.Spec) {
+			t.Fatalf("ship round trip: got %+v want %+v", got, want)
+		}
+		if (got.State == nil) != (want.State == nil) || !bytes.Equal(got.State, want.State) {
+			t.Fatalf("ship state round trip: got %v want %v", got.State, want.State)
+		}
+	}
+}
+
+func TestShipAckRoundTrip(t *testing.T) {
+	for _, want := range []ShipAck{
+		{Key: "alpha", Seq: 7, Applied: true},
+		{Key: "alpha", Seq: 6}, // stale: not applied, no error
+		{Key: "beta", Seq: 9, Err: "shipment refused: receiver owns the key"},
+	} {
+		var got ShipAck
+		if err := DecodeShipAck(AppendShipAck(nil, &want), &got); err != nil {
+			t.Fatalf("DecodeShipAck: %v", err)
+		}
+		if got != want {
+			t.Fatalf("ship-ack round trip: got %+v want %+v", got, want)
+		}
+	}
+}
+
+func TestRouteRoundTrip(t *testing.T) {
+	want := RouteTable{From: "a:1", Entries: []RouteEntry{
+		{Addr: "a:1", Seq: 4},
+		{Addr: "b:2", Seq: 11, Draining: true},
+		{Addr: "c:3"},
+	}}
+	var got RouteTable
+	if err := DecodeRoute(AppendRoute(nil, &want), &got); err != nil {
+		t.Fatalf("DecodeRoute: %v", err)
+	}
+	if got.From != want.From || len(got.Entries) != len(want.Entries) {
+		t.Fatalf("route round trip: got %+v want %+v", got, want)
+	}
+	for i := range want.Entries {
+		if got.Entries[i] != want.Entries[i] {
+			t.Fatalf("route entry %d: got %+v want %+v", i, got.Entries[i], want.Entries[i])
+		}
+	}
+}
+
+func TestClusterFrameRejections(t *testing.T) {
+	ship := AppendShip(nil, &Ship{Key: "k", Seq: 1, Spec: []byte(`{}`), State: []byte{1}})
+	route := AppendRoute(nil, &RouteTable{From: "a", Entries: []RouteEntry{{Addr: "a", Seq: 1}}})
+
+	// Wrong frame type for the decoder.
+	var sh Ship
+	if err := DecodeShip(route, &sh); !errors.Is(err, ErrWrongType) {
+		t.Fatalf("DecodeShip(route frame) = %v, want ErrWrongType", err)
+	}
+	var rt RouteTable
+	if err := DecodeRoute(ship, &rt); !errors.Is(err, ErrWrongType) {
+		t.Fatalf("DecodeRoute(ship frame) = %v, want ErrWrongType", err)
+	}
+
+	// Unknown flag bits are corrupt, not silently masked.
+	bad := bytes.Clone(ship)
+	// The flags byte sits after from (1 byte: empty), key (1+1), seq (8),
+	// mass (1) and deleted (1) in this minimal frame.
+	flagsOff := HeaderSize + 1 + 2 + 8 + 1 + 1
+	bad[flagsOff] |= 0x80
+	if err := DecodeShip(bad, &sh); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("DecodeShip(unknown flag) = %v, want ErrCorrupt", err)
+	}
+
+	// Truncated payload with a matching header length is corrupt.
+	trunc := bytes.Clone(ship[:len(ship)-2])
+	trunc[4] = byte(len(trunc) - HeaderSize)
+	trunc[5], trunc[6], trunc[7] = 0, 0, 0
+	if err := DecodeShip(trunc, &sh); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("DecodeShip(truncated) = %v, want ErrCorrupt", err)
+	}
+
+	// A route entry count beyond what the payload can hold is rejected
+	// before allocation.
+	huge := AppendRoute(nil, &RouteTable{From: "a"})
+	// Rewrite the entry count varint (last payload byte) to a huge value.
+	huge = huge[:len(huge)-1]
+	huge = append(huge, 0xff, 0xff, 0xff, 0x7f)
+	huge[4] = byte(len(huge) - HeaderSize)
+	if err := DecodeRoute(huge, &rt); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("DecodeRoute(huge count) = %v, want ErrCorrupt", err)
+	}
+}

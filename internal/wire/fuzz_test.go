@@ -92,7 +92,7 @@ func FuzzWireFrameDecode(f *testing.F) {
 				t.Fatal("Type accepted a mismatched payload length")
 			}
 			switch ft {
-			case FrameUpdates, FrameQuery, FrameAnswer:
+			case FrameUpdates, FrameQuery, FrameAnswer, FrameShip, FrameShipAck, FrameRoute:
 			default:
 				t.Fatalf("Type returned unknown frame type %v", ft)
 			}

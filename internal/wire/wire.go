@@ -11,7 +11,8 @@
 //
 //	offset 0: magic   'S' 'K'        (2 bytes)
 //	offset 2: version                (1 byte, currently 1)
-//	offset 3: type                   (1 byte: 1 updates, 2 query, 3 answer)
+//	offset 3: type                   (1 byte: 1 updates, 2 query, 3 answer,
+//	                                  4 ship, 5 ship-ack, 6 route; see cluster.go)
 //	offset 4: payload length         (u32 little-endian)
 //	offset 8: payload                (payload length bytes)
 //
@@ -70,6 +71,12 @@ func (t FrameType) String() string {
 		return "query"
 	case FrameAnswer:
 		return "answer"
+	case FrameShip:
+		return "ship"
+	case FrameShipAck:
+		return "ship-ack"
+	case FrameRoute:
+		return "route"
 	}
 	return fmt.Sprintf("type(%d)", uint8(t))
 }
@@ -188,7 +195,7 @@ func parseHeader(b []byte) ([]byte, FrameType, error) {
 		return nil, 0, fmt.Errorf("%w: %d", ErrBadVersion, b[2])
 	}
 	t := FrameType(b[3])
-	if t != FrameUpdates && t != FrameQuery && t != FrameAnswer {
+	if t < FrameUpdates || t > FrameRoute {
 		return nil, 0, fmt.Errorf("%w: %d", ErrBadType, b[3])
 	}
 	n := binary.LittleEndian.Uint32(b[4:8])
