@@ -411,6 +411,60 @@ func TestDrainHandsOff(t *testing.T) {
 	}
 }
 
+// A node that drained, then restarted, must refute the stale draining
+// gossip peers still hold. Its boot incarnation restarts at 1, and an
+// equal-or-lower Seq announcement never outranks the stored
+// (drainSeq, draining=true) entry — without the SWIM-style jump past
+// the gossiped Seq, peers would exclude the node from placement forever
+// while it considers itself alive.
+func TestRestartRefutesStaleDrainGossip(t *testing.T) {
+	nodes := bootCluster(t, 3, 2, true)
+	victim := nodes[2]
+
+	victim.node.Drain() // announces the draining incarnation to both peers
+	drainSeq := victim.node.selfSeq.Load()
+	for _, tn := range nodes[:2] {
+		p := tn.node.peers[victim.url]
+		if !p.draining.Load() || p.seq.Load() != drainSeq {
+			t.Fatalf("peer %s did not learn the drain: seq=%d draining=%v",
+				tn.url, p.seq.Load(), p.draining.Load())
+		}
+	}
+
+	// "Restart": a fresh Node at the same address, incarnation back to 1,
+	// serving on the same listener.
+	srv2 := server.New(server.Config{Shards: 2, Eps: 0.25, Delta: 0.05, N: 1 << 20, Seed: 42, MaxKeys: 64})
+	t.Cleanup(func() { srv2.Drain() })
+	urls := []string{nodes[0].url, nodes[1].url, nodes[2].url}
+	n2, err := New(srv2, Config{Self: victim.url, Peers: urls, Replicas: 2, Forward: true, SuspectAfter: 2})
+	if err != nil {
+		t.Fatalf("New after restart: %v", err)
+	}
+	t.Cleanup(n2.Close)
+	h := n2.Handler()
+	victim.hs.Config.Handler.(*swapHandler).h.Store(&h)
+
+	// First probe exchange: the announcement (1, not-draining) is too low
+	// to outrank the stored drain, but the responses carry the stale
+	// gossip about us — merging it must jump our incarnation past it.
+	n2.probeAll()
+	if got := n2.selfSeq.Load(); got <= drainSeq {
+		t.Fatalf("restarted node did not refute stale drain gossip: seq=%d, want > %d", got, drainSeq)
+	}
+	// Second exchange announces the refutation: every peer clears the
+	// flag and the node is placeable again.
+	n2.probeAll()
+	for _, tn := range nodes[:2] {
+		p := tn.node.peers[victim.url]
+		if p.draining.Load() {
+			t.Fatalf("peer %s still believes %s is draining after refutation", tn.url, victim.url)
+		}
+		if p.seq.Load() <= drainSeq {
+			t.Fatalf("peer %s holds seq %d for %s, want > %d", tn.url, p.seq.Load(), victim.url, drainSeq)
+		}
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Probe loop end to end (loops actually started)
 
@@ -453,6 +507,32 @@ func TestProbeDetectsDeathAndRecovery(t *testing.T) {
 	}
 	if !downSeen {
 		t.Fatalf("status does not report %s down: %+v", victim.url, st)
+	}
+}
+
+// Drain (an operator call on a handler goroutine) runs a probe round
+// concurrently with the ticker-driven probe loop; under -race this
+// exercises the shared detector state (fails counters, down flags).
+func TestDrainConcurrentWithProbeLoop(t *testing.T) {
+	nodes := bootCluster(t, 3, 2, true)
+	for _, tn := range nodes {
+		tn.node.cfg.ProbeInterval = 5 * time.Millisecond
+		tn.node.cfg.ShipInterval = 20 * time.Millisecond
+		tn.node.Start()
+	}
+	time.Sleep(25 * time.Millisecond) // let a few probe rounds run
+	if nodes[1].node.Drain(); !nodes[1].node.Draining() {
+		t.Fatalf("node did not enter draining state")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if p := nodes[0].node.peers[nodes[1].url]; p.draining.Load() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("drain never propagated to peer")
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 

@@ -98,6 +98,13 @@ func (n *Node) handleShip(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ack := wire.ShipAck{Key: sh.Key, Seq: sh.Seq}
+	// The staleness check, the apply, and the applied-map record must be
+	// one atomic step per key: two concurrent shipments for the same key
+	// could otherwise both pass the check and apply in either order,
+	// leaving the older state in place under the newer recorded sequence —
+	// exactly the rollback the sequence check exists to prevent.
+	lk := n.keyLock(sh.Key)
+	lk.Lock()
 	switch {
 	case n.selfDraining.Load():
 		ack.Err = "draining"
@@ -117,6 +124,7 @@ func (n *Node) handleShip(w http.ResponseWriter, r *http.Request) {
 			n.mu.Unlock()
 		}
 	}
+	lk.Unlock()
 	w.Header().Set("Content-Type", wire.ContentType)
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(wire.AppendShipAck(nil, &ack))

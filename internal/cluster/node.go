@@ -51,13 +51,14 @@ type Config struct {
 
 // peerState is the detector's view of one remote member. The fields are
 // atomics because the probe loop writes them while placement reads them
-// on every request.
+// on every request — and because probe rounds themselves can overlap
+// (the ticker loop and an operator-initiated Drain both call probeAll).
 type peerState struct {
 	addr     string
 	down     atomic.Bool
 	draining atomic.Bool
 	seq      atomic.Uint64
-	fails    int // consecutive probe failures; probe goroutine only
+	fails    atomic.Int32 // consecutive probe failures
 }
 
 // Node binds a server.Server into a cluster: it owns the placement ring,
@@ -74,10 +75,16 @@ type Node struct {
 	selfDraining atomic.Bool
 
 	mu      sync.Mutex
-	shipSeq map[string]uint64 // per key: last Seq this node shipped as owner
-	applied map[string]uint64 // per key: last Seq applied from a peer's ship
+	shipSeq map[string]uint64      // per key: last Seq this node shipped as owner
+	applied map[string]uint64      // per key: last Seq applied from a peer's ship
+	keyMu   map[string]*sync.Mutex // per key: serializes ship check-then-apply
 
 	peers map[string]*peerState // remote members only; immutable after New
+
+	// shipNow wakes the ship loop for an immediate round after a liveness
+	// transition. Buffered so a view change never blocks, and coalescing:
+	// a burst of transitions triggers one round.
+	shipNow chan struct{}
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -129,7 +136,9 @@ func New(srv *server.Server, cfg Config) (*Node, error) {
 		members: members,
 		shipSeq: make(map[string]uint64),
 		applied: make(map[string]uint64),
+		keyMu:   make(map[string]*sync.Mutex),
 		peers:   make(map[string]*peerState, len(members)-1),
+		shipNow: make(chan struct{}, 1),
 		stop:    make(chan struct{}),
 	}
 	for _, m := range members {
@@ -239,16 +248,27 @@ func (n *Node) routeTable() *wire.RouteTable {
 
 // mergeRoutes folds a peer's view into ours: per entry the higher
 // incarnation Seq wins, so a drain announced once propagates through any
-// live path. Entries about ourselves only fast-forward our incarnation
-// (a restarted node re-learns that it had drained? No — draining is a
-// local decision; we keep our own flag and only keep Seq monotonic so
-// our next announcement outranks stale gossip about us).
+// live path. Entries about ourselves are handled SWIM-style: draining is
+// a local decision, so we never adopt the gossiped flag — instead, when
+// the cluster holds an entry about us that contradicts our state or
+// outranks our incarnation (stale gossip from a prior life, e.g. a drain
+// announced before a restart), we jump our Seq strictly past it so the
+// next announcement refutes it everywhere. Merely fast-forwarding to an
+// equal Seq is not enough: equal-Seq entries never outrank the stale
+// (Seq, draining=true) copy peers already hold, and the restarted node
+// would stay excluded from placement forever.
 func (n *Node) mergeRoutes(rt *wire.RouteTable) {
 	for _, e := range rt.Entries {
 		if e.Addr == n.cfg.Self {
 			for {
 				cur := n.selfSeq.Load()
-				if e.Seq < cur || n.selfSeq.CompareAndSwap(cur, e.Seq) {
+				// In-rank gossip that agrees with our state needs no
+				// refutation; bumping on every echo of our own announcement
+				// would grow Seq without bound.
+				if e.Seq < cur || (e.Seq == cur && e.Draining == n.selfDraining.Load()) {
+					break
+				}
+				if n.selfSeq.CompareAndSwap(cur, e.Seq+1) {
 					break
 				}
 			}
@@ -299,49 +319,61 @@ func (n *Node) probeLoop() {
 
 // probeAll posts this node's route table to every peer; the response is
 // the peer's table, merged back in. Probe and gossip are the same
-// message.
+// message. Peers are probed concurrently: a dead peer costs one client
+// timeout, not one timeout per dead peer per round, so time-to-detection
+// stays near SuspectAfter×ProbeInterval however many members are down.
 func (n *Node) probeAll() {
 	frame := wire.AppendRoute(nil, n.routeTable())
-	changed := false
+	var changed atomic.Bool
+	var wg sync.WaitGroup
 	for _, m := range n.members {
 		p := n.peers[m]
 		if p == nil {
 			continue
 		}
-		body, err := n.postFrame(p.addr, "/cluster/route", frame)
-		if err != nil {
-			p.fails++
-			if p.fails >= n.cfg.SuspectAfter && !p.down.Load() {
-				p.down.Store(true)
-				changed = true
+		wg.Add(1)
+		go func(p *peerState) {
+			defer wg.Done()
+			body, err := n.postFrame(p.addr, "/cluster/route", frame)
+			if err != nil {
+				if p.fails.Add(1) >= int32(n.cfg.SuspectAfter) && !p.down.Load() {
+					p.down.Store(true)
+					changed.Store(true)
+				}
+				return
 			}
-			continue
-		}
-		p.fails = 0
-		if p.down.Load() {
-			p.down.Store(false)
-			changed = true
-		}
-		var rt wire.RouteTable
-		if err := wire.DecodeRoute(body, &rt); err == nil {
-			n.mergeRoutes(&rt)
-		}
+			p.fails.Store(0)
+			if p.down.Load() {
+				p.down.Store(false)
+				changed.Store(true)
+			}
+			var rt wire.RouteTable
+			if err := wire.DecodeRoute(body, &rt); err == nil {
+				n.mergeRoutes(&rt)
+			}
+		}(p)
 	}
-	if changed {
+	wg.Wait()
+	if changed.Load() {
 		n.viewChanged()
 	}
 }
 
 // viewChanged reacts to a liveness transition: ownership just moved, so
-// run an immediate ship round — a freshly promoted owner replicates its
-// copies to its new replica set, and survivors holding copies of keys
-// whose owner changed push them to the new owner — instead of waiting
-// out the ship tick.
+// request an immediate ship round — a freshly promoted owner replicates
+// its copies to its new replica set, and survivors holding copies of
+// keys whose owner changed push them to the new owner — instead of
+// waiting out the ship tick. The round runs on the ship loop's
+// goroutine (never a detached one), so Close() cannot return while a
+// round still touches the server or peers.
 func (n *Node) viewChanged() {
 	if !n.cfg.Forward {
 		return
 	}
-	go n.shipRound()
+	select {
+	case n.shipNow <- struct{}{}:
+	default: // a round is already pending; it will see the new view
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -359,8 +391,29 @@ func (n *Node) shipLoop() {
 			if n.cfg.Forward {
 				n.shipRound()
 			}
+		case <-n.shipNow:
+			if n.cfg.Forward {
+				n.shipRound()
+			}
 		}
 	}
+}
+
+// keyLock returns the mutex serializing shipment application for key.
+// The replica-side check-then-apply (staleness test, ApplyShipment,
+// applied-map record) must be atomic per key: concurrent ship rounds —
+// the shipper's ticker plus a view-change round — can deliver two
+// shipments for the same key, and without the lock the older one can
+// apply last while the newer sequence is what gets recorded.
+func (n *Node) keyLock(key string) *sync.Mutex {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	m := n.keyMu[key]
+	if m == nil {
+		m = &sync.Mutex{}
+		n.keyMu[key] = m
+	}
+	return m
 }
 
 // localSeq is the highest shipment sequence this node knows for key —
